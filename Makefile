@@ -1,0 +1,24 @@
+# Convenience targets; everything is plain dune underneath.
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+test-force:
+	dune runtest --force --no-buffer
+
+bench-quick:
+	dune exec bench/main.exe
+
+bench-full:
+	dune exec bench/main.exe -- all --ops 20000 --repeats 3
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
+
+.PHONY: all test test-force bench-quick bench-full doc clean

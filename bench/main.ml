@@ -1,0 +1,570 @@
+(* Benchmark harness regenerating the evaluation of Kogan & Herlihy,
+   "The Future(s) of Shared Data Structures" (PODC 2014), Section 5.
+
+   One panel per (figure, slack) pair, matching the paper's plots:
+   rows are thread counts, columns are the four implementations
+   (lock-free baseline, weak-, medium- and strong-FL), cells are the time
+   for all threads to complete their operations; the ratio in parentheses
+   is the speedup of that implementation over the lock-free baseline
+   (paper shape: >1 means the futures version wins).
+
+   Subcommands:
+     fig4 | fig5 | fig6   one figure (stack / queue / linked list)
+     ablation             DESIGN.md ablations A-D
+     micro                Bechamel single-op costs at slack 1 (paper §5.1)
+     cas                  weak-queue CAS-per-op correlation (paper §5.2)
+     extra                extension workloads (Zipf keys, asymmetric mix)
+     all                  everything above
+   Options:
+     --quick              small sizes for a fast smoke run
+     --full               the paper's 100K ops per thread
+     --ops N --repeats N --threads a,b,c --slacks a,b,c --csv *)
+
+module Future = Futures.Future
+module R = Fl.Registry
+
+type config = {
+  threads : int list;
+  slacks : int list;
+  ops : int;
+  repeats : int;
+  csv : bool;
+}
+
+let default_config =
+  {
+    threads = [ 1; 2; 4; 8 ];
+    slacks = [ 1; 10; 20; 100 ];
+    ops = 20_000;
+    repeats = 3;
+    csv = false;
+  }
+
+let quick_config =
+  { default_config with threads = [ 1; 2; 4 ]; ops = 2_000; repeats = 1 }
+
+let full_config = { default_config with ops = 100_000; repeats = 10 }
+
+(* ------------------------- worker builders ------------------------- *)
+
+let stack_worker ?order ~slack inst ~thread ~ops =
+  let o = inst.R.s_handle () in
+  let rng = Workload.Rng.create ~seed:(0xBEEF + slack) ~stream:thread in
+  let sl = Fl.Slack.create ?order slack in
+  for _ = 1 to ops do
+    match Workload.Distribution.stack_op rng with
+    | Workload.Distribution.Push v ->
+        let f = o.R.s_push v in
+        Fl.Slack.note sl (fun () -> Future.force f)
+    | Workload.Distribution.Pop ->
+        let f = o.R.s_pop () in
+        Fl.Slack.note sl (fun () -> ignore (Future.force f))
+  done;
+  Fl.Slack.drain sl;
+  o.R.s_flush ()
+
+let queue_worker ?order ~slack inst ~thread ~ops =
+  let o = inst.R.q_handle () in
+  let rng = Workload.Rng.create ~seed:(0xF00D + slack) ~stream:thread in
+  let sl = Fl.Slack.create ?order slack in
+  for _ = 1 to ops do
+    match Workload.Distribution.queue_op rng with
+    | Workload.Distribution.Enq v ->
+        let f = o.R.q_enq v in
+        Fl.Slack.note sl (fun () -> Future.force f)
+    | Workload.Distribution.Deq ->
+        let f = o.R.q_deq () in
+        Fl.Slack.note sl (fun () -> ignore (Future.force f))
+  done;
+  Fl.Slack.drain sl;
+  o.R.q_flush ()
+
+let key_range = Workload.Distribution.default_key_range
+
+let prefill_set inst =
+  let o = inst.R.l_handle () in
+  (* Ascending insertion order gives every implementation the same node
+     layout; otherwise the combining implementations' bulk prefill would
+     hand them a cache-locality head start before measurement begins. *)
+  let keys =
+    List.sort compare
+      (Workload.Distribution.initial_keys ~key_range ~seed:2014 ())
+  in
+  let fs = List.map (fun k -> o.R.l_insert k) keys in
+  o.R.l_flush ();
+  inst.R.l_drain ();
+  List.iter (fun f -> ignore (Future.force f)) fs;
+  inst
+
+let set_worker ?order ~slack inst ~thread ~ops =
+  let o = inst.R.l_handle () in
+  let rng = Workload.Rng.create ~seed:(0xCAFE + slack) ~stream:thread in
+  let sl = Fl.Slack.create ?order slack in
+  for _ = 1 to ops do
+    match Workload.Distribution.list_op ~key_range rng with
+    | Workload.Distribution.Insert k ->
+        let f = o.R.l_insert k in
+        Fl.Slack.note sl (fun () -> ignore (Future.force f))
+    | Workload.Distribution.Remove k ->
+        let f = o.R.l_remove k in
+        Fl.Slack.note sl (fun () -> ignore (Future.force f))
+    | Workload.Distribution.Contains k ->
+        let f = o.R.l_contains k in
+        Fl.Slack.note sl (fun () -> ignore (Future.force f))
+  done;
+  Fl.Slack.drain sl;
+  o.R.l_flush ()
+
+(* --------------------------- panel runner --------------------------- *)
+
+type column = {
+  name : string;
+  measure : slack:int -> threads:int -> Workload.Runner.measurement;
+}
+
+let stack_column ?order ?label cfg (impl : R.stack_impl) =
+  {
+    name = Option.value label ~default:impl.s_name;
+    measure =
+      (fun ~slack ~threads ->
+        Workload.Runner.run ~threads ~repeats:cfg.repeats
+          ~ops_per_thread:cfg.ops ~setup:impl.s_make
+          ~worker:(stack_worker ?order ~slack)
+          ~cas_total:(fun i -> i.R.s_cas_count ())
+          ~teardown:(fun i -> i.R.s_drain ())
+          ());
+  }
+
+let queue_column ?order ?label cfg (impl : R.queue_impl) =
+  {
+    name = Option.value label ~default:impl.q_name;
+    measure =
+      (fun ~slack ~threads ->
+        Workload.Runner.run ~threads ~repeats:cfg.repeats
+          ~ops_per_thread:cfg.ops ~setup:impl.q_make
+          ~worker:(queue_worker ?order ~slack)
+          ~cas_total:(fun i -> i.R.q_cas_count ())
+          ~teardown:(fun i -> i.R.q_drain ())
+          ());
+  }
+
+let set_column ?order ?label cfg (impl : R.set_impl) =
+  {
+    name = Option.value label ~default:impl.l_name;
+    measure =
+      (fun ~slack ~threads ->
+        Workload.Runner.run ~threads ~repeats:cfg.repeats
+          ~ops_per_thread:cfg.ops
+          ~setup:(fun () -> prefill_set (impl.l_make ()))
+          ~worker:(set_worker ?order ~slack)
+          ~cas_total:(fun i -> i.R.l_cas_count ())
+          ~teardown:(fun i -> i.R.l_drain ())
+          ());
+  }
+
+(* Run one panel (fixed slack): rows = thread counts, columns = impls.
+   Cells show completion time, with speedup vs the first (baseline)
+   column in parentheses. *)
+let run_panel cfg ~title columns ~slack =
+  let table =
+    Workload.Report.create ~title
+      ~columns:(List.map (fun c -> c.name) columns)
+  in
+  List.iter
+    (fun threads ->
+      let ms = List.map (fun c -> c.measure ~slack ~threads) columns in
+      let baseline =
+        match ms with m :: _ -> m.Workload.Runner.seconds | [] -> nan
+      in
+      let cells =
+        List.mapi
+          (fun i m ->
+            let t = m.Workload.Runner.seconds in
+            if i = 0 then Workload.Report.seconds t
+            else
+              Printf.sprintf "%s (x%.2f)" (Workload.Report.seconds t)
+                (baseline /. t))
+          ms
+      in
+      Workload.Report.add_row table
+        ~label:(string_of_int threads)
+        ~cells)
+    cfg.threads;
+  let ppf = Format.std_formatter in
+  if cfg.csv then Workload.Report.csv ppf table
+  else Workload.Report.print ppf table;
+  Format.pp_print_newline ppf ()
+
+let run_figure cfg ~figure ~what columns =
+  Format.printf "== %s: %s — %d ops/thread, %d repeat(s) ==@.@." figure what
+    cfg.ops cfg.repeats;
+  List.iter
+    (fun slack ->
+      run_panel cfg
+        ~title:(Printf.sprintf "%s, slack=%d (time; x = speedup vs lockfree)"
+                  figure slack)
+        columns ~slack)
+    cfg.slacks
+
+let fig4 cfg =
+  run_figure cfg ~figure:"Figure 4" ~what:"stacks, 50% push / 50% pop"
+    (List.map (stack_column cfg) R.stack_impls)
+
+let fig5 cfg =
+  run_figure cfg ~figure:"Figure 5" ~what:"queues, 50% enq / 50% deq"
+    (List.map (queue_column cfg) R.queue_impls)
+
+let fig6 cfg =
+  (* List operations cost a traversal of ~2500 nodes each; scale the op
+     count down so the figure completes in minutes on a small host. The
+     relative shape is unaffected (every implementation pays the same
+     scale). Use --ops to override. *)
+  let cfg = { cfg with ops = max 500 (cfg.ops / 10) } in
+  run_figure cfg ~figure:"Figure 6"
+    ~what:
+      "linked lists, 20% ins / 20% rem / 60% ctn, 10K keys, half full \
+       (ops scaled /10)"
+    (List.map (set_column cfg) R.set_impls)
+
+(* ----------------------------- ablations ---------------------------- *)
+
+let ablation cfg =
+  Format.printf "== Ablations (DESIGN.md A-D) — %d ops/thread ==@.@." cfg.ops;
+  let cfg = { cfg with slacks = List.filter (fun s -> s > 1) cfg.slacks } in
+  let cfg = if cfg.slacks = [] then { cfg with slacks = [ 20 ] } else cfg in
+  (* A: weak stack elimination on/off *)
+  let stack_cols =
+    [
+      stack_column cfg (R.find_stack "weak");
+      stack_column cfg
+        { s_name = "weak-noelim";
+          s_make = (fun () -> R.weak_stack_with ~elimination:false);
+        };
+    ]
+  in
+  (* Reuse the panel runner: baseline column = elimination on. *)
+  List.iter
+    (fun slack ->
+      run_panel cfg
+        ~title:
+          (Printf.sprintf
+             "Ablation A: weak stack elimination (slack=%d; x<1 means \
+              disabling hurts)"
+             slack)
+        stack_cols ~slack)
+    cfg.slacks;
+  (* List ablations use the same /10 op scaling as Figure 6. *)
+  let cfg_list = { cfg with ops = max 500 (cfg.ops / 10) } in
+  (* B: medium list search-resume hint on/off *)
+  let list_cols_b =
+    [
+      set_column cfg_list (R.find_set "medium");
+      set_column cfg_list
+        { l_name = "medium-nohint";
+          l_make = (fun () -> R.medium_set_with ~resume_hint:false);
+        };
+    ]
+  in
+  List.iter
+    (fun slack ->
+      run_panel cfg_list
+        ~title:
+          (Printf.sprintf "Ablation B: medium list search resume (slack=%d)"
+             slack)
+        list_cols_b ~slack)
+    cfg_list.slacks;
+  (* C: strong list batch sorting on/off *)
+  let list_cols_c =
+    [
+      set_column cfg_list (R.find_set "strong");
+      set_column cfg_list
+        { l_name = "strong-nosort";
+          l_make = (fun () -> R.strong_set_with ~sort_batch:false);
+        };
+    ]
+  in
+  List.iter
+    (fun slack ->
+      run_panel cfg_list
+        ~title:
+          (Printf.sprintf "Ablation C: strong list batch sort (slack=%d)"
+             slack)
+        list_cols_c ~slack)
+    cfg_list.slacks;
+  (* D: slack evaluation order. Forcing the newest future first lets one
+     evaluation flush the whole window; oldest-first degrades every
+     evaluation to a single operation (see Fl.Slack). Shown on the two
+     structures whose evaluation stops at the forced future. *)
+  let queue_cols_d =
+    [
+      queue_column cfg (R.find_queue "medium");
+      queue_column cfg ~order:Fl.Slack.Oldest_first ~label:"medium-oldest"
+        (R.find_queue "medium");
+    ]
+  in
+  List.iter
+    (fun slack ->
+      run_panel cfg
+        ~title:
+          (Printf.sprintf
+             "Ablation D: medium queue, slack evaluation order (slack=%d)"
+             slack)
+        queue_cols_d ~slack)
+    cfg.slacks;
+  let list_cols_d =
+    [
+      set_column cfg_list (R.find_set "medium");
+      set_column cfg_list ~order:Fl.Slack.Oldest_first ~label:"medium-oldest"
+        (R.find_set "medium");
+    ]
+  in
+  List.iter
+    (fun slack ->
+      run_panel cfg_list
+        ~title:
+          (Printf.sprintf
+             "Ablation D: medium list, slack evaluation order (slack=%d)"
+             slack)
+        list_cols_d ~slack)
+    cfg_list.slacks
+
+(* ------------------------- CAS correlation -------------------------- *)
+
+(* The paper validates the weak queue's running-time spike by correlating
+   it with the average number of CAS operations per high-level operation
+   (§5.2). This prints time and CAS/op side by side. *)
+let cas_experiment cfg =
+  Format.printf
+    "== CAS correlation: weak-FL queue (paper §5.2) — %d ops/thread ==@.@."
+    cfg.ops;
+  let impl = R.find_queue "weak" in
+  List.iter
+    (fun slack ->
+      let table =
+        Workload.Report.create
+          ~title:(Printf.sprintf "weak queue, slack=%d" slack)
+          ~columns:[ "time"; "cas/op" ]
+      in
+      List.iter
+        (fun threads ->
+          let m = (queue_column cfg impl).measure ~slack ~threads in
+          Workload.Report.add_row table
+            ~label:(string_of_int threads)
+            ~cells:
+              [
+                Workload.Report.seconds m.Workload.Runner.seconds;
+                Printf.sprintf "%.2f" m.Workload.Runner.cas_per_op;
+              ])
+        cfg.threads;
+      Workload.Report.print Format.std_formatter table;
+      Format.print_newline ())
+    cfg.slacks
+
+(* ------------------------ extension workloads ----------------------- *)
+
+(* Workloads beyond the paper's evaluation: Zipf-skewed keys (combining
+   gets more same-key hits) and an asymmetric queue mix. *)
+
+let zipf_set_worker ~slack inst ~thread ~ops =
+  let o = inst.R.l_handle () in
+  let rng = Workload.Rng.create ~seed:(0xD00D + slack) ~stream:thread in
+  let z = Workload.Distribution.zipf ~n:key_range () in
+  let sl = Fl.Slack.create slack in
+  for _ = 1 to ops do
+    let note f = Fl.Slack.note sl (fun () -> ignore (Future.force f)) in
+    match Workload.Distribution.list_op_skewed z rng with
+    | Workload.Distribution.Insert k -> note (o.R.l_insert k)
+    | Workload.Distribution.Remove k -> note (o.R.l_remove k)
+    | Workload.Distribution.Contains k -> note (o.R.l_contains k)
+  done;
+  Fl.Slack.drain sl;
+  o.R.l_flush ()
+
+let zipf_set_column cfg (impl : R.set_impl) =
+  {
+    name = impl.l_name;
+    measure =
+      (fun ~slack ~threads ->
+        Workload.Runner.run ~threads ~repeats:cfg.repeats
+          ~ops_per_thread:cfg.ops
+          ~setup:(fun () -> prefill_set (impl.l_make ()))
+          ~worker:(zipf_set_worker ~slack)
+          ~cas_total:(fun i -> i.R.l_cas_count ())
+          ~teardown:(fun i -> i.R.l_drain ())
+          ());
+  }
+
+let asymmetric_queue_worker ~slack inst ~thread ~ops =
+  let o = inst.R.q_handle () in
+  let rng = Workload.Rng.create ~seed:(0xA5A5 + slack) ~stream:thread in
+  let sl = Fl.Slack.create slack in
+  for _ = 1 to ops do
+    (* 80% enqueue / 20% dequeue: long same-type runs, the best case for
+       run combining. *)
+    if Workload.Rng.below rng 5 < 4 then begin
+      let f = o.R.q_enq (Workload.Rng.below rng 1_000_000) in
+      Fl.Slack.note sl (fun () -> Future.force f)
+    end
+    else
+      let f = o.R.q_deq () in
+      Fl.Slack.note sl (fun () -> ignore (Future.force f))
+  done;
+  Fl.Slack.drain sl;
+  o.R.q_flush ()
+
+let asymmetric_queue_column cfg (impl : R.queue_impl) =
+  {
+    name = impl.q_name;
+    measure =
+      (fun ~slack ~threads ->
+        Workload.Runner.run ~threads ~repeats:cfg.repeats
+          ~ops_per_thread:cfg.ops ~setup:impl.q_make
+          ~worker:(asymmetric_queue_worker ~slack)
+          ~cas_total:(fun i -> i.R.q_cas_count ())
+          ~teardown:(fun i -> i.R.q_drain ())
+          ());
+  }
+
+let extra cfg =
+  let cfg_list = { cfg with ops = max 500 (cfg.ops / 10) } in
+  Format.printf
+    "== Extension: Zipf-skewed linked lists (exponent 1.0) — %d ops/thread      ==@.@."
+    cfg_list.ops;
+  List.iter
+    (fun slack ->
+      run_panel cfg_list
+        ~title:(Printf.sprintf "Zipf list, slack=%d" slack)
+        (List.map (zipf_set_column cfg_list) R.set_impls)
+        ~slack)
+    cfg_list.slacks;
+  Format.printf
+    "== Extension: asymmetric queue (80%% enq / 20%% deq) — %d ops/thread      ==@.@."
+    cfg.ops;
+  List.iter
+    (fun slack ->
+      run_panel cfg
+        ~title:(Printf.sprintf "asymmetric queue, slack=%d" slack)
+        (List.map (asymmetric_queue_column cfg) R.queue_impls)
+        ~slack)
+    cfg.slacks
+
+(* --------------------------- micro (§5.1) --------------------------- *)
+
+(* Single-thread per-operation cost with slack 1 — the paper's direct
+   overhead comparison of futures-based vs lock-free versions. *)
+let micro () =
+  let open Bechamel in
+  Format.printf
+    "== Micro: single-thread op cost, slack=1 (Bechamel, ns/op) ==@.@.";
+  let stack_test (impl : R.stack_impl) =
+    let inst = impl.s_make () in
+    let o = inst.R.s_handle () in
+    Test.make ~name:("stack-" ^ impl.s_name)
+      (Staged.stage (fun () ->
+           Future.force (o.R.s_push 1);
+           ignore (Future.force (o.R.s_pop ()))))
+  in
+  let queue_test (impl : R.queue_impl) =
+    let inst = impl.q_make () in
+    let o = inst.R.q_handle () in
+    Test.make ~name:("queue-" ^ impl.q_name)
+      (Staged.stage (fun () ->
+           Future.force (o.R.q_enq 1);
+           ignore (Future.force (o.R.q_deq ()))))
+  in
+  let set_test (impl : R.set_impl) =
+    let inst = prefill_set (impl.l_make ()) in
+    let o = inst.R.l_handle () in
+    let k = ref 0 in
+    Test.make ~name:("list-" ^ impl.l_name)
+      (Staged.stage (fun () ->
+           k := (!k + 7919) mod key_range;
+           ignore (Future.force (o.R.l_contains !k))))
+  in
+  let tests =
+    List.map stack_test R.stack_impls
+    @ List.map queue_test R.queue_impls
+    @ List.map set_test R.set_impls
+  in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s/%s" tests in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg_b =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg_b instances grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some (ns :: _) -> Format.printf "  %-24s %10.1f ns/op@." name ns
+      | Some [] | None -> Format.printf "  %-24s (no estimate)@." name)
+    (List.sort compare rows);
+  Format.print_newline ()
+
+(* ------------------------------ main -------------------------------- *)
+
+let parse_int_list s = List.map int_of_string (String.split_on_char ',' s)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [fig4|fig5|fig6|ablation|micro|cas|all]... \
+     [--quick|--full] [--ops N] [--repeats N] [--threads a,b,c] [--slacks \
+     a,b,c] [--csv]";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse cfg cmds = function
+    | [] -> (cfg, cmds)
+    | "--quick" :: rest -> parse quick_config cmds rest
+    | "--full" :: rest -> parse full_config cmds rest
+    | "--csv" :: rest -> parse { cfg with csv = true } cmds rest
+    | "--ops" :: n :: rest -> parse { cfg with ops = int_of_string n } cmds rest
+    | "--repeats" :: n :: rest ->
+        parse { cfg with repeats = int_of_string n } cmds rest
+    | "--threads" :: l :: rest ->
+        parse { cfg with threads = parse_int_list l } cmds rest
+    | "--slacks" :: l :: rest ->
+        parse { cfg with slacks = parse_int_list l } cmds rest
+    | cmd :: rest
+      when List.mem cmd
+             [ "fig4"; "fig5"; "fig6"; "ablation"; "micro"; "cas"; "extra";
+               "all" ]
+      ->
+        parse cfg (cmd :: cmds) rest
+    | _ -> usage ()
+  in
+  (* With no arguments at all, run everything at smoke-run sizes so the
+     default invocation finishes in minutes; pass explicit subcommands
+     (and --ops/--repeats or --full) for publication-grade runs, as
+     recorded under results/. *)
+  let cfg, cmds =
+    match args with
+    | [] -> (quick_config, [ "all" ])
+    | _ ->
+        let cfg, cmds = parse default_config [] args in
+        (cfg, if cmds = [] then [ "all" ] else List.rev cmds)
+  in
+  let run = function
+    | "fig4" -> fig4 cfg
+    | "fig5" -> fig5 cfg
+    | "fig6" -> fig6 cfg
+    | "ablation" -> ablation cfg
+    | "micro" -> micro ()
+    | "cas" -> cas_experiment cfg
+    | "extra" -> extra cfg
+    | "all" ->
+        fig4 cfg;
+        fig5 cfg;
+        fig6 cfg;
+        ablation cfg;
+        cas_experiment cfg;
+        extra cfg;
+        micro ()
+    | _ -> usage ()
+  in
+  List.iter run cmds

@@ -1,0 +1,225 @@
+(* flbench — command-line driver for single experiments.
+
+   The bench/main.exe harness regenerates the paper's figures wholesale;
+   this tool runs one configuration at a time, which is handier for
+   exploration and scripting:
+
+     flbench list
+     flbench run --structure stack --impl weak --threads 4 --slack 20
+     flbench check --structure queue --impl medium --rounds 20
+*)
+
+module Future = Futures.Future
+module R = Fl.Registry
+open Cmdliner
+
+let structures = [ "stack"; "queue"; "list" ]
+
+let impl_names = List.map (fun i -> i.R.s_name) R.stack_impls
+
+let set_impl_names = List.map (fun i -> i.R.l_name) R.set_impls
+
+let all_impl_names =
+  List.sort_uniq compare (impl_names @ set_impl_names)
+
+(* ------------------------------- list ------------------------------- *)
+
+let list_cmd =
+  let doc = "List available structures and implementations." in
+  let run () =
+    print_endline "structures:      stack queue list";
+    print_endline
+      ("implementations: " ^ String.concat " " impl_names
+     ^ " (+ txn for list)");
+    print_endline
+      "conditions:      lockfree/strong = strong-FL, medium = medium-FL, \
+       weak = weak-FL"
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ------------------------------- run -------------------------------- *)
+
+let structure_arg =
+  let doc = "Data structure: stack, queue or list." in
+  Arg.(
+    required
+    & opt (some (enum (List.map (fun s -> (s, s)) structures))) None
+    & info [ "s"; "structure" ] ~docv:"STRUCT" ~doc)
+
+let impl_arg =
+  let doc =
+    "Implementation: lockfree, flatcomb, weak, medium or strong — plus \
+     elim (stacks only) and txn (lists only)."
+  in
+  Arg.(
+    required
+    & opt (some (enum (List.map (fun s -> (s, s)) all_impl_names))) None
+    & info [ "i"; "impl" ] ~docv:"IMPL" ~doc)
+
+let threads_arg =
+  Arg.(value & opt int 2 & info [ "t"; "threads" ] ~docv:"N" ~doc:"Domains.")
+
+let ops_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "n"; "ops" ] ~docv:"N" ~doc:"Operations per thread.")
+
+let slack_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "x"; "slack" ] ~docv:"X"
+        ~doc:"Futures allowed outstanding before forcing them all.")
+
+let repeats_arg =
+  Arg.(value & opt int 3 & info [ "r"; "repeats" ] ~docv:"N" ~doc:"Repeats.")
+
+let measure_stack impl ~threads ~ops ~slack ~repeats =
+  Workload.Runner.run ~threads ~repeats ~ops_per_thread:ops
+    ~setup:impl.R.s_make
+    ~worker:(fun inst ~thread ~ops ->
+      let o = inst.R.s_handle () in
+      let rng = Workload.Rng.create ~seed:1 ~stream:thread in
+      let sl = Fl.Slack.create slack in
+      for _ = 1 to ops do
+        match Workload.Distribution.stack_op rng with
+        | Workload.Distribution.Push v ->
+            let f = o.R.s_push v in
+            Fl.Slack.note sl (fun () -> Future.force f)
+        | Workload.Distribution.Pop ->
+            let f = o.R.s_pop () in
+            Fl.Slack.note sl (fun () -> ignore (Future.force f))
+      done;
+      Fl.Slack.drain sl;
+      o.R.s_flush ())
+    ~cas_total:(fun i -> i.R.s_cas_count ())
+    ~teardown:(fun i -> i.R.s_drain ())
+    ()
+
+let measure_queue impl ~threads ~ops ~slack ~repeats =
+  Workload.Runner.run ~threads ~repeats ~ops_per_thread:ops
+    ~setup:impl.R.q_make
+    ~worker:(fun inst ~thread ~ops ->
+      let o = inst.R.q_handle () in
+      let rng = Workload.Rng.create ~seed:1 ~stream:thread in
+      let sl = Fl.Slack.create slack in
+      for _ = 1 to ops do
+        match Workload.Distribution.queue_op rng with
+        | Workload.Distribution.Enq v ->
+            let f = o.R.q_enq v in
+            Fl.Slack.note sl (fun () -> Future.force f)
+        | Workload.Distribution.Deq ->
+            let f = o.R.q_deq () in
+            Fl.Slack.note sl (fun () -> ignore (Future.force f))
+      done;
+      Fl.Slack.drain sl;
+      o.R.q_flush ())
+    ~cas_total:(fun i -> i.R.q_cas_count ())
+    ~teardown:(fun i -> i.R.q_drain ())
+    ()
+
+let measure_list impl ~threads ~ops ~slack ~repeats =
+  let key_range = Workload.Distribution.default_key_range in
+  Workload.Runner.run ~threads ~repeats ~ops_per_thread:ops
+    ~setup:(fun () ->
+      let inst = impl.R.l_make () in
+      let o = inst.R.l_handle () in
+      (* Insert in ascending order so every implementation starts from the
+         same node layout; combining-based implementations would otherwise
+         get a cache-locality head start from their own bulk prefill. *)
+      let keys =
+        List.sort compare
+          (Workload.Distribution.initial_keys ~key_range ~seed:2014 ())
+      in
+      let fs = List.map (fun k -> o.R.l_insert k) keys in
+      o.R.l_flush ();
+      inst.R.l_drain ();
+      List.iter (fun f -> ignore (Future.force f)) fs;
+      inst)
+    ~worker:(fun inst ~thread ~ops ->
+      let o = inst.R.l_handle () in
+      let rng = Workload.Rng.create ~seed:1 ~stream:thread in
+      let sl = Fl.Slack.create slack in
+      for _ = 1 to ops do
+        let note f = Fl.Slack.note sl (fun () -> ignore (Future.force f)) in
+        match Workload.Distribution.list_op ~key_range rng with
+        | Workload.Distribution.Insert k -> note (o.R.l_insert k)
+        | Workload.Distribution.Remove k -> note (o.R.l_remove k)
+        | Workload.Distribution.Contains k -> note (o.R.l_contains k)
+      done;
+      Fl.Slack.drain sl;
+      o.R.l_flush ())
+    ~cas_total:(fun i -> i.R.l_cas_count ())
+    ~teardown:(fun i -> i.R.l_drain ())
+    ()
+
+let run_cmd =
+  let doc = "Run one benchmark configuration and print the measurement." in
+  let run structure impl threads ops slack repeats =
+    let m =
+      try
+        match structure with
+      | "stack" ->
+          measure_stack (R.find_stack impl) ~threads ~ops ~slack ~repeats
+      | "queue" ->
+          measure_queue (R.find_queue impl) ~threads ~ops ~slack ~repeats
+        | "list" ->
+            measure_list (R.find_set impl) ~threads ~ops ~slack ~repeats
+        | _ -> assert false
+      with Not_found ->
+        Printf.eprintf "error: %s has no %s implementation\n" structure impl;
+        exit 2
+    in
+    Printf.printf
+      "%s/%s threads=%d ops=%d slack=%d: %s mean (+/- %s), %.0f ops/s, %.2f \
+       CAS/op\n"
+      structure impl threads ops slack
+      (Workload.Report.seconds m.Workload.Runner.seconds)
+      (Workload.Report.seconds m.Workload.Runner.std_dev)
+      m.Workload.Runner.throughput m.Workload.Runner.cas_per_op
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ structure_arg $ impl_arg $ threads_arg $ ops_arg $ slack_arg
+      $ repeats_arg)
+
+(* ------------------------------ check ------------------------------- *)
+
+let rounds_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "rounds" ] ~docv:"N" ~doc:"Recorded rounds to verify.")
+
+let check_cmd =
+  let doc =
+    "Record concurrent executions and verify them against the \
+     implementation's futures-linearizability condition."
+  in
+  let run structure impl rounds =
+    let outcome =
+      try
+        match structure with
+        | "stack" -> Conformance.check_stack ~rounds (R.find_stack impl)
+        | "queue" -> Conformance.check_queue ~rounds (R.find_queue impl)
+        | "list" -> Conformance.check_set ~rounds (R.find_set impl)
+        | _ -> assert false
+      with Not_found ->
+        Printf.eprintf "error: %s has no %s implementation\n" structure impl;
+        exit 2
+    in
+    match outcome.Conformance.first_failure with
+    | None ->
+        Printf.printf "%s/%s: %d rounds, all %s-FL\n" structure impl rounds
+          (Lin.Order.condition_name (Conformance.claimed_condition impl))
+    | Some history ->
+        print_endline history;
+        Printf.printf "%s/%s: %d/%d rounds FAILED\n" structure impl
+          outcome.Conformance.violations rounds;
+        exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ structure_arg $ impl_arg $ rounds_arg)
+
+let () =
+  let doc = "Futures-based shared data structures (PODC 2014 reproduction)." in
+  let info = Cmd.info "flbench" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; check_cmd ]))

@@ -1,0 +1,90 @@
+(* A shared memoization cache on the weak-FL map (extension).
+
+   Run with:  dune exec examples/memo_cache.exe -- [workers] [requests]
+
+   Several domains answer "requests" for an expensive pure function.
+   Each worker batches its cache lookups with a slack window: misses are
+   computed and inserted (bind-once semantics makes concurrent inserts of
+   the same key race harmlessly — one binding wins, the rest observe
+   [false]). The batch of lookups costs a single traversal of the shared
+   list per flush. *)
+
+module Future = Futures.Future
+
+module Int_key = struct
+  type t = int
+
+  let compare = Int.compare
+end
+
+module WM = Fl.Weak_map.Make (Int_key)
+module KV = Lockfree.Harris_kv.Make (Int_key)
+
+(* The "expensive" function: a silly iterated hash, ~microseconds. *)
+let expensive n =
+  let x = ref n in
+  for _ = 1 to 5_000 do
+    x := (!x * 1103515245) + 12345
+  done;
+  !x land 0xFFFF
+
+let () =
+  let arg n default =
+    if Array.length Sys.argv > n then int_of_string Sys.argv.(n) else default
+  in
+  let workers = arg 1 4 in
+  let requests = arg 2 5_000 in
+  let key_space = 200 in
+  let cache = WM.create () in
+  let computed = Atomic.make 0 in
+  let served = Atomic.make 0 in
+
+  let worker i () =
+    let h = WM.handle cache in
+    let rng = Workload.Rng.create ~seed:2014 ~stream:i in
+    let sl = Fl.Slack.create 16 in
+    for _ = 1 to requests do
+      let key = Workload.Rng.below rng key_space in
+      let lookup = WM.find h key in
+      Fl.Slack.note sl (fun () ->
+          match Future.force lookup with
+          | Some _ -> Atomic.incr served
+          | None ->
+              (* Miss: compute and publish. The insert joins the next
+                 batch; we do not even need to force it. *)
+              let v = expensive key in
+              Atomic.incr computed;
+              Atomic.incr served;
+              ignore (WM.insert h key v))
+    done;
+    Fl.Slack.drain sl;
+    WM.flush h
+  in
+
+  let t0 = Unix.gettimeofday () in
+  let ds = List.init workers (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  let dt = Unix.gettimeofday () -. t0 in
+
+  let total = workers * requests in
+  Printf.printf "%d requests served in %.3fs (%.0f req/s)\n"
+    (Atomic.get served) dt
+    (float_of_int total /. dt);
+  Printf.printf "distinct keys cached: %d / %d\n"
+    (KV.size (WM.shared cache))
+    key_space;
+  Printf.printf
+    "computations: %d (duplicates from racing misses: %d, %.1f%%)\n"
+    (Atomic.get computed)
+    (Atomic.get computed - KV.size (WM.shared cache))
+    (100.0
+    *. float_of_int (Atomic.get computed - KV.size (WM.shared cache))
+    /. float_of_int (max 1 (Atomic.get computed)));
+  (* Sanity: every cached value matches the function. *)
+  let ok =
+    List.for_all
+      (fun (k, v) -> v = expensive k)
+      (KV.bindings (WM.shared cache))
+  in
+  Printf.printf "cache consistent: %b\n" ok;
+  exit (if ok && Atomic.get served = total then 0 else 1)

@@ -1,0 +1,85 @@
+(* A publication record. [request] is written by the owner and consumed
+   (reset to None) by the combiner; [response] is written by the combiner
+   and consumed by the owner. The owner publishes a new request only
+   after consuming the previous response, so a record holds at most one
+   in-flight operation. *)
+type ('op, 'res) record = {
+  request : 'op option Atomic.t;
+  response : 'res option Atomic.t;
+  mutable next : ('op, 'res) record option; (* immutable once published *)
+}
+
+type ('op, 'res) t = {
+  apply_op : 'op -> 'res;
+  lock : Sync.Spinlock.t;
+  publication : ('op, 'res) record option Atomic.t;
+  passes : int Atomic.t;
+}
+
+type ('op, 'res) handle = { owner : ('op, 'res) t; record : ('op, 'res) record }
+
+let create ~apply =
+  {
+    apply_op = apply;
+    lock = Sync.Spinlock.create ();
+    publication = Atomic.make None;
+    passes = Atomic.make 0;
+  }
+
+let handle owner =
+  let record =
+    { request = Atomic.make None; response = Atomic.make None; next = None }
+  in
+  let rec link () =
+    let head = Atomic.get owner.publication in
+    record.next <- head;
+    if not (Atomic.compare_and_set owner.publication head (Some record)) then
+      link ()
+  in
+  link ();
+  { owner; record }
+
+(* Scan the whole publication list, answering every pending request. Runs
+   with the combiner lock held. *)
+let combine t =
+  Atomic.incr t.passes;
+  let rec scan = function
+    | None -> ()
+    | Some r ->
+        (match Atomic.get r.request with
+        | Some op ->
+            let result = t.apply_op op in
+            Atomic.set r.request None;
+            Atomic.set r.response (Some result)
+        | None -> ());
+        scan r.next
+  in
+  scan (Atomic.get t.publication)
+
+let apply h op =
+  let t = h.owner in
+  Atomic.set h.record.request (Some op);
+  let b = Sync.Backoff.create () in
+  let rec wait () =
+    match Atomic.get h.record.response with
+    | Some result ->
+        Atomic.set h.record.response None;
+        result
+    | None ->
+        if Sync.Spinlock.try_acquire t.lock then begin
+          (* We are the combiner: everybody's requests, including our own
+             (published above, before the lock attempt), are answered in
+             this pass. *)
+          Fun.protect
+            ~finally:(fun () -> Sync.Spinlock.release t.lock)
+            (fun () -> combine t);
+          wait ()
+        end
+        else begin
+          Sync.Backoff.once b;
+          wait ()
+        end
+  in
+  wait ()
+
+let combiner_passes t = Atomic.get t.passes

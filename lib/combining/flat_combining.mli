@@ -1,0 +1,37 @@
+(** Flat combining (Hendler, Incze, Shavit & Tzafrir, SPAA 2010).
+
+    The closest published relative of the paper's futures approach (cited
+    in its §7): threads {e publish} operation requests in per-thread
+    records linked into a shared publication list; whichever thread
+    acquires the combiner lock scans the list and applies {e everyone's}
+    pending requests to a sequential structure, writing results back.
+    Like the strong-FL engine this serializes evaluation behind one lock
+    and gets delegation for free; unlike futures there is no slack — every
+    caller blocks until its own request is answered, so combining happens
+    across threads, never across one thread's consecutive operations.
+
+    Implemented as an additional baseline so the futures structures can be
+    benchmarked against the technique the paper positions itself next to.
+    Operations are linearizable (they take effect between invocation and
+    return, under the combiner lock).
+
+    One {!handle} per domain; a handle has at most one request in flight. *)
+
+type ('op, 'res) t
+
+val create : apply:('op -> 'res) -> ('op, 'res) t
+(** [create ~apply] wraps a sequential structure: [apply] is executed only
+    by the lock-holding combiner, so it needs no synchronization of its
+    own. *)
+
+type ('op, 'res) handle
+
+val handle : ('op, 'res) t -> ('op, 'res) handle
+(** Registers a publication record; call once per domain. *)
+
+val apply : ('op, 'res) handle -> 'op -> 'res
+(** Publish the request and wait: either some combiner answers it, or
+    this thread wins the lock and combines everybody's requests itself. *)
+
+val combiner_passes : ('op, 'res) t -> int
+(** Number of combining passes executed (diagnostics). *)

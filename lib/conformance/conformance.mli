@@ -1,0 +1,53 @@
+(** Recorded-execution conformance testing.
+
+    Runs a small randomized multi-domain workload against a registry
+    implementation, recording every operation's four timestamps
+    ({!Lin.History}), then checks the merged history against a
+    futures-linearizability condition with the {!Lin.Checker} search.
+
+    Histories are kept small (a few operations per thread) so the checker
+    is exact; violations come with a printable history. Used by the
+    integration test suite and by [flbench check]. *)
+
+type outcome = {
+  rounds : int;
+  violations : int;
+  first_failure : string option;
+      (** Pretty-printed history of the first failing round, if any. *)
+}
+
+val claimed_condition : string -> Lin.Order.condition
+(** The condition each registry implementation claims: [lockfree],
+    [flatcomb] and [strong] are strong-FL, [medium] and [txn] are
+    medium-FL, [weak] is weak-FL. Raises [Invalid_argument] for unknown
+    names. *)
+
+val check_stack :
+  ?threads:int ->
+  ?ops_per_thread:int ->
+  ?condition:Lin.Order.condition ->
+  rounds:int ->
+  Fl.Registry.stack_impl ->
+  outcome
+
+val check_queue :
+  ?threads:int ->
+  ?ops_per_thread:int ->
+  ?condition:Lin.Order.condition ->
+  rounds:int ->
+  Fl.Registry.queue_impl ->
+  outcome
+
+val check_set :
+  ?threads:int ->
+  ?ops_per_thread:int ->
+  ?key_range:int ->
+  ?condition:Lin.Order.condition ->
+  rounds:int ->
+  Fl.Registry.set_impl ->
+  outcome
+(** Each round spawns [threads] domains (default 3) performing
+    [ops_per_thread] operations (default 5) with randomized slack, records
+    the execution, and checks it against [condition] (default: the
+    implementation's claimed condition). [key_range] (default 4) keeps set
+    operations conflicting. *)

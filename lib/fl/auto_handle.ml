@@ -1,0 +1,21 @@
+(* Each wrapper owns a DLS key holding this domain's handle for this
+   particular wrapper. Different wrappers get different keys, so several
+   structures can be wrapped independently. *)
+type ('s, 'h) t = {
+  structure : 's;
+  make : 's -> 'h;
+  key : 'h option Domain.DLS.key;
+}
+
+let create structure ~make =
+  { structure; make; key = Domain.DLS.new_key (fun () -> None) }
+
+let get t =
+  match Domain.DLS.get t.key with
+  | Some h -> h
+  | None ->
+      let h = t.make t.structure in
+      Domain.DLS.set t.key (Some h);
+      h
+
+let structure t = t.structure

@@ -1,0 +1,30 @@
+(** Per-domain handles without plumbing.
+
+    The weak/medium-FL structures require one handle per domain (the
+    paper's thread-local pending lists). When threading a handle through
+    the code is inconvenient — e.g. operations issued from arbitrary
+    library callbacks — this wrapper lazily creates and caches one handle
+    per domain in domain-local storage.
+
+    {[
+      let stack = Fl.Weak_stack.create ()
+      let auto = Fl.Auto_handle.create stack ~make:Fl.Weak_stack.handle
+
+      (* from any domain: *)
+      let f = Fl.Weak_stack.push (Fl.Auto_handle.get auto) 42
+    ]}
+
+    Note: handles cache pending operations, so a domain that stops using
+    the structure should [Fl.*.flush] its handle first (or force its
+    futures); this wrapper cannot do that for domains it no longer sees. *)
+
+type ('s, 'h) t
+
+val create : 's -> make:('s -> 'h) -> ('s, 'h) t
+(** [create s ~make] wraps structure [s]; [make s] is called at most once
+    per domain, on first [get] from that domain. *)
+
+val get : ('s, 'h) t -> 'h
+(** The calling domain's handle (created on first use). *)
+
+val structure : ('s, 'h) t -> 's

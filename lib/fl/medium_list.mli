@@ -1,0 +1,32 @@
+(** Medium-FL linked-list set (Kogan & Herlihy §4.3).
+
+    The medium condition forces a thread's operations on the list to take
+    effect in invocation order, so the local pending list is kept in
+    temporal order and applied oldest-first. The optimization is in the
+    search: Harris-list operations search from the head, but when the next
+    pending operation's key is [>=] the previous one's, the search resumes
+    from the position where the previous operation was applied; otherwise
+    it restarts from the head. Forcing a future [F] applies pending
+    operations until [F] is fulfilled; later operations stay pending. *)
+
+module Make (K : Lockfree.Harris_list.KEY) : sig
+  type t
+  type handle
+
+  val create : ?resume_hint:bool -> unit -> t
+  (** [resume_hint] (default [true]) enables the search-resume
+      optimization; [false] always searches from the head (ablation B in
+      DESIGN.md). *)
+
+  val handle : t -> handle
+
+  val insert : handle -> K.t -> bool Futures.Future.t
+  val remove : handle -> K.t -> bool Futures.Future.t
+  val contains : handle -> K.t -> bool Futures.Future.t
+
+  val flush : handle -> unit
+  (** Apply {e all} pending operations, oldest first. *)
+
+  val pending_count : handle -> int
+  val shared : t -> Lockfree.Harris_list.Make(K).t
+end

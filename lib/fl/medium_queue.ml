@@ -1,0 +1,94 @@
+module Future = Futures.Future
+
+type 'a op = Enq of 'a * unit Future.t | Deq of 'a option Future.t
+
+type 'a t = { queue : 'a Lockfree.Ms_queue.t }
+
+type 'a handle = {
+  owner : 'a t;
+  mutable ops : 'a op list; (* newest first *)
+  mutable n_ops : int;
+}
+
+let create () = { queue = Lockfree.Ms_queue.create () }
+let shared t = t.queue
+
+let handle owner = { owner; ops = []; n_ops = 0 }
+
+let pending_count h = h.n_ops
+
+let same_kind a b =
+  match (a, b) with
+  | Enq _, Enq _ | Deq _, Deq _ -> true
+  | Enq _, Deq _ | Deq _, Enq _ -> false
+
+(* Split the maximal prefix run of same-type operations. *)
+let split_run = function
+  | [] -> ([], [])
+  | first :: _ as ops ->
+      let rec loop acc = function
+        | op :: rest when same_kind op first -> loop (op :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      loop [] ops
+
+let apply_run owner run =
+  match run with
+  | [] -> ()
+  | Enq _ :: _ ->
+      let pairs =
+        List.map (function Enq (x, f) -> (x, f) | Deq _ -> assert false) run
+      in
+      Lockfree.Ms_queue.enqueue_list owner.queue (List.map fst pairs);
+      List.iter (fun (_, f) -> Future.fulfil f ()) pairs
+  | Deq _ :: _ ->
+      let futures =
+        List.map (function Deq f -> f | Enq _ -> assert false) run
+      in
+      let values =
+        Lockfree.Ms_queue.dequeue_many owner.queue (List.length futures)
+      in
+      let rec assign fs vs =
+        match (fs, vs) with
+        | [], _ -> ()
+        | f :: fs', v :: vs' ->
+            Future.fulfil f (Some v);
+            assign fs' vs'
+        | f :: fs', [] ->
+            Future.fulfil f None;
+            assign fs' []
+      in
+      assign futures values
+
+(* Apply prefix runs until [stop] (checked between runs) or exhaustion. *)
+let flush_until h stop =
+  let rec go ops =
+    if stop () then ops
+    else
+      match split_run ops with
+      | [], _ -> []
+      | run, rest ->
+          apply_run h.owner run;
+          go rest
+  in
+  let remaining = go (List.rev h.ops) in
+  h.ops <- List.rev remaining;
+  h.n_ops <- List.length remaining
+
+let flush h = flush_until h (fun () -> false)
+
+let enqueue h x =
+  let f = Future.create () in
+  Future.set_evaluator f (fun () ->
+      flush_until h (fun () -> Future.is_ready f));
+  h.ops <- Enq (x, f) :: h.ops;
+  h.n_ops <- h.n_ops + 1;
+  f
+
+let dequeue h =
+  let f = Future.create () in
+  Future.set_evaluator f (fun () ->
+      flush_until h (fun () -> Future.is_ready f));
+  h.ops <- Deq f :: h.ops;
+  h.n_ops <- h.n_ops + 1;
+  f

@@ -1,0 +1,24 @@
+(** Medium-FL queue (Kogan & Herlihy §4.2).
+
+    The thread's pending operations live in a single local list in
+    invocation order. Forcing a future [F] repeatedly removes the maximal
+    prefix run of same-type operations, applies the run to the shared
+    Michael–Scott queue as one combined operation (two CASes for an
+    enqueue run, one for a dequeue run), and stops as soon as [F] is
+    fulfilled — later pending operations stay pending, preserving the
+    per-thread, per-object effect order the medium condition demands. *)
+
+type 'a t
+type 'a handle
+
+val create : unit -> 'a t
+val handle : 'a t -> 'a handle
+
+val enqueue : 'a handle -> 'a -> unit Futures.Future.t
+val dequeue : 'a handle -> 'a option Futures.Future.t
+
+val flush : 'a handle -> unit
+(** Apply {e all} pending operations (not just up to one future). *)
+
+val pending_count : 'a handle -> int
+val shared : 'a t -> 'a Lockfree.Ms_queue.t

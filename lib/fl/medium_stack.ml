@@ -1,0 +1,94 @@
+module Future = Futures.Future
+
+type 'a op = Push of 'a * unit Future.t | Pop of 'a option Future.t
+
+type 'a t = { stack : 'a Lockfree.Treiber_stack.t }
+
+(* Pending operations are kept in invocation order and elimination is
+   decided at FLUSH time, not eagerly at invocation. Eager pairing would
+   fulfil the pop's future immediately, closing its effect window while an
+   older pop is still pending; another thread could then issue and
+   evaluate a push strictly after that window and before the older pop's
+   flush, forcing the cycle
+     pop_old ≺ push ≺ pop_new ≺ other_push ≺ pop_old
+   (program order + interval order + the values observed) — a medium-FL
+   violation. Deferring the pairing to the flush keeps every window open
+   until all of the thread's earlier operations have taken effect. *)
+type 'a handle = {
+  owner : 'a t;
+  mutable ops : 'a op list; (* newest first *)
+  mutable n_ops : int;
+}
+
+let create () = { stack = Lockfree.Treiber_stack.create () }
+let shared t = t.stack
+
+let handle owner = { owner; ops = []; n_ops = 0 }
+
+let pending_count h = h.n_ops
+
+(* Replay the pending list against a buffer of not-yet-applied pushes:
+   a pop cancels the newest buffered push (the adjacent push/pop pair is
+   a no-op on the stack); a pop with no buffered push must read the
+   shared stack — and since its buffer was empty, every surviving push is
+   younger than it, so all shared pops precede all surviving pushes in
+   invocation order. One combined pop and one combined push suffice. *)
+let flush h =
+  match h.ops with
+  | [] -> ()
+  | newest_first ->
+      let ops = List.rev newest_first in
+      h.ops <- [];
+      h.n_ops <- 0;
+      let buffer = ref [] (* unmatched pushes, newest first *) in
+      let shared_pops = ref [] (* newest first *) in
+      List.iter
+        (fun op ->
+          match op with
+          | Push (v, f) -> buffer := (v, f) :: !buffer
+          | Pop f -> (
+              match !buffer with
+              | (v, fp) :: rest ->
+                  buffer := rest;
+                  Future.fulfil fp ();
+                  Future.fulfil f (Some v)
+              | [] -> shared_pops := f :: !shared_pops))
+        ops;
+      (match List.rev !shared_pops with
+      | [] -> ()
+      | oldest_first ->
+          let values =
+            Lockfree.Treiber_stack.pop_many h.owner.stack
+              (List.length oldest_first)
+          in
+          let rec assign pops values =
+            match (pops, values) with
+            | [], _ -> ()
+            | f :: pops', v :: values' ->
+                Future.fulfil f (Some v);
+                assign pops' values'
+            | f :: pops', [] ->
+                Future.fulfil f None;
+                assign pops' []
+          in
+          assign oldest_first values);
+      match List.rev !buffer with
+      | [] -> ()
+      | oldest_first ->
+          Lockfree.Treiber_stack.push_list h.owner.stack
+            (List.map fst oldest_first);
+          List.iter (fun (_, f) -> Future.fulfil f ()) oldest_first
+
+let push h x =
+  let f = Future.create () in
+  Future.set_evaluator f (fun () -> flush h);
+  h.ops <- Push (x, f) :: h.ops;
+  h.n_ops <- h.n_ops + 1;
+  f
+
+let pop h =
+  let f = Future.create () in
+  Future.set_evaluator f (fun () -> flush h);
+  h.ops <- Pop f :: h.ops;
+  h.n_ops <- h.n_ops + 1;
+  f

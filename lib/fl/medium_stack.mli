@@ -1,0 +1,32 @@
+(** Medium-FL stack (Kogan & Herlihy §4.1).
+
+    Medium futures linearizability adds to the weak condition that a
+    thread's operations on the same object take effect in invocation
+    order. Elimination must therefore respect ordering: a [push] can never
+    be paired with an {e earlier} pending [pop] (that pop must see the
+    state before the push), but a [pop] {e can} be paired with the most
+    recent prior unmatched [push] — the adjacent push/pop pair is a no-op
+    on the stack.
+
+    The pairing is decided (and the paired futures fulfilled) at {e flush}
+    time, not eagerly at invocation: fulfilling the pop immediately would
+    close its effect window while the thread's older pops are still
+    pending, and an operation by another thread issued strictly after that
+    window could then be forced between them — an ordering cycle the
+    medium condition forbids (see the implementation comment). At flush,
+    the pops that survive pairing are combined into one multi-node CAS,
+    and the surviving pushes — all younger than every surviving pop —
+    into another. *)
+
+type 'a t
+type 'a handle
+
+val create : unit -> 'a t
+val handle : 'a t -> 'a handle
+
+val push : 'a handle -> 'a -> unit Futures.Future.t
+val pop : 'a handle -> 'a option Futures.Future.t
+
+val flush : 'a handle -> unit
+val pending_count : 'a handle -> int
+val shared : 'a t -> 'a Lockfree.Treiber_stack.t

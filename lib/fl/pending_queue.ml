@@ -1,0 +1,79 @@
+(* Michael–Scott queue where removal is exclusive to the lock holder.
+   [head] points to a dummy node; the logical content is the chain after
+   it, up to the [tail] snapshot taken by [drain]. Because a completed
+   [enqueue] always leaves [tail] at or past its node (it swings the tail
+   itself or a helper already has), the snapshot covers every completed
+   enqueue. *)
+
+type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = {
+  head : 'a node Atomic.t; (* written only by the drainer *)
+  tail : 'a node Atomic.t;
+  casc : Sync.Cas_counter.t;
+}
+
+let make_node v = { value = v; next = Atomic.make None }
+
+let create () =
+  let dummy = make_node None in
+  {
+    head = Atomic.make dummy;
+    tail = Atomic.make dummy;
+    casc = Sync.Cas_counter.create ();
+  }
+
+let counted_cas t cell expected desired =
+  Sync.Cas_counter.incr t.casc;
+  Atomic.compare_and_set cell expected desired
+
+let enqueue t x =
+  let n = make_node (Some x) in
+  let b = Sync.Backoff.create () in
+  let rec loop () =
+    let tl = Atomic.get t.tail in
+    match Atomic.get tl.next with
+    | None ->
+        if counted_cas t tl.next None (Some n) then
+          ignore (counted_cas t t.tail tl n)
+        else begin
+          Sync.Backoff.once b;
+          loop ()
+        end
+    | Some nxt ->
+        ignore (counted_cas t t.tail tl nxt);
+        loop ()
+  in
+  loop ()
+
+let drain t =
+  let hd = Atomic.get t.head in
+  let last = Atomic.get t.tail in
+  if hd == last then []
+  else begin
+    let rec collect node acc =
+      let next =
+        match Atomic.get node.next with
+        | Some n -> n
+        | None ->
+            (* Unreachable: [last] is linked after [hd]. *)
+            assert false
+      in
+      let acc =
+        match next.value with Some v -> v :: acc | None -> assert false
+      in
+      next.value <- None;
+      if next == last then acc else collect next acc
+    in
+    let rev_ops = collect hd [] in
+    (* Only the drainer writes [head]; enqueuers never read it. *)
+    Atomic.set t.head last;
+    List.rev rev_ops
+  end
+
+let is_empty t =
+  let hd = Atomic.get t.head in
+  Atomic.get hd.next = None
+
+let cas_count t = Sync.Cas_counter.total t.casc
+let reset_cas_count t = Sync.Cas_counter.reset t.casc

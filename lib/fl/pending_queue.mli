@@ -1,0 +1,31 @@
+(** Shared queue of pending operations for strong-FL structures
+    (Kogan & Herlihy §4).
+
+    Invoking an operation on a strong-FL object enqueues a descriptor here
+    in a lock-free manner (Michael–Scott protocol) and immediately returns
+    the future. Evaluation is serialized by the structure's lock: the lock
+    holder calls [drain], which records the current last completely
+    enqueued operation, returns every operation from the head up to it
+    (oldest first), and swings the head past them — so the time the lock
+    is held is bounded even while other threads keep enqueueing.
+
+    Concurrency contract: [enqueue] from any thread; [drain] only while
+    holding the structure's evaluation lock. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val enqueue : 'a t -> 'a -> unit
+(** Lock-free; when [enqueue] returns, the element is guaranteed to be
+    covered by any subsequent [drain]. *)
+
+val drain : 'a t -> 'a list
+(** All operations enqueued so far, oldest first; removes them. Must be
+    called with the evaluation lock held (single drainer). *)
+
+val is_empty : 'a t -> bool
+(** Snapshot; exact only in quiescent states. *)
+
+val cas_count : 'a t -> int
+val reset_cas_count : 'a t -> unit

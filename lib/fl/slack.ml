@@ -1,0 +1,36 @@
+type order = Newest_first | Oldest_first
+
+type t = {
+  slack : int;
+  order : order;
+  mutable thunks : (unit -> unit) list; (* newest first *)
+  mutable count : int;
+}
+
+let create ?(order = Newest_first) slack =
+  if slack < 1 then invalid_arg "Slack.create: slack must be >= 1";
+  { slack; order; thunks = []; count = 0 }
+
+let slack t = t.slack
+let pending t = t.count
+
+(* Forcing newest first, the first force reaches the deepest pending
+   operation, so implementations that evaluate "until F is ready" (the
+   medium-FL queue and list) resolve the whole window in one combined
+   flush — the remaining forces find their futures already fulfilled.
+   Forcing oldest-first degrades every evaluation to a single operation
+   and disables the intra-evaluation optimizations of §4 (ablation D). *)
+let drain t =
+  let thunks =
+    match t.order with
+    | Newest_first -> t.thunks
+    | Oldest_first -> List.rev t.thunks
+  in
+  t.thunks <- [];
+  t.count <- 0;
+  List.iter (fun force -> force ()) thunks
+
+let note t force =
+  t.thunks <- force :: t.thunks;
+  t.count <- t.count + 1;
+  if t.count >= t.slack then drain t

@@ -1,0 +1,41 @@
+(** Slack policy: how many operations may be left pending before a thread
+    evaluates their futures (Kogan & Herlihy §5).
+
+    The paper's benchmark issues operations returning futures and, after
+    every [X] (= slack) of them, forces all outstanding futures before
+    continuing. This helper encapsulates that policy for benchmarks and
+    applications: register each returned future (as a force thunk) with
+    [note]; every [slack]-th registration forces the whole batch, oldest
+    first. A [t] is owned by a single thread. *)
+
+type t
+
+type order = Newest_first | Oldest_first
+
+val create : ?order:order -> int -> t
+(** [create slack]. Raises [Invalid_argument] if [slack < 1].
+
+    [order] (default [Newest_first]) is the order in which a full window
+    is forced. Newest-first means the very first force reaches the most
+    recent future, so implementations that evaluate "until F is ready"
+    (the medium-FL queue and list) resolve the whole window in one
+    combined flush. Oldest-first degrades every evaluation to a single
+    operation — it exists as ablation D in DESIGN.md, quantifying how
+    much the evaluation schedule the paper leaves implicit matters. *)
+
+val slack : t -> int
+
+val note : t -> (unit -> unit) -> unit
+(** [note t force] registers an outstanding future's force thunk. When the
+    number of outstanding futures reaches the slack bound, all of them are
+    forced — newest first, so that the very first force flushes the whole
+    window and the medium-FL structures' evaluate-until-ready combining
+    engages — and the window restarts. With slack 1 this degenerates to
+    forcing every future immediately, the paper's direct overhead
+    comparison against lock-free structures. *)
+
+val pending : t -> int
+(** Number of currently outstanding futures. *)
+
+val drain : t -> unit
+(** Force all outstanding futures now (newest first, see {!note}). *)

@@ -1,0 +1,31 @@
+(** Strong-FL linked-list set (Kogan & Herlihy §4.3).
+
+    Invocations enqueue descriptors on the shared pending queue; the
+    evaluation lock holder drains a batch, {e stable-sorts} it by key —
+    preserving the linearization (queue) order of operations on equal keys
+    while letting operations on distinct keys, which commute, be reordered
+    — and applies the whole batch to a sequential sorted list in one
+    traversal via a monotone cursor. This is the {e delegation} pattern:
+    one thread combines operations produced by many, who meanwhile keep
+    producing; Figure 6 shows it beating the lock-free list once slack
+    grows. *)
+
+module Make (K : Lockfree.Harris_list.KEY) : sig
+  type t
+
+  val create : ?sort_batch:bool -> unit -> t
+  (** [sort_batch] (default [true]): [false] applies batches in temporal
+      order, one full search each (ablation C in DESIGN.md). *)
+
+  val insert : t -> K.t -> bool Futures.Future.t
+  val remove : t -> K.t -> bool Futures.Future.t
+  val contains : t -> K.t -> bool Futures.Future.t
+
+  val drain : t -> unit
+  val length : t -> int
+
+  val to_list : t -> K.t list
+  (** Ascending; meaningful when quiescent and drained. *)
+
+  val pending_cas_count : t -> int
+end

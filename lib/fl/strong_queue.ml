@@ -1,0 +1,38 @@
+module Future = Futures.Future
+
+type 'a op = Enq of 'a * unit Future.t | Deq of 'a option Future.t
+
+type 'a t = { seq : 'a Seqds.Seq_queue.t; core : 'a op Strong_core.t }
+
+let apply_batch seq ops =
+  let apply = function
+    | Enq (x, f) ->
+        Seqds.Seq_queue.enqueue seq x;
+        Future.fulfil f ()
+    | Deq f -> Future.fulfil f (Seqds.Seq_queue.dequeue seq)
+  in
+  List.iter apply ops
+
+let create () =
+  let seq = Seqds.Seq_queue.create () in
+  { seq; core = Strong_core.create ~apply_batch:(apply_batch seq) }
+
+let submit_op t op f =
+  Strong_core.submit t.core op;
+  Future.set_evaluator f (fun () ->
+      Strong_core.eval t.core ~is_ready:(fun () -> Future.is_ready f))
+
+let enqueue t x =
+  let f = Future.create () in
+  submit_op t (Enq (x, f)) f;
+  f
+
+let dequeue t =
+  let f = Future.create () in
+  submit_op t (Deq f) f;
+  f
+
+let drain t = Strong_core.drain_now t.core
+let length t = Seqds.Seq_queue.length t.seq
+let to_list t = Seqds.Seq_queue.to_list t.seq
+let pending_cas_count t = Strong_core.pending_cas_count t.core

@@ -1,0 +1,24 @@
+(** Strong-FL queue (Kogan & Herlihy §4.2).
+
+    Invocation enqueues an operation descriptor on the shared pending
+    queue; the evaluation lock holder drains a bounded batch and applies
+    it, in order, to a sequential queue instance. FIFO semantics permits
+    no elimination, so the batch is applied directly (runs of equal-type
+    operations are applied with the sequential bulk primitives). The paper
+    notes this version has an inherent bottleneck — all threads contend on
+    the pending queue's tail — which is exactly the behaviour Figure 5
+    shows. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val enqueue : 'a t -> 'a -> unit Futures.Future.t
+val dequeue : 'a t -> 'a option Futures.Future.t
+
+val drain : 'a t -> unit
+val length : 'a t -> int
+val to_list : 'a t -> 'a list
+(** Oldest-first; meaningful when quiescent and drained. *)
+
+val pending_cas_count : 'a t -> int

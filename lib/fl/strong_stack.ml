@@ -1,0 +1,51 @@
+module Future = Futures.Future
+
+type 'a op = Push of 'a * unit Future.t | Pop of 'a option Future.t
+
+type 'a t = { seq : 'a Seqds.Seq_stack.t; core : 'a op Strong_core.t }
+
+(* Apply a drained batch in its queue (= linearization) order. Pushes are
+   buffered in a virtual stack; a pop takes the newest buffered value when
+   one exists (elimination with the nearest preceding unmatched push —
+   net effect on the stack is nil) and otherwise pops the sequential
+   instance. The surviving buffered pushes are applied at the end with one
+   bulk operation. The observable results are exactly those of applying
+   the batch one by one. *)
+let apply_batch seq ops =
+  let buffered = ref [] (* newest first *) in
+  let apply = function
+    | Push (x, f) ->
+        buffered := x :: !buffered;
+        Future.fulfil f ()
+    | Pop f -> (
+        match !buffered with
+        | x :: rest ->
+            buffered := rest;
+            Future.fulfil f (Some x)
+        | [] -> Future.fulfil f (Seqds.Seq_stack.pop seq))
+  in
+  List.iter apply ops;
+  Seqds.Seq_stack.push_list seq (List.rev !buffered)
+
+let create () =
+  let seq = Seqds.Seq_stack.create () in
+  { seq; core = Strong_core.create ~apply_batch:(apply_batch seq) }
+
+let push t x =
+  let f = Future.create () in
+  Strong_core.submit t.core (Push (x, f));
+  Future.set_evaluator f (fun () ->
+      Strong_core.eval t.core ~is_ready:(fun () -> Future.is_ready f));
+  f
+
+let pop t =
+  let f = Future.create () in
+  Strong_core.submit t.core (Pop f);
+  Future.set_evaluator f (fun () ->
+      Strong_core.eval t.core ~is_ready:(fun () -> Future.is_ready f));
+  f
+
+let drain t = Strong_core.drain_now t.core
+let length t = Seqds.Seq_stack.length t.seq
+let to_list t = Seqds.Seq_stack.to_list t.seq
+let pending_cas_count t = Strong_core.pending_cas_count t.core

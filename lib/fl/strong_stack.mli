@@ -1,0 +1,32 @@
+(** Strong-FL stack (Kogan & Herlihy §4.1).
+
+    Every operation appears to take effect before its future is returned:
+    invocation enqueues an operation descriptor on the shared lock-free
+    pending queue (fixing the linearization order), and evaluation —
+    serialized by a lock — drains a bounded batch, {e eliminates} each pop
+    against the nearest preceding unmatched push in the batch, and applies
+    the few surviving operations to a sequential stack instance.
+
+    No handles: the per-invocation state is global, so any thread may use
+    the structure directly, and any thread's evaluation may fulfil another
+    thread's futures ({e delegation}). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit Futures.Future.t
+val pop : 'a t -> 'a option Futures.Future.t
+
+val drain : 'a t -> unit
+(** Evaluate all currently pending operations (for quiescent inspection). *)
+
+val length : 'a t -> int
+(** Length of the sequential instance; meaningful when quiescent and
+    drained. *)
+
+val to_list : 'a t -> 'a list
+(** Top-first contents; meaningful when quiescent and drained. *)
+
+val pending_cas_count : 'a t -> int
+(** CAS attempts on the shared pending-operations queue. *)

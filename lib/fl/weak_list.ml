@@ -1,0 +1,88 @@
+module Future = Futures.Future
+
+module Make (K : Lockfree.Harris_list.KEY) = struct
+  module L = Lockfree.Harris_list.Make (K)
+  module KMap = Map.Make (K)
+
+  type kind = Insert | Remove | Contains
+
+  type op = { kind : kind; future : bool Future.t }
+
+  type t = { list : L.t }
+
+  type handle = {
+    owner : t;
+    mutable pending : op list KMap.t; (* per key, newest first *)
+    mutable count : int;
+  }
+
+  let create () = { list = L.create () }
+  let shared t = t.list
+
+  let handle owner = { owner; pending = KMap.empty; count = 0 }
+
+  let pending_count h = h.count
+
+  (* Fulfil one key's pending operations given the presence [p] observed
+     at their common linearization instant, replaying them in invocation
+     order. *)
+  let simulate p ops =
+    let step s op =
+      match op.kind with
+      | Insert ->
+          Future.fulfil op.future (not s);
+          true
+      | Remove ->
+          Future.fulfil op.future s;
+          false
+      | Contains ->
+          Future.fulfil op.future s;
+          s
+    in
+    ignore (List.fold_left step p ops)
+
+  (* The last insert/remove in the sequence determines the net effect on
+     the shared list, independent of the initial presence. *)
+  let net_effect ops =
+    List.fold_left
+      (fun acc op ->
+        match op.kind with Insert | Remove -> Some op.kind | Contains -> acc)
+      None ops
+
+  let flush h =
+    let groups = KMap.bindings h.pending in
+    h.pending <- KMap.empty;
+    h.count <- 0;
+    let apply_group pos (key, newest_first) =
+      let ops = List.rev newest_first in
+      (* Perform the single physical operation (or probe) and deduce the
+         presence at its linearization point from its result. *)
+      let presence, pos' =
+        match net_effect ops with
+        | None -> L.contains_from h.owner.list pos key
+        | Some Insert ->
+            let changed, pos' = L.insert_from h.owner.list pos key in
+            (not changed, pos')
+        | Some Remove -> L.remove_from h.owner.list pos key
+        | Some Contains -> assert false
+      in
+      simulate presence ops;
+      pos'
+    in
+    ignore (List.fold_left apply_group (L.head_position h.owner.list) groups)
+
+  let add h key kind =
+    let future = Future.create () in
+    Future.set_evaluator future (fun () -> flush h);
+    let op = { kind; future } in
+    h.pending <-
+      KMap.update key
+        (function None -> Some [ op ] | Some ops -> Some (op :: ops))
+        h.pending;
+    h.count <- h.count + 1;
+    future
+
+  let insert h key = add h key Insert
+  let remove h key = add h key Remove
+  let contains h key = add h key Contains
+end

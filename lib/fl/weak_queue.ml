@@ -1,0 +1,66 @@
+module Future = Futures.Future
+
+type 'a t = { queue : 'a Lockfree.Ms_queue.t }
+
+type 'a handle = {
+  owner : 'a t;
+  mutable enqs : ('a * unit Future.t) list; (* newest first *)
+  mutable n_enqs : int;
+  mutable deqs : 'a option Future.t list; (* newest first *)
+  mutable n_deqs : int;
+}
+
+let create () = { queue = Lockfree.Ms_queue.create () }
+let shared t = t.queue
+
+let handle owner = { owner; enqs = []; n_enqs = 0; deqs = []; n_deqs = 0 }
+
+let pending_count h = h.n_enqs + h.n_deqs
+
+let flush_enqueues h =
+  match h.enqs with
+  | [] -> ()
+  | newest_first ->
+      let oldest_first = List.rev newest_first in
+      Lockfree.Ms_queue.enqueue_list h.owner.queue (List.map fst oldest_first);
+      List.iter (fun (_, f) -> Future.fulfil f ()) oldest_first;
+      h.enqs <- [];
+      h.n_enqs <- 0
+
+let flush_dequeues h =
+  match h.deqs with
+  | [] -> ()
+  | newest_first ->
+      let oldest_first = List.rev newest_first in
+      let values = Lockfree.Ms_queue.dequeue_many h.owner.queue h.n_deqs in
+      let rec assign deqs values =
+        match (deqs, values) with
+        | [], _ -> ()
+        | f :: deqs', v :: values' ->
+            Future.fulfil f (Some v);
+            assign deqs' values'
+        | f :: deqs', [] ->
+            Future.fulfil f None;
+            assign deqs' []
+      in
+      assign oldest_first values;
+      h.deqs <- [];
+      h.n_deqs <- 0
+
+let flush h =
+  flush_enqueues h;
+  flush_dequeues h
+
+let enqueue h x =
+  let f = Future.create () in
+  Future.set_evaluator f (fun () -> flush_enqueues h);
+  h.enqs <- (x, f) :: h.enqs;
+  h.n_enqs <- h.n_enqs + 1;
+  f
+
+let dequeue h =
+  let f = Future.create () in
+  Future.set_evaluator f (fun () -> flush_dequeues h);
+  h.deqs <- f :: h.deqs;
+  h.n_deqs <- h.n_deqs + 1;
+  f

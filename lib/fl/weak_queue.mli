@@ -1,0 +1,29 @@
+(** Weak-FL queue (Kogan & Herlihy §4.2).
+
+    FIFO semantics rules out elimination, but combining is effective: each
+    thread keeps two local pending lists — one of enqueues, one of
+    dequeues. Forcing a future flushes {e all pending operations of the
+    same type}: a chain of nodes is spliced into the shared Michael–Scott
+    queue with two CASes, or multiple nodes are removed with one CAS.
+    Under the weak condition the two lists need not be ordered against
+    each other, which is what permits keeping them separate. *)
+
+type 'a t
+type 'a handle
+
+val create : unit -> 'a t
+val handle : 'a t -> 'a handle
+
+val enqueue : 'a handle -> 'a -> unit Futures.Future.t
+val dequeue : 'a handle -> 'a option Futures.Future.t
+(** The future yields [None] when the dequeue finds the shared queue
+    empty at flush time. *)
+
+val flush_enqueues : 'a handle -> unit
+val flush_dequeues : 'a handle -> unit
+
+val flush : 'a handle -> unit
+(** Both kinds; enqueues first. *)
+
+val pending_count : 'a handle -> int
+val shared : 'a t -> 'a Lockfree.Ms_queue.t

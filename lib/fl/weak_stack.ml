@@ -1,0 +1,91 @@
+module Future = Futures.Future
+
+type 'a t = { stack : 'a Lockfree.Treiber_stack.t; elimination : bool }
+
+type 'a handle = {
+  owner : 'a t;
+  (* Pending operations, newest first. With elimination enabled at most one
+     of the two lists is non-empty (a new operation of the opposite type
+     pairs off instead of accumulating). *)
+  mutable pushes : ('a * unit Future.t) list;
+  mutable n_pushes : int;
+  mutable pops : 'a option Future.t list;
+  mutable n_pops : int;
+}
+
+let create ?(elimination = true) () =
+  { stack = Lockfree.Treiber_stack.create (); elimination }
+
+let shared t = t.stack
+
+let handle owner = { owner; pushes = []; n_pushes = 0; pops = []; n_pops = 0 }
+
+let pending_count h = h.n_pushes + h.n_pops
+
+let flush_pushes h =
+  match h.pushes with
+  | [] -> ()
+  | newest_first ->
+      let oldest_first = List.rev newest_first in
+      (* Oldest push deepest: one CAS splices the whole chain. *)
+      Lockfree.Treiber_stack.push_list h.owner.stack
+        (List.map fst oldest_first);
+      List.iter (fun (_, f) -> Future.fulfil f ()) oldest_first;
+      h.pushes <- [];
+      h.n_pushes <- 0
+
+let flush_pops h =
+  match h.pops with
+  | [] -> ()
+  | newest_first ->
+      let oldest_first = List.rev newest_first in
+      let values = Lockfree.Treiber_stack.pop_many h.owner.stack h.n_pops in
+      (* Oldest pending pop receives the value that was on top; pops in
+         excess of the stack's size observe "empty". *)
+      let rec assign pops values =
+        match (pops, values) with
+        | [], _ -> ()
+        | f :: pops', v :: values' ->
+            Future.fulfil f (Some v);
+            assign pops' values'
+        | f :: pops', [] ->
+            Future.fulfil f None;
+            assign pops' []
+      in
+      assign oldest_first values;
+      h.pops <- [];
+      h.n_pops <- 0
+
+let flush h =
+  flush_pops h;
+  flush_pushes h
+
+let push h x =
+  match h.pops with
+  | f :: rest when h.owner.elimination ->
+      (* Elimination: this push hands its value to a pending pop; neither
+         operation ever reaches the shared stack. *)
+      Future.fulfil f (Some x);
+      h.pops <- rest;
+      h.n_pops <- h.n_pops - 1;
+      Future.of_value ()
+  | _ ->
+      let f = Future.create () in
+      Future.set_evaluator f (fun () -> flush h);
+      h.pushes <- (x, f) :: h.pushes;
+      h.n_pushes <- h.n_pushes + 1;
+      f
+
+let pop h =
+  match h.pushes with
+  | (x, f) :: rest when h.owner.elimination ->
+      Future.fulfil f ();
+      h.pushes <- rest;
+      h.n_pushes <- h.n_pushes - 1;
+      Future.of_value (Some x)
+  | _ ->
+      let f = Future.create () in
+      Future.set_evaluator f (fun () -> flush h);
+      h.pops <- f :: h.pops;
+      h.n_pops <- h.n_pops + 1;
+      f

@@ -1,0 +1,86 @@
+type 'a state = Pending | Ready of 'a
+
+type 'a t = {
+  state : 'a state Atomic.t;
+  (* Owner-private: written at creation / by set_evaluator, read by force,
+     all on the owner thread, so no atomicity is needed. *)
+  mutable evaluator : (unit -> unit) option;
+}
+
+exception Already_fulfilled
+exception Stuck
+
+let create () = { state = Atomic.make Pending; evaluator = None }
+
+let create_with ~evaluator =
+  { state = Atomic.make Pending; evaluator = Some evaluator }
+
+let of_value v = { state = Atomic.make (Ready v); evaluator = None }
+
+let try_fulfil t v = Atomic.compare_and_set t.state Pending (Ready v)
+
+let fulfil t v = if not (try_fulfil t v) then raise Already_fulfilled
+
+let is_ready t =
+  match Atomic.get t.state with Ready _ -> true | Pending -> false
+
+let peek t = match Atomic.get t.state with Ready v -> Some v | Pending -> None
+
+let set_evaluator t f = t.evaluator <- Some f
+
+(* How many backoff rounds [force] waits for an evaluator-less future
+   before concluding nobody will ever fulfil it. [await] has no such bound:
+   it is specified as "a producer will fulfil". *)
+let stuck_rounds = 1000
+
+let await t =
+  let b = Sync.Backoff.create () in
+  let rec loop () =
+    match Atomic.get t.state with
+    | Ready v -> v
+    | Pending ->
+        Sync.Backoff.once b;
+        loop ()
+  in
+  loop ()
+
+let force t =
+  match Atomic.get t.state with
+  | Ready v -> v
+  | Pending -> (
+      match t.evaluator with
+      | Some eval -> (
+          eval ();
+          match Atomic.get t.state with
+          | Ready v -> v
+          | Pending -> raise Stuck)
+      | None ->
+          (* No evaluator: give concurrent fulfillers a bounded chance. *)
+          let b = Sync.Backoff.create () in
+          let rec wait rounds =
+            match Atomic.get t.state with
+            | Ready v -> v
+            | Pending ->
+                if rounds = 0 then raise Stuck;
+                Sync.Backoff.once b;
+                wait (rounds - 1)
+          in
+          wait stuck_rounds)
+
+let map f fut =
+  let t = create () in
+  set_evaluator t (fun () -> fulfil t (f (force fut)));
+  t
+
+let both a b =
+  let t = create () in
+  set_evaluator t (fun () ->
+      let va = force a in
+      let vb = force b in
+      fulfil t (va, vb));
+  t
+
+let all fs =
+  let t = create () in
+  set_evaluator t (fun () -> fulfil t (List.map force fs));
+  t

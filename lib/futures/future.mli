@@ -1,0 +1,83 @@
+(** Futures for operations on long-lived shared data structures
+    (Kogan & Herlihy §2, §4).
+
+    A future is a promise for the result of a {e pending} operation: one
+    whose invocation has occurred but which has not yet been applied to its
+    object. The paper's prototype realizes a future as an object with
+    [opCode]/[value]/[result]/[resultReady] fields; here the operation
+    descriptor (opCode/value) lives in the data structure's own pending
+    lists, and the future is the result cell plus an {e evaluator} — the
+    hook a data structure installs so that forcing the future flushes the
+    pending operations that must take effect for the result to exist.
+
+    Concurrency contract (paper §6 model): a future is created and forced
+    by one owner thread, but may be {e fulfilled} by any thread (e.g. a
+    strong-FL evaluator draining the shared pending queue, or elimination
+    pairing a pop with another pending push). [fulfil] vs [is_ready]/[get]
+    synchronize through an atomic cell. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A pending future with no evaluator ([force] on it spin-waits). *)
+
+val create_with : evaluator:(unit -> unit) -> 'a t
+(** A pending future whose [force] runs [evaluator] to make the result
+    ready. The evaluator must cause [fulfil] (directly or transitively);
+    [force] verifies this and raises [Stuck] otherwise. *)
+
+val of_value : 'a -> 'a t
+(** An already-fulfilled future — used for operations that are eliminated
+    or combined at invocation time, and for treating non-future return
+    values as "futures that are evaluated immediately" (§4). *)
+
+exception Already_fulfilled
+
+val fulfil : 'a t -> 'a -> unit
+(** Write the result and set it ready. Any thread may call this, once.
+    @raise Already_fulfilled on a second fulfilment. *)
+
+val try_fulfil : 'a t -> 'a -> bool
+(** Like [fulfil] but returns [false] instead of raising. *)
+
+val is_ready : 'a t -> bool
+(** The paper's [resultReady] test: does a result exist yet? *)
+
+val peek : 'a t -> 'a option
+(** The result if ready, without forcing. *)
+
+exception Stuck
+(** Raised by [force] when a future has no evaluator installed, is not
+    being fulfilled by anyone, and would therefore wait forever. *)
+
+val force : 'a t -> 'a
+(** Evaluate ("touch") the future: if pending, run its evaluator, then
+    return the result. Idempotent; subsequent calls return the cached
+    result. Must only be called by the owner thread.
+    @raise Stuck if no evaluator is installed and the result does not
+    become ready after a bounded wait. *)
+
+val await : 'a t -> 'a
+(** Spin (with backoff) until some other thread fulfils the future, then
+    return the result. Unlike [force], never runs the evaluator — for
+    consumers that know a producer will fulfil. *)
+
+val set_evaluator : 'a t -> (unit -> unit) -> unit
+(** Install or replace the evaluator. Owner thread only. *)
+
+(** {2 Combinators}
+
+    Derived futures for composing pending operations; forcing the derived
+    future forces its parents. They share the owner's thread, so the
+    at-most-once / owner-only discipline extends to them. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** [map f fut] is a future for [f] applied to [fut]'s result; forcing it
+    forces [fut]. [f] runs at most once, at forcing time. *)
+
+val both : 'a t -> 'b t -> ('a * 'b) t
+(** [both a b] forces [a] then [b] when forced. *)
+
+val all : 'a t list -> 'a list t
+(** [all fs] forces every future in order when forced; useful for
+    treating a slack window as a single batch result. *)

@@ -1,0 +1,84 @@
+module Make (S : Spec.S) = struct
+  (* Memoization table: a (applied-set bitmask, state) pair that failed
+     once will fail again; states are canonical so structural equality and
+     hashing suffice. *)
+  module Memo = Hashtbl.Make (struct
+    type t = int * S.state
+
+    let equal (m1, s1) (m2, s2) = m1 = m2 && s1 = s2
+    let hash (m, s) = (m * 31) + Hashtbl.hash s
+  end)
+
+  let linearization cond h =
+    let n = Array.length h in
+    if n > 62 then
+      invalid_arg "Checker.linearization: history too large (> 62 ops)";
+    let full = (1 lsl n) - 1 in
+    let preds = Array.make n 0 in
+    List.iter
+      (fun (i, j) -> preds.(j) <- preds.(j) lor (1 lsl i))
+      (Order.edges cond h);
+    let memo = Memo.create 1024 in
+    (* DFS for a completion of [mask] from [state]; returns the remaining
+       order, newest decisions accumulated by the caller. *)
+    let rec go mask state =
+      if mask = full then Some []
+      else if Memo.mem memo (mask, state) then None
+      else begin
+        let result = ref None in
+        let j = ref 0 in
+        while !result = None && !j < n do
+          let bit = 1 lsl !j in
+          if mask land bit = 0 && preds.(!j) land mask = preds.(!j) then begin
+            match S.apply state ~obj:h.(!j).History.obj h.(!j).History.op with
+            | Some state' -> (
+                match go (mask lor bit) state' with
+                | Some rest -> result := Some (!j :: rest)
+                | None -> ())
+            | None -> ()
+          end;
+          incr j
+        done;
+        if !result = None then Memo.add memo (mask, state) ();
+        !result
+      end
+    in
+    go 0 S.initial
+
+  let check_global cond h = linearization cond h <> None
+
+  let check cond h =
+    match cond with
+    | Order.Fsc -> check_global cond h
+    | Order.Strong | Order.Medium | Order.Weak ->
+        (* Compositionality (Theorem 6.3): split per object. *)
+        let objs =
+          Array.fold_left
+            (fun acc e ->
+              if List.mem e.History.obj acc then acc else e.History.obj :: acc)
+            [] h
+        in
+        List.for_all
+          (fun obj ->
+            let sub =
+              Array.of_list
+                (List.filter
+                   (fun e -> e.History.obj = obj)
+                   (Array.to_list h))
+            in
+            check_global cond sub)
+          objs
+
+  let pp_history ppf h =
+    Array.iteri
+      (fun i e ->
+        let pp_ts ppf = function
+          | Some t -> Format.fprintf ppf "%d" t
+          | None -> Format.fprintf ppf "-"
+        in
+        Format.fprintf ppf "@[%2d: T%d obj%d %a create[%d,%d] eval[%a,%a]@]@."
+          i e.History.thread e.History.obj S.pp_op e.History.op
+          e.History.create_inv e.History.create_res pp_ts e.History.eval_inv
+          pp_ts e.History.eval_res)
+      h
+end

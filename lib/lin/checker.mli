@@ -1,0 +1,32 @@
+(** ≺-linearizability checker (Definition 6.1 of Kogan & Herlihy).
+
+    Given a history and a precedence relation ≺ extending the interval
+    order, the checker searches for a legal sequential history — a total
+    order of the operations that extends ≺ and is accepted by the
+    sequential specification — using a Wing–Gong-style depth-first search
+    memoized on (set of applied operations, abstract state).
+
+    Complexity is exponential in the worst case; intended for the test
+    suite's small histories (the memoized search handles a few dozen
+    concurrent operations comfortably).
+
+    By Theorem 6.3 (compositionality), strong/medium/weak checks split the
+    history per object; the Fsc pseudo-condition must be checked globally
+    (that is the point of Figure 3). [check] handles this automatically. *)
+
+module Make (S : Spec.S) : sig
+  val linearization :
+    Order.condition -> S.op History.entry array -> int list option
+  (** A witness: operation indices in a legal ≺-extending total order, or
+      [None]. Checks the history {e globally} (all objects in one search).
+      Raises [Invalid_argument] if the history has more than 62
+      operations. *)
+
+  val check : Order.condition -> S.op History.entry array -> bool
+  (** Is the history ≺-linearizable under the condition? For Strong,
+      Medium and Weak the check is split per object (valid by
+      compositionality); for Fsc it is global. *)
+
+  val pp_history : Format.formatter -> S.op History.entry array -> unit
+  (** Render a history for failure diagnostics. *)
+end

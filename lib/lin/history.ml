@@ -1,0 +1,51 @@
+type timestamp = int
+
+type 'o entry = {
+  thread : int;
+  obj : int;
+  op : 'o;
+  create_inv : timestamp;
+  create_res : timestamp;
+  eval_inv : timestamp option;
+  eval_res : timestamp option;
+}
+
+type clock = int Atomic.t
+
+let clock () = Atomic.make 0
+let now c = Atomic.fetch_and_add c 1
+
+type 'o log = { mutable entries : 'o entry list (* newest first *) }
+
+let log () = { entries = [] }
+let add l e = l.entries <- e :: l.entries
+
+let recorded_call l c ~thread ~obj create =
+  let create_inv = now c in
+  let future = create () in
+  let create_res = now c in
+  let complete describe =
+    let eval_inv = now c in
+    let value = Futures.Future.force future in
+    let eval_res = now c in
+    add l
+      {
+        thread;
+        obj;
+        op = describe value;
+        create_inv;
+        create_res;
+        eval_inv = Some eval_inv;
+        eval_res = Some eval_res;
+      };
+    value
+  in
+  (future, complete)
+
+let entries l = List.rev l.entries
+
+let merge logs =
+  let all = List.concat_map entries logs in
+  let arr = Array.of_list all in
+  Array.sort (fun a b -> compare a.create_inv b.create_inv) arr;
+  arr

@@ -1,0 +1,59 @@
+(** Histories of future-returning method calls (Kogan & Herlihy §6).
+
+    Every operation in a history carries up to four timestamps, drawn from
+    one global atomic clock: the invocation and response of the future
+    {e creation} call, and the invocation and response of the future's
+    {e evaluation}. The three futures-linearizability conditions are
+    expressed as different interval orders over these timestamps (see
+    {!Order}).
+
+    Recording is designed for concurrent use: each domain draws timestamps
+    from the shared clock but accumulates its entries locally, and the
+    test merges the logs afterwards. *)
+
+type timestamp = int
+
+type 'o entry = {
+  thread : int;
+  obj : int; (** object identity, for per-object orders and composition *)
+  op : 'o; (** operation descriptor including its (evaluated) result *)
+  create_inv : timestamp;
+  create_res : timestamp;
+  eval_inv : timestamp option;
+  eval_res : timestamp option;
+      (** [None] when the future was never evaluated. *)
+}
+
+type clock
+
+val clock : unit -> clock
+(** A fresh global clock starting at 0. Thread-safe. *)
+
+val now : clock -> timestamp
+(** Strictly increasing across all domains. *)
+
+type 'o log
+(** A single domain's private event log. *)
+
+val log : unit -> 'o log
+
+val add : 'o log -> 'o entry -> unit
+
+(** [recorded_call log clock ~thread ~obj create] runs [create ()] between
+    two clock ticks and returns the future paired with a completion
+    function; calling the completion with the operation descriptor (known
+    once the result is) forces the future between two more ticks and files
+    the entry. *)
+val recorded_call :
+  'o log ->
+  clock ->
+  thread:int ->
+  obj:int ->
+  (unit -> 'a Futures.Future.t) ->
+  'a Futures.Future.t * (('a -> 'o) -> 'a)
+
+val entries : 'o log -> 'o entry list
+(** In recording order. *)
+
+val merge : 'o log list -> 'o entry array
+(** All entries of all logs, sorted by [create_inv]. *)

@@ -1,0 +1,44 @@
+type condition = Strong | Medium | Weak | Fsc
+
+let condition_name = function
+  | Strong -> "strong"
+  | Medium -> "medium"
+  | Weak -> "weak"
+  | Fsc -> "futures-sequential-consistency"
+
+let interval cond (e : 'o History.entry) =
+  match cond with
+  | Strong -> (e.History.create_inv, e.History.create_res)
+  | Medium | Weak | Fsc -> (
+      match e.History.eval_res with
+      | Some r -> (e.History.create_inv, r)
+      | None -> (e.History.create_inv, max_int))
+
+(* Program order: threads are sequential with respect to creation calls,
+   so creation intervals of one thread never overlap and create_res <
+   create_inv is the thread's issue order. *)
+let program_order_applies cond (a : 'o History.entry) (b : 'o History.entry)
+    =
+  a.History.thread = b.History.thread
+  && a.History.create_res < b.History.create_inv
+  &&
+  match cond with
+  | Strong | Weak -> false
+  | Medium -> a.History.obj = b.History.obj
+  | Fsc -> true
+
+let edges cond h =
+  let n = Array.length h in
+  let iv = Array.map (interval cond) h in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let _, i_end = iv.(i) in
+        let j_start, _ = iv.(j) in
+        if i_end < j_start || program_order_applies cond h.(i) h.(j) then
+          acc := (i, j) :: !acc
+      end
+    done
+  done;
+  List.rev !acc

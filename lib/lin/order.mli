@@ -1,0 +1,30 @@
+(** The ≺ precedence orders of the futures-linearizability conditions
+    (Kogan & Herlihy §3, §6.3).
+
+    Each condition assigns every operation an {e effect interval} and adds
+    condition-specific program-order edges; [m0 ≺ m1] whenever m0's
+    interval ends before m1's begins, or a program-order rule applies.
+
+    - {b Strong}: interval = the future-creation call ([create_inv],
+      [create_res]); futures are benign, this is classic linearizability.
+    - {b Weak}: interval = [create_inv] to [eval_res] (the rewritten call
+      m~ of §6.3); nothing else.
+    - {b Medium}: weak's intervals, plus: calls by the same thread on the
+      same object are ordered by their creation order.
+    - {b Fsc} ({e futures sequential consistency}): medium with the
+      program-order rule applied across {e all} objects — included because
+      the paper's Figure 3 shows it is not compositional; it is {e not}
+      one of the proposed conditions. *)
+
+type condition = Strong | Medium | Weak | Fsc
+
+val condition_name : condition -> string
+
+val interval : condition -> 'o History.entry -> int * int
+(** Effect interval under the condition. For Weak/Medium/Fsc an
+    unevaluated operation's interval extends to infinity
+    ([max_int]). *)
+
+val edges : condition -> 'o History.entry array -> (int * int) list
+(** [edges cond h] lists all pairs [(i, j)] with [h.(i) ≺ h.(j)]
+    (irreflexive; not transitively closed). *)

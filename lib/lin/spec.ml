@@ -1,0 +1,158 @@
+module type S = sig
+  type op
+  type state
+
+  val initial : state
+  val apply : state -> obj:int -> op -> state option
+  val pp_op : Format.formatter -> op -> unit
+end
+
+(* Object states are kept in an association list sorted by object id so
+   that structurally equal states are canonical — the checker memoizes on
+   structural equality. An absent binding means "initial object state". *)
+let rec get_obj obj = function
+  | [] -> None
+  | (o, s) :: rest ->
+      if o = obj then Some s else if o > obj then None else get_obj obj rest
+
+let rec set_obj obj s = function
+  | [] -> [ (obj, s) ]
+  | ((o, _) as b) :: rest ->
+      if o = obj then (obj, s) :: rest
+      else if o > obj then (obj, s) :: b :: rest
+      else b :: set_obj obj s rest
+
+module Stack_spec = struct
+  type op = Push of int | Pop of int option
+
+  type state = (int * int list) list
+
+  let initial = []
+
+  let apply state ~obj op =
+    let stack = Option.value ~default:[] (get_obj obj state) in
+    match op with
+    | Push v -> Some (set_obj obj (v :: stack) state)
+    | Pop None -> if stack = [] then Some state else None
+    | Pop (Some v) -> (
+        match stack with
+        | top :: rest when top = v -> Some (set_obj obj rest state)
+        | _ -> None)
+
+  let pp_op ppf = function
+    | Push v -> Format.fprintf ppf "push(%d)" v
+    | Pop None -> Format.fprintf ppf "pop()=empty"
+    | Pop (Some v) -> Format.fprintf ppf "pop()=%d" v
+end
+
+module Queue_spec = struct
+  type op = Enq of int | Deq of int option
+
+  type state = (int * int list) list
+  (* Each queue is a list, oldest first. *)
+
+  let initial = []
+
+  let apply state ~obj op =
+    let queue = Option.value ~default:[] (get_obj obj state) in
+    match op with
+    | Enq v -> Some (set_obj obj (queue @ [ v ]) state)
+    | Deq None -> if queue = [] then Some state else None
+    | Deq (Some v) -> (
+        match queue with
+        | oldest :: rest when oldest = v -> Some (set_obj obj rest state)
+        | _ -> None)
+
+  let pp_op ppf = function
+    | Enq v -> Format.fprintf ppf "enq(%d)" v
+    | Deq None -> Format.fprintf ppf "deq()=empty"
+    | Deq (Some v) -> Format.fprintf ppf "deq()=%d" v
+end
+
+module Set_spec = struct
+  type op = Insert of int * bool | Remove of int * bool | Contains of int * bool
+
+  type state = (int * int list) list
+  (* Each set is a sorted list of members. *)
+
+  let initial = []
+
+  let rec mem k = function
+    | [] -> false
+    | x :: rest -> if x = k then true else if x > k then false else mem k rest
+
+  let rec add k = function
+    | [] -> [ k ]
+    | x :: rest as l ->
+        if x = k then l else if x > k then k :: l else x :: add k rest
+
+  let rec del k = function
+    | [] -> []
+    | x :: rest -> if x = k then rest else if x > k then x :: rest else x :: del k rest
+
+  let apply state ~obj op =
+    let set = Option.value ~default:[] (get_obj obj state) in
+    match op with
+    | Insert (k, changed) ->
+        if changed = not (mem k set) then
+          Some (set_obj obj (add k set) state)
+        else None
+    | Remove (k, changed) ->
+        if changed = mem k set then Some (set_obj obj (del k set) state)
+        else None
+    | Contains (k, present) ->
+        if present = mem k set then Some state else None
+
+  let pp_op ppf = function
+    | Insert (k, r) -> Format.fprintf ppf "insert(%d)=%b" k r
+    | Remove (k, r) -> Format.fprintf ppf "remove(%d)=%b" k r
+    | Contains (k, r) -> Format.fprintf ppf "contains(%d)=%b" k r
+end
+
+module Map_spec = struct
+  type op =
+    | Insert of int * int * bool
+    | Find of int * int option
+    | Remove of int * int option
+
+  type state = (int * (int * int) list) list
+  (* Each map is a sorted association list of bindings. *)
+
+  let initial = []
+
+  let rec lookup k = function
+    | [] -> None
+    | (k', v) :: rest ->
+        if k' = k then Some v else if k' > k then None else lookup k rest
+
+  let rec bind k v = function
+    | [] -> [ (k, v) ]
+    | ((k', _) as b) :: rest as l ->
+        if k' = k then l (* bind-once: existing binding wins *)
+        else if k' > k then (k, v) :: l
+        else b :: bind k v rest
+
+  let rec unbind k = function
+    | [] -> []
+    | ((k', _) as b) :: rest ->
+        if k' = k then rest else if k' > k then b :: rest else b :: unbind k rest
+
+  let apply state ~obj op =
+    let map = Option.value ~default:[] (get_obj obj state) in
+    match op with
+    | Insert (k, v, created) ->
+        if created = (lookup k map = None) then
+          Some (set_obj obj (bind k v map) state)
+        else None
+    | Find (k, r) -> if r = lookup k map then Some state else None
+    | Remove (k, r) ->
+        if r = lookup k map then Some (set_obj obj (unbind k map) state)
+        else None
+
+  let pp_op ppf = function
+    | Insert (k, v, r) -> Format.fprintf ppf "insert(%d->%d)=%b" k v r
+    | Find (k, None) -> Format.fprintf ppf "find(%d)=absent" k
+    | Find (k, Some v) -> Format.fprintf ppf "find(%d)=%d" k v
+    | Remove (k, None) -> Format.fprintf ppf "remove(%d)=absent" k
+    | Remove (k, Some v) -> Format.fprintf ppf "remove(%d)=%d" k v
+end

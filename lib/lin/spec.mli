@@ -1,0 +1,63 @@
+(** Sequential specifications for the three data types of the paper.
+
+    A specification is a deterministic transition system over the states
+    of {e all} objects in the history (keyed by object id), so the same
+    machinery checks single-object histories, compositional per-object
+    checks, and global multi-object checks (needed to exhibit Figure 3's
+    non-compositionality of futures sequential consistency).
+
+    An operation descriptor records the argument {e and} the result that
+    the implementation actually returned; [apply] both validates the
+    result against the current state and computes the successor state. *)
+
+module type S = sig
+  type op
+
+  type state
+
+  val initial : state
+
+  val apply : state -> obj:int -> op -> state option
+  (** [apply s ~obj op] is [Some s'] when [op] (with its recorded result)
+      is legal for object [obj] in state [s], and the state becomes [s'];
+      [None] when the recorded result is impossible. *)
+
+  val pp_op : Format.formatter -> op -> unit
+end
+
+(** LIFO stacks of integers. *)
+module Stack_spec : sig
+  type op =
+    | Push of int  (** [push v] returning unit *)
+    | Pop of int option  (** [pop] and the value it returned *)
+
+  include S with type op := op and type state = (int * int list) list
+end
+
+(** FIFO queues of integers. *)
+module Queue_spec : sig
+  type op = Enq of int | Deq of int option
+
+  include S with type op := op and type state = (int * int list) list
+end
+
+(** Integer sets (the linked-list benchmark's abstract type). Every
+    operation records the boolean the implementation returned: for
+    [Insert]/[Remove] whether the set changed, for [Contains] membership. *)
+module Set_spec : sig
+  type op = Insert of int * bool | Remove of int * bool | Contains of int * bool
+
+  include S with type op := op and type state = (int * int list) list
+end
+
+(** Bind-once int→int maps (the {!Fl.Weak_map} extension): [Insert]
+    records whether the binding was created; [Find] and [Remove] record
+    the value observed / removed. *)
+module Map_spec : sig
+  type op =
+    | Insert of int * int * bool
+    | Find of int * int option
+    | Remove of int * int option
+
+  include S with type op := op and type state = (int * (int * int) list) list
+end

@@ -1,0 +1,38 @@
+(** Elimination-backoff stack (Hendler, Shavit & Yerushalmi, JPDC 2010 —
+    the paper's reference [8]).
+
+    A Treiber stack whose backoff path is an {e elimination array}: when a
+    push or pop loses its CAS, instead of merely waiting it parks an offer
+    in a random slot of the array; a concurrent operation of the opposite
+    kind that finds the offer exchanges values with it directly, so the
+    colliding pair completes without ever touching the stack — the same
+    elimination idea the futures-based weak stack applies to a thread's
+    {e own} pending operations, here applied {e across} threads at
+    collision time.
+
+    Linearizable; the matched pair linearizes at the moment of the
+    exchange, which lies within both operations' intervals. Included as an
+    extra Figure 4 baseline. *)
+
+type 'a t
+
+val create : ?slots:int -> unit -> 'a t
+(** [slots] is the elimination array width (default 8). Raises
+    [Invalid_argument] if [slots <= 0]. *)
+
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+(** [pop t] returns [None] only when the stack itself is observed empty
+    (elimination never invents emptiness). *)
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val to_list : 'a t -> 'a list
+(** Top-first; quiescent snapshots. *)
+
+val eliminated_pairs : 'a t -> int
+(** Number of push/pop pairs that exchanged through the array. *)
+
+val cas_count : 'a t -> int
+(** CAS attempts against the stack head (the array's CASes excluded, for
+    comparability with {!Treiber_stack}). *)

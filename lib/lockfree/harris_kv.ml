@@ -1,0 +1,135 @@
+module Make (K : Harris_list.KEY) = struct
+  (* Structure and invariants are identical to Harris_list; nodes carry an
+     immutable value, so the marking/unlinking arguments are unchanged. *)
+  type 'v node = { key : K.t; value : 'v; next : 'v link Atomic.t }
+  and 'v link = Live of 'v node option | Dead of 'v node option
+
+  type 'v t = { head : 'v link Atomic.t; casc : Sync.Cas_counter.t }
+
+  type 'v place = Root | At of 'v node
+
+  type 'v position = 'v place
+
+  let create () =
+    { head = Atomic.make (Live None); casc = Sync.Cas_counter.create () }
+
+  let head_position _t = Root
+
+  let cell t = function Root -> t.head | At n -> n.next
+
+  let target = function Live x | Dead x -> x
+
+  let same_node a b =
+    match (a, b) with
+    | None, None -> true
+    | Some x, Some y -> x == y
+    | None, Some _ | Some _, None -> false
+
+  let counted_cas t c expected desired =
+    Sync.Cas_counter.incr t.casc;
+    Atomic.compare_and_set c expected desired
+
+  let is_dead n =
+    match Atomic.get n.next with Dead _ -> true | Live _ -> false
+
+  let rec search t start k =
+    let restart () = search t Root k in
+    match Atomic.get (cell t start) with
+    | Dead _ -> restart ()
+    | Live first as start_link ->
+        let rec walk left left_link curr =
+          match curr with
+          | None -> finish left left_link None
+          | Some n -> (
+              match Atomic.get n.next with
+              | Dead succ -> walk left left_link succ
+              | Live succ as lk ->
+                  if K.compare n.key k >= 0 then finish left left_link curr
+                  else walk (At n) lk succ)
+        and finish left left_link right =
+          let ok_link =
+            if same_node (target left_link) right then Some left_link
+            else begin
+              let fresh = Live right in
+              if counted_cas t (cell t left) left_link fresh then Some fresh
+              else None
+            end
+          in
+          match ok_link with
+          | None -> restart ()
+          | Some link -> (
+              match right with
+              | Some r when is_dead r -> restart ()
+              | _ -> (left, link, right))
+        in
+        walk start start_link first
+
+  (* A stale position (dead node) could hide newly inserted keys; fall
+     back to the head. *)
+  let start_of = function
+    | Root -> Root
+    | At n as pos -> if is_dead n then Root else pos
+
+  let rec insert_loop t start k v =
+    let left, left_link, right = search t start k in
+    match right with
+    | Some r when K.compare r.key k = 0 -> (false, left)
+    | _ ->
+        let n = { key = k; value = v; next = Atomic.make (Live right) } in
+        if counted_cas t (cell t left) left_link (Live (Some n)) then
+          (true, left)
+        else insert_loop t Root k v
+
+  let rec remove_loop t start k =
+    let left, left_link, right = search t start k in
+    match right with
+    | Some r when K.compare r.key k = 0 -> (
+        match Atomic.get r.next with
+        | Dead _ -> remove_loop t Root k
+        | Live succ as lk ->
+            if counted_cas t r.next lk (Dead succ) then begin
+              ignore (counted_cas t (cell t left) left_link (Live succ));
+              (Some r.value, left)
+            end
+            else remove_loop t Root k)
+    | _ -> (None, left)
+
+  (* Wait-free read-only lookup: walk skipping marked nodes, no CAS. *)
+  let find_walk t start k =
+    let first = match Atomic.get (cell t start) with Live x | Dead x -> x in
+    let rec loop last_live curr =
+      match curr with
+      | None -> (None, last_live)
+      | Some n -> (
+          match Atomic.get n.next with
+          | Dead succ -> loop last_live succ
+          | Live succ ->
+              let c = K.compare n.key k in
+              if c < 0 then loop (At n) succ
+              else ((if c = 0 then Some n.value else None), last_live))
+    in
+    loop start first
+
+  let insert t k v = fst (insert_loop t Root k v)
+  let remove t k = fst (remove_loop t Root k)
+  let find t k = fst (find_walk t Root k)
+
+  let insert_from t pos k v = insert_loop t (start_of pos) k v
+  let remove_from t pos k = remove_loop t (start_of pos) k
+  let find_from t pos k = find_walk t (start_of pos) k
+
+  let bindings t =
+    let rec loop acc curr =
+      match curr with
+      | None -> List.rev acc
+      | Some n -> (
+          match Atomic.get n.next with
+          | Dead succ -> loop acc succ
+          | Live succ -> loop ((n.key, n.value) :: acc) succ)
+    in
+    loop [] (target (Atomic.get t.head))
+
+  let is_empty t = bindings t = []
+  let size t = List.length (bindings t)
+  let cas_count t = Sync.Cas_counter.total t.casc
+end

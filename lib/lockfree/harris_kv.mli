@@ -1,0 +1,48 @@
+(** Harris-style lock-free sorted linked list storing key/value bindings.
+
+    The paper motivates future-returning operations with maps — "binding
+    a key to a value", "the result of a map look-up" (§2) — but only
+    evaluates sets; this module provides the map substrate for the
+    {!Fl.Weak_map} extension. It is {!Harris_list} with a value payload:
+    bindings are {e bind-once} (an insert on a present key does not
+    replace the value — a live node's value is immutable, keeping every
+    linearization argument of the underlying list intact; replace =
+    remove + insert, two operations).
+
+    Same position-resume extension as {!Harris_list}, for single-traversal
+    batch application. *)
+
+module Make (K : Harris_list.KEY) : sig
+  type 'v t
+
+  val create : unit -> 'v t
+
+  val insert : 'v t -> K.t -> 'v -> bool
+  (** [insert t k v] binds [k] to [v] if absent; [false] (and no change)
+      if [k] is already bound. *)
+
+  val find : 'v t -> K.t -> 'v option
+  (** Wait-free lookup. *)
+
+  val remove : 'v t -> K.t -> 'v option
+  (** [remove t k] deletes the binding, returning its value. *)
+
+  type 'v position
+
+  val head_position : 'v t -> 'v position
+  val insert_from : 'v t -> 'v position -> K.t -> 'v -> bool * 'v position
+  val find_from : 'v t -> 'v position -> K.t -> 'v option * 'v position
+
+  val remove_from : 'v t -> 'v position -> K.t -> 'v option * 'v position
+  (** As in {!Harris_list}: resume the search from a position obtained
+      for a key [<=] the new key; stale positions fall back to a search
+      from the head, so results are always correct. *)
+
+  val is_empty : 'v t -> bool
+  val size : 'v t -> int
+
+  val bindings : 'v t -> (K.t * 'v) list
+  (** Ascending by key; quiescent snapshot. *)
+
+  val cas_count : 'v t -> int
+end

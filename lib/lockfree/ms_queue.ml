@@ -1,0 +1,126 @@
+(* The node pointed to by [head] is a dummy; the logical queue content is
+   the chain strictly after it. [value] is mutable only so a dequeued
+   element can be dropped from the new dummy, avoiding a space leak. *)
+type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = {
+  head : 'a node Atomic.t;
+  tail : 'a node Atomic.t;
+  casc : Sync.Cas_counter.t;
+}
+
+let make_node v = { value = v; next = Atomic.make None }
+
+let create () =
+  let dummy = make_node None in
+  {
+    head = Atomic.make dummy;
+    tail = Atomic.make dummy;
+    casc = Sync.Cas_counter.create ();
+  }
+
+let counted_cas t cell expected desired =
+  Sync.Cas_counter.incr t.casc;
+  Atomic.compare_and_set cell expected desired
+
+(* Splice the pre-linked chain [first .. last] after the current last node,
+   then swing the tail to [last]. *)
+let enqueue_chain t first last =
+  let b = Sync.Backoff.create () in
+  let rec loop () =
+    let tl = Atomic.get t.tail in
+    match Atomic.get tl.next with
+    | None ->
+        if counted_cas t tl.next None (Some first) then
+          (* Lag repair is best-effort: a failure means someone helped. *)
+          ignore (counted_cas t t.tail tl last)
+        else begin
+          Sync.Backoff.once b;
+          loop ()
+        end
+    | Some nxt ->
+        (* Tail is lagging; help swing it and retry. *)
+        ignore (counted_cas t t.tail tl nxt);
+        loop ()
+  in
+  loop ()
+
+let enqueue t x =
+  let n = make_node (Some x) in
+  enqueue_chain t n n
+
+let enqueue_list t xs =
+  match xs with
+  | [] -> ()
+  | x1 :: rest ->
+      let first = make_node (Some x1) in
+      let last =
+        List.fold_left
+          (fun prev x ->
+            let n = make_node (Some x) in
+            Atomic.set prev.next (Some n);
+            n)
+          first rest
+      in
+      enqueue_chain t first last
+
+let dequeue_many t n =
+  if n < 0 then invalid_arg "Ms_queue.dequeue_many: negative count";
+  if n = 0 then []
+  else
+    let b = Sync.Backoff.create () in
+    let rec attempt () =
+      let hd = Atomic.get t.head in
+      (* Collect up to [n] nodes after the dummy, helping the tail forward
+         whenever we are about to pass it so it never ends up behind the
+         head. *)
+      let rec collect node count acc =
+        if count = n then (node, acc)
+        else
+          match Atomic.get node.next with
+          | None -> (node, acc)
+          | Some nxt ->
+              let tl = Atomic.get t.tail in
+              if tl == node then ignore (counted_cas t t.tail tl nxt);
+              collect nxt (count + 1) (nxt.value :: acc)
+      in
+      let last, rev_values = collect hd 0 [] in
+      if last == hd then [] (* empty *)
+      else if counted_cas t t.head hd last then begin
+        (* [last] is the new dummy; its value was just handed out. *)
+        last.value <- None;
+        List.rev_map (function Some v -> v | None -> assert false) rev_values
+      end
+      else begin
+        Sync.Backoff.once b;
+        attempt ()
+      end
+    in
+    attempt ()
+
+let dequeue t = match dequeue_many t 1 with [] -> None | [ v ] -> Some v | _ -> assert false
+
+let peek t =
+  let hd = Atomic.get t.head in
+  match Atomic.get hd.next with
+  | None -> None
+  | Some n -> n.value
+
+let is_empty t =
+  let hd = Atomic.get t.head in
+  Atomic.get hd.next = None
+
+let to_list t =
+  let rec loop acc node =
+    match Atomic.get node.next with
+    | None -> List.rev acc
+    | Some n ->
+        let acc = match n.value with Some v -> v :: acc | None -> acc in
+        loop acc n
+  in
+  loop [] (Atomic.get t.head)
+
+let length t = List.length (to_list t)
+
+let cas_count t = Sync.Cas_counter.total t.casc
+let reset_cas_count t = Sync.Cas_counter.reset t.casc

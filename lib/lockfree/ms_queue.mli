@@ -1,0 +1,44 @@
+(** Michael & Scott's lock-free FIFO queue (PODC 1996), extended with
+    combining-friendly batch operations.
+
+    [enqueue_list] splices a locally built chain after the current last
+    node with one successful CAS (plus one CAS to swing the tail), and
+    [dequeue_many] advances the head pointer over up to [n] nodes with one
+    successful CAS — the two-CAS insertion / one-CAS removal primitive the
+    weak- and medium-FL queues rely on (Kogan & Herlihy §4.2).
+
+    The queue tolerates a lagging tail: any operation that passes the tail
+    helps swing it forward first, so the standard invariants hold. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val enqueue : 'a t -> 'a -> unit
+
+val dequeue : 'a t -> 'a option
+(** [dequeue t] removes and returns the oldest element, or [None]. *)
+
+val peek : 'a t -> 'a option
+
+val enqueue_list : 'a t -> 'a list -> unit
+(** [enqueue_list t [x1; ...; xn]] atomically appends the whole chain;
+    [x1] becomes the oldest of the new elements. No-op on []. *)
+
+val dequeue_many : 'a t -> int -> 'a list
+(** [dequeue_many t n] atomically removes up to [n] elements, returned
+    oldest-first; fewer when the queue runs out.
+    Raises [Invalid_argument] if [n < 0]. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** O(n) snapshot; exact only in quiescent states. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest-first snapshot; consistent only in quiescent states. *)
+
+val cas_count : 'a t -> int
+(** Total CAS attempts issued against this queue. *)
+
+val reset_cas_count : 'a t -> unit

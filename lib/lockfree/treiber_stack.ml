@@ -1,0 +1,105 @@
+type 'a node = { value : 'a; mutable next : 'a node option }
+
+type 'a t = { head : 'a node option Atomic.t; casc : Sync.Cas_counter.t }
+
+let create () = { head = Atomic.make None; casc = Sync.Cas_counter.create () }
+
+let cas t expected desired =
+  Sync.Cas_counter.incr t.casc;
+  Atomic.compare_and_set t.head expected desired
+
+let push t x =
+  let node = { value = x; next = None } in
+  let b = Sync.Backoff.create () in
+  let rec loop () =
+    let head = Atomic.get t.head in
+    node.next <- head;
+    if not (cas t head (Some node)) then begin
+      Sync.Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+let pop t =
+  let b = Sync.Backoff.create () in
+  let rec loop () =
+    match Atomic.get t.head with
+    | None -> None
+    | Some node as head ->
+        if cas t head node.next then Some node.value
+        else begin
+          Sync.Backoff.once b;
+          loop ()
+        end
+  in
+  loop ()
+
+let peek t =
+  match Atomic.get t.head with None -> None | Some n -> Some n.value
+
+(* Build the chain [xn -> ... -> x1] once; only the bottom link is patched
+   on each retry. Returns (top, bottom). *)
+let chain_of_list xs =
+  match xs with
+  | [] -> None
+  | x1 :: rest ->
+      let bottom = { value = x1; next = None } in
+      let top = List.fold_left (fun below x -> { value = x; next = Some below }) bottom rest in
+      Some (top, bottom)
+
+let push_list t xs =
+  match chain_of_list xs with
+  | None -> ()
+  | Some (top, bottom) ->
+      let b = Sync.Backoff.create () in
+      let rec loop () =
+        let head = Atomic.get t.head in
+        bottom.next <- head;
+        if not (cas t head (Some top)) then begin
+          Sync.Backoff.once b;
+          loop ()
+        end
+      in
+      loop ()
+
+let pop_many t n =
+  if n < 0 then invalid_arg "Treiber_stack.pop_many: negative count";
+  if n = 0 then []
+  else
+    let b = Sync.Backoff.create () in
+    let rec loop () =
+      match Atomic.get t.head with
+      | None -> []
+      | Some first as head ->
+          (* Walk up to [n] nodes to find the remainder, collecting values
+             top-first. *)
+          let rec walk node k acc =
+            if k = n then (acc, node.next)
+            else
+              match node.next with
+              | None -> (acc, None)
+              | Some nxt -> walk nxt (k + 1) (nxt.value :: acc)
+          in
+          let rev_values, rest = walk first 1 [ first.value ] in
+          if cas t head rest then List.rev rev_values
+          else begin
+            Sync.Backoff.once b;
+            loop ()
+          end
+    in
+    loop ()
+
+let is_empty t = Atomic.get t.head = None
+
+let to_list t =
+  let rec loop acc = function
+    | None -> List.rev acc
+    | Some n -> loop (n.value :: acc) n.next
+  in
+  loop [] (Atomic.get t.head)
+
+let length t = List.length (to_list t)
+
+let cas_count t = Sync.Cas_counter.total t.casc
+let reset_cas_count t = Sync.Cas_counter.reset t.casc

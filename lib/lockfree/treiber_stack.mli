@@ -1,0 +1,41 @@
+(** Treiber's lock-free stack (Treiber 1986), extended with single-CAS
+    multi-node push and pop.
+
+    The multi-node operations are the combining primitive of the weak- and
+    medium-FL stacks (Kogan & Herlihy §4): a chain of nodes is prepared
+    locally, its last node is linked to the current top, and one CAS swings
+    the top pointer; symmetrically, [pop_many] removes a whole prefix with
+    one CAS. All operations are lock-free and linearizable. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+(** [pop t] removes and returns the top element, or [None] when empty. *)
+
+val peek : 'a t -> 'a option
+
+val push_list : 'a t -> 'a list -> unit
+(** [push_list t [x1; ...; xn]] atomically pushes the whole chain with a
+    single successful CAS; [x1] is pushed first, so [xn] ends on top.
+    [push_list t []] is a no-op. *)
+
+val pop_many : 'a t -> int -> 'a list
+(** [pop_many t n] atomically (one successful CAS) removes up to [n]
+    elements and returns them top-first; fewer when the stack runs out.
+    Raises [Invalid_argument] if [n < 0]. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** O(n) snapshot; exact only in quiescent states. *)
+
+val to_list : 'a t -> 'a list
+(** Top-first snapshot of one consistent head reading. *)
+
+val cas_count : 'a t -> int
+(** Total CAS attempts issued against this stack (see {!Sync.Cas_counter}). *)
+
+val reset_cas_count : 'a t -> unit

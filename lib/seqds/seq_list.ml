@@ -1,0 +1,93 @@
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (K : KEY) = struct
+  (* A sentinel head node carries no key; [next] of the last node is None.
+     Keys are strictly increasing along the list. *)
+  type node = { key : K.t; mutable next : node option }
+
+  type t = {
+    mutable first : node option; (* smallest key *)
+    mutable length : int;
+  }
+
+  let create () = { first = None; length = 0 }
+  let is_empty t = t.length = 0
+  let length t = t.length
+
+  let to_list t =
+    let rec loop acc = function
+      | None -> List.rev acc
+      | Some n -> loop (n.key :: acc) n.next
+    in
+    loop [] t.first
+
+  (* A cursor remembers the last node strictly before the current search
+     window: [pred = None] means the window starts at [t.first]. [last_key]
+     enforces the monotonicity contract. *)
+  type cursor = {
+    list : t;
+    mutable pred : node option;
+    mutable last_key : K.t option;
+  }
+
+  let cursor t = { list = t; pred = None; last_key = None }
+
+  let check_monotone c k =
+    match c.last_key with
+    | Some k' when K.compare k k' < 0 ->
+        invalid_arg "Seq_list: cursor keys must be non-decreasing"
+    | _ -> c.last_key <- Some k
+
+  (* Advance [c.pred] until the node after it has key >= k (or is None).
+     Returns that node. *)
+  let seek c k =
+    let after = function
+      | None -> c.list.first
+      | Some n -> n.next
+    in
+    let rec loop () =
+      match after c.pred with
+      | Some n when K.compare n.key k < 0 ->
+          c.pred <- Some n;
+          loop ()
+      | found -> found
+    in
+    loop ()
+
+  let seek_contains c k =
+    check_monotone c k;
+    match seek c k with
+    | Some n -> K.compare n.key k = 0
+    | None -> false
+
+  let seek_insert c k =
+    check_monotone c k;
+    match seek c k with
+    | Some n when K.compare n.key k = 0 -> false
+    | tail ->
+        let node = { key = k; next = tail } in
+        (match c.pred with
+        | None -> c.list.first <- Some node
+        | Some p -> p.next <- Some node);
+        c.list.length <- c.list.length + 1;
+        true
+
+  let seek_remove c k =
+    check_monotone c k;
+    match seek c k with
+    | Some n when K.compare n.key k = 0 ->
+        (match c.pred with
+        | None -> c.list.first <- n.next
+        | Some p -> p.next <- n.next);
+        c.list.length <- c.list.length - 1;
+        true
+    | _ -> false
+
+  let insert t k = seek_insert (cursor t) k
+  let remove t k = seek_remove (cursor t) k
+  let contains t k = seek_contains (cursor t) k
+end

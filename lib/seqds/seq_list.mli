@@ -1,0 +1,53 @@
+(** Sequential sorted singly-linked list implementing a set.
+
+    This deliberately mirrors the cost model of the Harris lock-free list
+    (linear search from the head) because the strong-FL list applies
+    batches of operations to it under a lock, and the paper's Figure 6
+    comparison depends on list traversal being the dominant cost.
+
+    A {e cursor} exposes the single-traversal batch application used by the
+    strong-FL list: after sorting pending operations by key, successive
+    [seek_*] calls walk the list monotonically, so a whole batch costs one
+    traversal. Not thread-safe. *)
+
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (K : KEY) : sig
+  type t
+
+  val create : unit -> t
+
+  val insert : t -> K.t -> bool
+  (** [insert t k] adds [k]; [false] if already present. *)
+
+  val remove : t -> K.t -> bool
+  (** [remove t k] deletes [k]; [false] if absent. *)
+
+  val contains : t -> K.t -> bool
+  val is_empty : t -> bool
+  val length : t -> int
+
+  val to_list : t -> K.t list
+  (** Ascending snapshot. *)
+
+  type cursor
+  (** Monotone position in the list. Keys passed to successive [seek_*]
+      calls on one cursor must be non-decreasing; otherwise
+      [Invalid_argument] is raised. A cursor is invalidated by direct
+      [insert]/[remove] calls on the underlying list. *)
+
+  val cursor : t -> cursor
+  (** A fresh cursor positioned before the first element. *)
+
+  val seek_insert : cursor -> K.t -> bool
+  val seek_remove : cursor -> K.t -> bool
+
+  val seek_contains : cursor -> K.t -> bool
+  (** Like [insert]/[remove]/[contains] but searching from the cursor's
+      position and leaving the cursor just before the affected position,
+      so the next non-decreasing key resumes the same traversal. *)
+end

@@ -1,0 +1,48 @@
+type 'a t = {
+  mutable front : 'a list; (* oldest first *)
+  mutable back : 'a list; (* newest first *)
+  mutable length : int;
+}
+
+let create () = { front = []; back = []; length = 0 }
+
+let enqueue t x =
+  t.back <- x :: t.back;
+  t.length <- t.length + 1
+
+let normalize t =
+  if t.front = [] then begin
+    t.front <- List.rev t.back;
+    t.back <- []
+  end
+
+let dequeue t =
+  normalize t;
+  match t.front with
+  | [] -> None
+  | x :: rest ->
+      t.front <- rest;
+      t.length <- t.length - 1;
+      Some x
+
+let peek t =
+  normalize t;
+  match t.front with [] -> None | x :: _ -> Some x
+
+let is_empty t = t.length = 0
+let length t = t.length
+
+let enqueue_list t xs = List.iter (enqueue t) xs
+
+let dequeue_many t n =
+  if n < 0 then invalid_arg "Seq_queue.dequeue_many: negative count";
+  let rec loop k acc =
+    if k = 0 then List.rev acc
+    else
+      match dequeue t with
+      | None -> List.rev acc
+      | Some x -> loop (k - 1) (x :: acc)
+  in
+  loop n []
+
+let to_list t = t.front @ List.rev t.back

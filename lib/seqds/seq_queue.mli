@@ -1,0 +1,27 @@
+(** Sequential FIFO queue (two-list / banker's queue with amortized O(1)
+    operations).
+
+    Used by the strong-FL queue as the instance that batches of pending
+    operations are applied to under the evaluation lock. Not thread-safe. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val enqueue : 'a t -> 'a -> unit
+
+val dequeue : 'a t -> 'a option
+(** [dequeue t] removes and returns the oldest element, or [None]. *)
+
+val peek : 'a t -> 'a option
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val enqueue_list : 'a t -> 'a list -> unit
+(** [enqueue_list t [x1; ...; xn]] enqueues [x1] first. *)
+
+val dequeue_many : 'a t -> int -> 'a list
+(** [dequeue_many t n] dequeues up to [n] elements, oldest first.
+    Raises [Invalid_argument] if [n < 0]. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest-first snapshot. *)

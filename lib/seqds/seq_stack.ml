@@ -1,0 +1,34 @@
+type 'a t = { mutable items : 'a list; mutable length : int }
+
+let create () = { items = []; length = 0 }
+
+let push t x =
+  t.items <- x :: t.items;
+  t.length <- t.length + 1
+
+let pop t =
+  match t.items with
+  | [] -> None
+  | x :: rest ->
+      t.items <- rest;
+      t.length <- t.length - 1;
+      Some x
+
+let top t = match t.items with [] -> None | x :: _ -> Some x
+let is_empty t = t.length = 0
+let length t = t.length
+
+let push_list t xs = List.iter (push t) xs
+
+let pop_many t n =
+  if n < 0 then invalid_arg "Seq_stack.pop_many: negative count";
+  let rec loop k acc =
+    if k = 0 then List.rev acc
+    else
+      match pop t with
+      | None -> List.rev acc
+      | Some x -> loop (k - 1) (x :: acc)
+  in
+  loop n []
+
+let to_list t = t.items

@@ -1,0 +1,27 @@
+(** Sequential LIFO stack on a singly-linked list.
+
+    The strong-FL stack applies (possibly combined) batches of operations
+    to a sequential instance while holding the evaluation lock (Kogan &
+    Herlihy §4), so no synchronization is needed here. Not thread-safe. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** [pop t] removes and returns the top element, or [None] when empty. *)
+
+val top : 'a t -> 'a option
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push_list : 'a t -> 'a list -> unit
+(** [push_list t [x1; ...; xn]] pushes [x1] first, so [xn] ends on top. *)
+
+val pop_many : 'a t -> int -> 'a list
+(** [pop_many t n] pops up to [n] elements, top first. Returns fewer than
+    [n] when the stack runs out. Raises [Invalid_argument] if [n < 0]. *)
+
+val to_list : 'a t -> 'a list
+(** Top-first snapshot. *)

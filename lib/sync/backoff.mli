@@ -1,0 +1,26 @@
+(** Truncated exponential backoff for contended atomic retry loops.
+
+    Each [once] call spins for a pseudo-random number of iterations drawn
+    from a window that doubles (up to a ceiling) on every call. On a
+    single-core host a pure spin can starve the lock holder, so past a
+    configurable threshold [once] also yields the processor with a short
+    sleep, letting the holder run.
+
+    A value of type [t] is owned by one domain and must not be shared. *)
+
+type t
+
+val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+(** [create ()] returns a fresh backoff in its initial (smallest) window.
+    [min_wait] and [max_wait] bound the spin-iteration window; defaults are
+    [16] and [4096]. Raises [Invalid_argument] if
+    [min_wait <= 0 || max_wait < min_wait]. *)
+
+val once : t -> unit
+(** Spin (and possibly yield) once, then widen the window. *)
+
+val reset : t -> unit
+(** Shrink the window back to [min_wait]; call after a successful CAS. *)
+
+val current_window : t -> int
+(** Current window size in spin iterations (for tests and diagnostics). *)

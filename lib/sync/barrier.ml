@@ -1,0 +1,27 @@
+type t = {
+  parties : int;
+  remaining : int Atomic.t;
+  sense : bool Atomic.t; (* flips when a phase completes *)
+}
+
+let create parties =
+  if parties <= 0 then invalid_arg "Barrier.create: parties must be positive";
+  { parties; remaining = Atomic.make parties; sense = Atomic.make false }
+
+let parties t = t.parties
+
+let wait t =
+  let my_sense = Atomic.get t.sense in
+  if Atomic.fetch_and_add t.remaining (-1) = 1 then begin
+    (* Last arrival: reset the count, then release everyone by flipping
+       the sense. Order matters: the count must be ready for the next
+       phase before anyone observes the flip. *)
+    Atomic.set t.remaining t.parties;
+    Atomic.set t.sense (not my_sense)
+  end
+  else begin
+    let b = Backoff.create () in
+    while Atomic.get t.sense = my_sense do
+      Backoff.once b
+    done
+  end

@@ -1,0 +1,17 @@
+(** Reusable sense-reversing barrier for coordinating benchmark domains.
+
+    All participating domains call [wait]; none proceeds until every one of
+    the [parties] has arrived. The barrier resets itself, so the same value
+    can synchronize successive phases. *)
+
+type t
+
+val create : int -> t
+(** [create parties] makes a barrier for [parties] domains.
+    Raises [Invalid_argument] if [parties <= 0]. *)
+
+val parties : t -> int
+
+val wait : t -> unit
+(** Block (spin with yields) until all parties have called [wait] for the
+    current phase. *)

@@ -1,0 +1,16 @@
+(* One atomic per stripe. OCaml domain ids grow monotonically over the
+   program's lifetime, so we hash them into a fixed number of stripes. *)
+
+let stripes = 64
+
+type t = { cells : int Atomic.t array }
+
+let create () = { cells = Array.init stripes (fun _ -> Atomic.make 0) }
+
+let stripe_of_self () = (Domain.self () :> int) land (stripes - 1)
+
+let incr t = Atomic.incr t.cells.(stripe_of_self ())
+let add t n = ignore (Atomic.fetch_and_add t.cells.(stripe_of_self ()) n)
+
+let total t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells
+let reset t = Array.iter (fun c -> Atomic.set c 0) t.cells

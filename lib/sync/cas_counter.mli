@@ -1,0 +1,24 @@
+(** Striped event counter for low-overhead CAS accounting.
+
+    The lock-free structures count every CAS attempt so benchmarks can
+    reproduce the paper's observation (§5.2) that the weak-FL queue's
+    running-time spike correlates with the number of CAS operations per
+    high-level operation. Striping by domain id keeps the counter off the
+    hot structures' contended cache lines. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> unit
+(** Count one event, attributed to the calling domain's stripe. *)
+
+val add : t -> int -> unit
+(** Count [n] events at once. *)
+
+val total : t -> int
+(** Sum across all stripes. Not atomic with respect to concurrent [incr];
+    intended to be read when the counted activity has quiesced. *)
+
+val reset : t -> unit
+(** Zero all stripes. *)

@@ -1,0 +1,46 @@
+type t = { locked : bool Atomic.t }
+
+let create () = { locked = Atomic.make false }
+
+let try_acquire t =
+  (* Test before test-and-set to avoid bouncing the cache line. *)
+  (not (Atomic.get t.locked)) && Atomic.compare_and_set t.locked false true
+
+let acquire t =
+  let b = Backoff.create () in
+  let rec loop () =
+    if not (try_acquire t) then begin
+      Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+let acquire_until t stop =
+  let b = Backoff.create () in
+  let rec loop () =
+    if try_acquire t then true
+    else if stop () then false
+    else begin
+      Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+let release t =
+  if not (Atomic.get t.locked) then
+    invalid_arg "Spinlock.release: lock is not held";
+  Atomic.set t.locked false
+
+let is_locked t = Atomic.get t.locked
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      release t;
+      raise e

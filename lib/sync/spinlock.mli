@@ -1,0 +1,32 @@
+(** Test-and-test-and-set spin lock with exponential backoff.
+
+    Used by the strong-FL engine to protect evaluation of pending
+    operations (Kogan & Herlihy §4). Not reentrant. Safe to share across
+    domains. *)
+
+type t
+
+val create : unit -> t
+
+val try_acquire : t -> bool
+(** Attempt to take the lock without waiting; [true] on success. *)
+
+val acquire : t -> unit
+(** Take the lock, spinning with backoff until available. *)
+
+val acquire_until : t -> (unit -> bool) -> bool
+(** [acquire_until l stop] spins to take the lock, but polls [stop] between
+    attempts and abandons the wait when it returns [true]. Returns [true]
+    iff the lock was acquired (in which case the caller must release it).
+    This implements the strong-FL evaluation wait: "if T fails to acquire
+    the lock, it waits until the lock becomes available again, checking
+    periodically that F is still pending". *)
+
+val release : t -> unit
+(** Release the lock. Raises [Invalid_argument] if the lock is not held. *)
+
+val is_locked : t -> bool
+(** Current state snapshot (for tests and diagnostics). *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** [with_lock l f] runs [f] holding [l], releasing on exception. *)

@@ -1,0 +1,65 @@
+type stack_op = Push of int | Pop
+type queue_op = Enq of int | Deq
+type list_op = Insert of int | Remove of int | Contains of int
+
+let stack_op rng = if Rng.bool rng then Push (Rng.below rng 1_000_000) else Pop
+
+let queue_op rng = if Rng.bool rng then Enq (Rng.below rng 1_000_000) else Deq
+
+let default_key_range = 10_000
+
+let list_op ?(key_range = default_key_range) rng =
+  let key = Rng.below rng key_range in
+  match Rng.below rng 10 with
+  | 0 | 1 -> Insert key
+  | 2 | 3 -> Remove key
+  | _ -> Contains key
+
+let initial_keys ?(key_range = default_key_range) ~seed () =
+  let rng = Rng.create ~seed ~stream:0xf111 in
+  let target = key_range / 2 in
+  let present = Hashtbl.create target in
+  let rec loop acc n =
+    if n = target then acc
+    else
+      let k = Rng.below rng key_range in
+      if Hashtbl.mem present k then loop acc n
+      else begin
+        Hashtbl.add present k ();
+        loop (k :: acc) (n + 1)
+      end
+  in
+  loop [] 0
+
+type zipf = { cumulative : float array }
+
+let zipf ?(exponent = 1.0) ~n () =
+  if n <= 0 then invalid_arg "Distribution.zipf: n must be positive";
+  if exponent < 0.0 then
+    invalid_arg "Distribution.zipf: exponent must be non-negative";
+  let cumulative = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for k = 0 to n - 1 do
+    total := !total +. (1.0 /. (float_of_int (k + 1) ** exponent));
+    cumulative.(k) <- !total
+  done;
+  Array.iteri (fun i c -> cumulative.(i) <- c /. !total) cumulative;
+  { cumulative }
+
+let zipf_draw z rng =
+  let u = Rng.float rng in
+  (* Smallest index whose cumulative weight reaches u. *)
+  let rec bisect lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if z.cumulative.(mid) < u then bisect (mid + 1) hi else bisect lo mid
+  in
+  bisect 0 (Array.length z.cumulative - 1)
+
+let list_op_skewed z rng =
+  let key = zipf_draw z rng in
+  match Rng.below rng 10 with
+  | 0 | 1 -> Insert key
+  | 2 | 3 -> Remove key
+  | _ -> Contains key

@@ -1,0 +1,45 @@
+(** Operation mixes for the paper's three benchmarks (§5).
+
+    - Stacks: 50% push / 50% pop, stack initially empty.
+    - Queues: 50% enq / 50% deq, queue initially empty.
+    - Lists: 20% insert / 20% remove / 60% contains, keys uniform in a
+      range of 10K, list pre-filled with half the range. *)
+
+type stack_op = Push of int | Pop
+type queue_op = Enq of int | Deq
+type list_op = Insert of int | Remove of int | Contains of int
+
+val default_key_range : int
+(** 10_000, the paper's key range. *)
+
+val stack_op : Rng.t -> stack_op
+(** Uniform push/pop; push values are random. *)
+
+val queue_op : Rng.t -> queue_op
+
+val list_op : ?key_range:int -> Rng.t -> list_op
+(** 20/20/60 insert/remove/contains with keys uniform below [key_range]
+    (default 10_000, the paper's range). *)
+
+val initial_keys : ?key_range:int -> seed:int -> unit -> int list
+(** The paper's list initialization: distinct random keys, [key_range / 2]
+    of them (half the range), deterministic in [seed]. *)
+
+(** {2 Skewed keys (extension experiments)}
+
+    The paper draws keys uniformly; real key popularity is usually
+    skewed. A Zipf distribution lets the benchmark explore how the
+    combining optimizations behave when many pending operations hit the
+    same few keys. *)
+
+type zipf
+
+val zipf : ?exponent:float -> n:int -> unit -> zipf
+(** Zipf sampler over ranks [0, n): rank k has weight 1/(k+1)^exponent
+    (default exponent 1.0). Raises [Invalid_argument] if [n <= 0] or
+    [exponent < 0]. O(n) table, O(log n) draws. *)
+
+val zipf_draw : zipf -> Rng.t -> int
+
+val list_op_skewed : zipf -> Rng.t -> list_op
+(** The 20/20/60 list mix with Zipf-distributed keys. *)

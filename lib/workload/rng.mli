@@ -1,0 +1,23 @@
+(** Deterministic splitmix64 pseudo-random numbers for workload generation.
+
+    Every benchmark thread derives its own stream from (seed, thread id),
+    so runs are reproducible regardless of interleaving and no two threads
+    share generator state. *)
+
+type t
+
+val create : seed:int -> stream:int -> t
+(** A generator for logical stream [stream] (e.g. the thread index) of the
+    experiment [seed]. *)
+
+val next : t -> int
+(** Next raw 62-bit non-negative value. *)
+
+val below : t -> int -> int
+(** [below t n] is uniform in [0, n). Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool

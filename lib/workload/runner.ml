@@ -1,0 +1,62 @@
+type measurement = {
+  threads : int;
+  seconds : float;
+  std_dev : float;
+  throughput : float;
+  cas_per_op : float;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total
+    ?teardown () =
+  if threads <= 0 then invalid_arg "Runner.run: threads must be positive";
+  if repeats <= 0 then invalid_arg "Runner.run: repeats must be positive";
+  let samples = Array.make repeats 0.0 in
+  let cas_samples = Array.make repeats Float.nan in
+  for rep = 0 to repeats - 1 do
+    let ctx = setup () in
+    let barrier = Sync.Barrier.create (threads + 1) in
+    let cas_before = match cas_total with Some f -> f ctx | None -> 0 in
+    let spawn i =
+      Domain.spawn (fun () ->
+          Sync.Barrier.wait barrier;
+          worker ctx ~thread:i ~ops:ops_per_thread)
+    in
+    let domains = List.init threads spawn in
+    (* Release all workers at once and time until the last finishes. *)
+    let seconds =
+      time (fun () ->
+          Sync.Barrier.wait barrier;
+          (* Join in order; re-raise the first worker failure, but only
+             after every domain has been joined. *)
+          let failure = ref None in
+          List.iter
+            (fun d ->
+              match Domain.join d with
+              | () -> ()
+              | exception e -> if !failure = None then failure := Some e)
+            domains;
+          match !failure with Some e -> raise e | None -> ())
+    in
+    samples.(rep) <- seconds;
+    (match cas_total with
+    | Some f ->
+        let total_ops = threads * ops_per_thread in
+        cas_samples.(rep) <-
+          float_of_int (f ctx - cas_before) /. float_of_int total_ops
+    | None -> ());
+    match teardown with Some f -> f ctx | None -> ()
+  done;
+  let mean = Stats.mean samples in
+  {
+    threads;
+    seconds = mean;
+    std_dev = Stats.std_dev samples;
+    throughput = float_of_int (threads * ops_per_thread) /. mean;
+    cas_per_op =
+      (if cas_total = None then Float.nan else Stats.mean cas_samples);
+  }

@@ -1,0 +1,36 @@
+(** Multi-domain benchmark runner.
+
+    Mirrors the paper's methodology (§5): [n] threads each perform a preset
+    number of operations on a shared structure with no external work in
+    between; we measure the wall-clock time for {e all} threads to finish,
+    from a common barrier release. Results are the mean over [repeats]
+    runs on fresh structure instances. *)
+
+type measurement = {
+  threads : int;
+  seconds : float;  (** mean completion time *)
+  std_dev : float;
+  throughput : float;  (** total ops / mean seconds *)
+  cas_per_op : float;
+      (** CAS attempts on the shared structure per high-level operation,
+          when the workload reports them; [nan] otherwise *)
+}
+
+val run :
+  threads:int ->
+  repeats:int ->
+  ops_per_thread:int ->
+  setup:(unit -> 'ctx) ->
+  worker:('ctx -> thread:int -> ops:int -> unit) ->
+  ?cas_total:('ctx -> int) ->
+  ?teardown:('ctx -> unit) ->
+  unit ->
+  measurement
+(** [setup] builds a fresh shared context per repeat; [worker ctx ~thread
+    ~ops] is executed by each of the [threads] domains and must perform
+    [ops] operations; [cas_total] reads the context's CAS counter after
+    the run; [teardown] may validate or drain the context. Exceptions in
+    workers are re-raised after all domains join. *)
+
+val time : (unit -> unit) -> float
+(** Wall-clock seconds of one call (monotonic). *)

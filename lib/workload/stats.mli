@@ -1,0 +1,19 @@
+(** Small statistics helpers for benchmark reporting. *)
+
+val mean : float array -> float
+(** Raises [Invalid_argument] on an empty array. *)
+
+val std_dev : float array -> float
+(** Sample standard deviation (n-1 denominator); [0.] for fewer than two
+    samples. *)
+
+val min : float array -> float
+val max : float array -> float
+
+val median : float array -> float
+(** Does not modify its argument. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100], nearest-rank on the sorted
+    samples. Raises [Invalid_argument] if [p] is out of range or [xs] is
+    empty. *)

@@ -1,0 +1,224 @@
+(* Tests for the flat-combining engine and its stack/queue/set baselines
+   (Hendler et al. 2010; the paper's §7 comparison point). *)
+
+module FC = Combining.Flat_combining
+module FS = Combining.Fc_stack
+module FQ = Combining.Fc_queue
+
+module FSet = Combining.Fc_set.Make (struct
+  type t = int
+
+  let compare = Int.compare
+end)
+
+(* ------------------------------ engine ------------------------------ *)
+
+let test_engine_applies () =
+  let calls = ref [] in
+  let t =
+    FC.create ~apply:(fun op ->
+        calls := op :: !calls;
+        op * 2)
+  in
+  let h = FC.handle t in
+  Alcotest.(check int) "result" 10 (FC.apply h 5);
+  Alcotest.(check int) "again" 14 (FC.apply h 7);
+  Alcotest.(check (list int)) "both applied in order" [ 5; 7 ]
+    (List.rev !calls);
+  Alcotest.(check bool) "combiner ran" true (FC.combiner_passes t >= 2)
+
+let test_engine_multiple_handles () =
+  let t = FC.create ~apply:(fun op -> op + 100) in
+  let h1 = FC.handle t in
+  let h2 = FC.handle t in
+  Alcotest.(check int) "h1" 101 (FC.apply h1 1);
+  Alcotest.(check int) "h2" 102 (FC.apply h2 2);
+  Alcotest.(check int) "h1 again" 103 (FC.apply h1 3)
+
+(* Delegation: a slow combiner answers requests published by waiters. *)
+let test_engine_combines_for_others () =
+  let sum = ref 0 in
+  let t =
+    FC.create ~apply:(fun op ->
+        sum := !sum + op;
+        !sum)
+  in
+  let n = 4 and per = 2_000 in
+  let domains =
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            let h = FC.handle t in
+            for j = 1 to per do
+              ignore (FC.apply h ((i * per) + j))
+            done))
+  in
+  List.iter Domain.join domains;
+  (* Every request applied exactly once: the running sum saw them all. *)
+  let expected = List.init (n * per) (fun k -> k + 1 + 0) in
+  ignore expected;
+  let total = n * per * (n * per + 1) / 2 in
+  Alcotest.(check int) "all requests applied exactly once" total !sum;
+  (* Combining actually happened: far fewer passes than operations. *)
+  Alcotest.(check bool) "passes <= operations" true
+    (FC.combiner_passes t <= n * per)
+
+(* ------------------------------ stack ------------------------------- *)
+
+let test_fc_stack_lifo () =
+  let s = FS.create () in
+  let h = FS.handle s in
+  Alcotest.(check (option int)) "pop empty" None (FS.pop h);
+  FS.push h 1;
+  FS.push h 2;
+  Alcotest.(check (list int)) "contents" [ 2; 1 ] (FS.to_list s);
+  Alcotest.(check (option int)) "pop" (Some 2) (FS.pop h);
+  Alcotest.(check int) "length" 1 (FS.length s)
+
+let test_fc_stack_parallel_conservation () =
+  let s = FS.create () in
+  let domains = 4 and ops = 2_000 in
+  let balance = Array.make domains 0 in
+  let worker i () =
+    let h = FS.handle s in
+    let rng = Workload.Rng.create ~seed:5 ~stream:i in
+    for n = 1 to ops do
+      if Workload.Rng.bool rng then begin
+        FS.push h n;
+        balance.(i) <- balance.(i) + 1
+      end
+      else
+        match FS.pop h with
+        | Some _ -> balance.(i) <- balance.(i) - 1
+        | None -> ()
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "pushes - pops = remaining"
+    (Array.fold_left ( + ) 0 balance)
+    (FS.length s)
+
+(* ------------------------------ queue ------------------------------- *)
+
+let test_fc_queue_fifo () =
+  let q = FQ.create () in
+  let h = FQ.handle q in
+  FQ.enqueue h 1;
+  FQ.enqueue h 2;
+  FQ.enqueue h 3;
+  Alcotest.(check (option int)) "deq 1" (Some 1) (FQ.dequeue h);
+  Alcotest.(check (option int)) "deq 2" (Some 2) (FQ.dequeue h);
+  Alcotest.(check (list int)) "rest" [ 3 ] (FQ.to_list q)
+
+let test_fc_queue_per_producer_order () =
+  let q = FQ.create () in
+  let producers = 3 and per = 1_000 in
+  let ds =
+    List.init producers (fun i ->
+        Domain.spawn (fun () ->
+            let h = FQ.handle q in
+            for n = 1 to per do
+              FQ.enqueue h ((i * 1_000_000) + n)
+            done))
+  in
+  List.iter Domain.join ds;
+  let all = FQ.to_list q in
+  Alcotest.(check int) "all enqueued" (producers * per) (List.length all);
+  let last = Hashtbl.create 4 in
+  List.iter
+    (fun v ->
+      let p = v / 1_000_000 and n = v mod 1_000_000 in
+      (match Hashtbl.find_opt last p with
+      | Some m when m >= n -> Alcotest.fail "per-producer order broken"
+      | _ -> ());
+      Hashtbl.replace last p n)
+    all
+
+(* ------------------------------- set -------------------------------- *)
+
+let test_fc_set_semantics () =
+  let l = FSet.create () in
+  let h = FSet.handle l in
+  Alcotest.(check bool) "insert" true (FSet.insert h 5);
+  Alcotest.(check bool) "dup" false (FSet.insert h 5);
+  Alcotest.(check bool) "member" true (FSet.contains h 5);
+  Alcotest.(check bool) "remove" true (FSet.remove h 5);
+  Alcotest.(check bool) "gone" false (FSet.contains h 5);
+  Alcotest.(check (list int)) "empty" [] (FSet.to_list l)
+
+let test_fc_set_parallel_per_key_balance () =
+  let l = FSet.create () in
+  let domains = 4 and ops = 1_500 and range = 8 in
+  let net = Array.init domains (fun _ -> Array.make range 0) in
+  let worker i () =
+    let h = FSet.handle l in
+    let rng = Workload.Rng.create ~seed:77 ~stream:i in
+    for _ = 1 to ops do
+      let k = Workload.Rng.below rng range in
+      if Workload.Rng.bool rng then begin
+        if FSet.insert h k then net.(i).(k) <- net.(i).(k) + 1
+      end
+      else if FSet.remove h k then net.(i).(k) <- net.(i).(k) - 1
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  let contents = FSet.to_list l in
+  for k = 0 to range - 1 do
+    let bal = Array.fold_left (fun a per -> a + per.(k)) 0 net in
+    Alcotest.(check int)
+      (Printf.sprintf "key %d" k)
+      (if List.mem k contents then 1 else 0)
+      bal
+  done
+
+(* Registry integration: the flatcomb entries behave like the others. *)
+let test_registry_flatcomb_strong_fl () =
+  let outcome =
+    Conformance.check_stack ~rounds:4 (Fl.Registry.find_stack "flatcomb")
+  in
+  Alcotest.(check int) "stack strong-FL" 0 outcome.Conformance.violations;
+  let outcome =
+    Conformance.check_queue ~rounds:4 (Fl.Registry.find_queue "flatcomb")
+  in
+  Alcotest.(check int) "queue strong-FL" 0 outcome.Conformance.violations;
+  let outcome =
+    Conformance.check_set ~rounds:4 (Fl.Registry.find_set "flatcomb")
+  in
+  Alcotest.(check int) "set strong-FL" 0 outcome.Conformance.violations
+
+let () =
+  Alcotest.run "combining"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "applies" `Quick test_engine_applies;
+          Alcotest.test_case "multiple handles" `Quick
+            test_engine_multiple_handles;
+          Alcotest.test_case "combines for others (4 domains)" `Slow
+            test_engine_combines_for_others;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "lifo" `Quick test_fc_stack_lifo;
+          Alcotest.test_case "conservation (4 domains)" `Slow
+            test_fc_stack_parallel_conservation;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "fifo" `Quick test_fc_queue_fifo;
+          Alcotest.test_case "per-producer order (3 domains)" `Slow
+            test_fc_queue_per_producer_order;
+        ] );
+      ( "set",
+        [
+          Alcotest.test_case "semantics" `Quick test_fc_set_semantics;
+          Alcotest.test_case "per-key balance (4 domains)" `Slow
+            test_fc_set_parallel_per_key_balance;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "flatcomb is strong-FL (checked)" `Slow
+            test_registry_flatcomb_strong_fl;
+        ] );
+    ]

@@ -1,0 +1,379 @@
+(* Tests for the three futures-based linked-list sets. *)
+
+module Future = Futures.Future
+
+module Int_key = struct
+  type t = int
+
+  let compare = Int.compare
+end
+
+module H = Lockfree.Harris_list.Make (Int_key)
+module WL = Fl.Weak_list.Make (Int_key)
+module ML = Fl.Medium_list.Make (Int_key)
+module SL = Fl.Strong_list.Make (Int_key)
+
+let force = Future.force
+
+(* ------------------------------ weak ------------------------------- *)
+
+let test_weak_basic () =
+  let l = WL.create () in
+  let h = WL.handle l in
+  let f1 = WL.insert h 5 in
+  let f2 = WL.insert h 3 in
+  let f3 = WL.contains h 5 in
+  Alcotest.(check int) "three pending" 3 (WL.pending_count h);
+  Alcotest.(check bool) "insert 5 fresh" true (force f1);
+  Alcotest.(check bool) "insert 3 fresh" true (force f2);
+  Alcotest.(check bool) "contains 5" true (force f3);
+  Alcotest.(check (list int)) "shared sorted" [ 3; 5 ]
+    (H.to_list (WL.shared l))
+
+let test_weak_same_key_combining () =
+  let l = WL.create () in
+  let h = WL.handle l in
+  (* insert k; remove k; contains k — net effect nil, one key group. *)
+  let fi = WL.insert h 7 in
+  let fr = WL.remove h 7 in
+  let fc = WL.contains h 7 in
+  WL.flush h;
+  Alcotest.(check bool) "insert changed" true (force fi);
+  Alcotest.(check bool) "remove found it" true (force fr);
+  Alcotest.(check bool) "contains after remove" false (force fc);
+  Alcotest.(check bool) "shared untouched" true (H.is_empty (WL.shared l));
+  (* No modification CAS should have hit the shared list (probe only). *)
+  Alcotest.(check int) "zero CAS" 0 (H.cas_count (WL.shared l))
+
+let test_weak_net_insert () =
+  let l = WL.create () in
+  let h = WL.handle l in
+  let fr = WL.remove h 4 in
+  let fi = WL.insert h 4 in
+  WL.flush h;
+  (* Temporal order per key: remove first (absent), then insert. *)
+  Alcotest.(check bool) "remove absent" false (force fr);
+  Alcotest.(check bool) "insert fresh" true (force fi);
+  Alcotest.(check (list int)) "net insert" [ 4 ] (H.to_list (WL.shared l))
+
+let test_weak_net_remove () =
+  let l = WL.create () in
+  ignore (H.insert (WL.shared l) 4);
+  let h = WL.handle l in
+  let fi = WL.insert h 4 in
+  let fr = WL.remove h 4 in
+  WL.flush h;
+  Alcotest.(check bool) "insert dup" false (force fi);
+  Alcotest.(check bool) "remove present" true (force fr);
+  Alcotest.(check bool) "net removed" true (H.is_empty (WL.shared l))
+
+let test_weak_many_keys_one_traversal () =
+  let l = WL.create () in
+  let h = WL.handle l in
+  let keys = [ 50; 10; 30; 20; 40 ] in
+  let fs = List.map (fun k -> WL.insert h k) keys in
+  WL.flush h;
+  List.iter (fun f -> Alcotest.(check bool) "inserted" true (force f)) fs;
+  Alcotest.(check (list int)) "sorted result" [ 10; 20; 30; 40; 50 ]
+    (H.to_list (WL.shared l))
+
+(* ----------------------------- medium ------------------------------ *)
+
+let test_medium_program_order () =
+  let l = ML.create () in
+  let h = ML.handle l in
+  let f1 = ML.insert h 3 in
+  let f2 = ML.insert h 2 in
+  (* Keys decrease: resume hint cannot apply; both still succeed. *)
+  Alcotest.(check bool) "insert 3" true (force f1);
+  Alcotest.(check bool) "insert 2" true (force f2);
+  Alcotest.(check (list int)) "both present" [ 2; 3 ]
+    (H.to_list (ML.shared l))
+
+let test_medium_stops_at_target () =
+  let l = ML.create () in
+  let h = ML.handle l in
+  let f1 = ML.insert h 1 in
+  let f2 = ML.insert h 2 in
+  let f3 = ML.insert h 3 in
+  (* Forcing f2 applies f1 and f2 but not f3. *)
+  Alcotest.(check bool) "f2" true (force f2);
+  Alcotest.(check bool) "f1 applied" true (Future.is_ready f1);
+  Alcotest.(check bool) "f3 pending" false (Future.is_ready f3);
+  Alcotest.(check int) "one left" 1 (ML.pending_count h);
+  Alcotest.(check (list int)) "only 1,2 visible" [ 1; 2 ]
+    (H.to_list (ML.shared l));
+  ignore (force f3 : bool);
+  Alcotest.(check (list int)) "3 after force" [ 1; 2; 3 ]
+    (H.to_list (ML.shared l))
+
+let test_medium_same_key_sequence () =
+  let l = ML.create () in
+  let h = ML.handle l in
+  let f1 = ML.insert h 5 in
+  let f2 = ML.remove h 5 in
+  let f3 = ML.insert h 5 in
+  let f4 = ML.contains h 5 in
+  ML.flush h;
+  Alcotest.(check (list bool)) "temporal results" [ true; true; true; true ]
+    [ force f1; force f2; force f3; force f4 ];
+  Alcotest.(check (list int)) "present" [ 5 ] (H.to_list (ML.shared l))
+
+let test_medium_resume_hint_disabled_equivalent () =
+  (* Same script with and without the hint must give the same results. *)
+  let script h (ml_insert, ml_remove, ml_contains, flush) =
+    let fs =
+      [
+        ml_insert h 10; ml_insert h 20; ml_contains h 15; ml_remove h 10;
+        ml_insert h 5; ml_contains h 5; ml_remove h 30;
+      ]
+    in
+    flush h;
+    List.map Future.force fs
+  in
+  let l1 = ML.create () in
+  let r1 =
+    script (ML.handle l1) (ML.insert, ML.remove, ML.contains, ML.flush)
+  in
+  let l2 = ML.create ~resume_hint:false () in
+  let r2 =
+    script (ML.handle l2) (ML.insert, ML.remove, ML.contains, ML.flush)
+  in
+  Alcotest.(check (list bool)) "same results" r1 r2;
+  Alcotest.(check (list int)) "same state" (H.to_list (ML.shared l1))
+    (H.to_list (ML.shared l2))
+
+(* ----------------------------- strong ------------------------------ *)
+
+let test_strong_basic () =
+  let l = SL.create () in
+  let f1 = SL.insert l 9 in
+  let f2 = SL.insert l 4 in
+  let f3 = SL.contains l 9 in
+  let f4 = SL.remove l 4 in
+  Alcotest.(check bool) "insert 9" true (force f1);
+  Alcotest.(check bool) "insert 4" true (force f2);
+  Alcotest.(check bool) "contains 9" true (force f3);
+  Alcotest.(check bool) "remove 4" true (force f4);
+  SL.drain l;
+  Alcotest.(check (list int)) "state" [ 9 ] (SL.to_list l)
+
+let test_strong_same_key_stable_order () =
+  let l = SL.create () in
+  (* Same key, alternating: stable sort must preserve temporal order. *)
+  let f1 = SL.insert l 5 in
+  let f2 = SL.remove l 5 in
+  let f3 = SL.insert l 5 in
+  let f4 = SL.remove l 5 in
+  Alcotest.(check (list bool)) "alternating all succeed"
+    [ true; true; true; true ]
+    [ force f1; force f2; force f3; force f4 ];
+  SL.drain l;
+  Alcotest.(check (list int)) "empty" [] (SL.to_list l)
+
+let test_strong_unsorted_ablation_equivalent () =
+  let run ~sort_batch =
+    let l = SL.create ~sort_batch () in
+    let fs =
+      [
+        SL.insert l 30; SL.insert l 10; SL.contains l 30; SL.remove l 10;
+        SL.insert l 20; SL.contains l 10;
+      ]
+    in
+    let rs = List.map force fs in
+    SL.drain l;
+    (rs, SL.to_list l)
+  in
+  let r1, s1 = run ~sort_batch:true in
+  let r2, s2 = run ~sort_batch:false in
+  Alcotest.(check (list bool)) "results agree" r1 r2;
+  Alcotest.(check (list int)) "states agree" s1 s2
+
+let test_strong_delegation () =
+  let l = SL.create () in
+  let submitted = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let f = SL.insert l 11 in
+        Atomic.set submitted true;
+        Future.await f)
+  in
+  let rec wait tries =
+    if (not (Atomic.get submitted)) && tries > 0 then begin
+      Unix.sleepf 0.001;
+      wait (tries - 1)
+    end
+  in
+  wait 5000;
+  let present = force (SL.contains l 11) in
+  ignore (Domain.join d : bool);
+  Alcotest.(check bool) "sees delegated insert" true present
+
+(* ------------------------------- txn -------------------------------- *)
+
+module TL = Fl.Txn_list.Make (Int_key)
+
+let test_txn_basic () =
+  let l = TL.create () in
+  let h = TL.handle l in
+  let f1 = TL.insert h 5 in
+  let f2 = TL.insert h 3 in
+  let f3 = TL.remove h 5 in
+  let f4 = TL.contains h 3 in
+  Alcotest.(check int) "four pending" 4 (TL.pending_count h);
+  TL.flush h;
+  Alcotest.(check (list bool)) "results" [ true; true; true; true ]
+    [ force f1; force f2; force f3; force f4 ];
+  Alcotest.(check (list int)) "state" [ 3 ] (H.to_list (TL.shared l))
+
+let test_txn_reorders_but_medium () =
+  (* insert 3 then insert 2 — the scenario §8 calls out. The txn list may
+     apply them key-ordered because nobody can observe the intermediate
+     state; results still follow invocation order per key. *)
+  let l = TL.create () in
+  let h = TL.handle l in
+  let f3 = TL.insert h 3 in
+  let f2 = TL.insert h 2 in
+  TL.flush h;
+  Alcotest.(check bool) "3 inserted" true (force f3);
+  Alcotest.(check bool) "2 inserted" true (force f2);
+  Alcotest.(check (list int)) "both present" [ 2; 3 ] (H.to_list (TL.shared l))
+
+let test_txn_same_key_temporal () =
+  let l = TL.create () in
+  let h = TL.handle l in
+  let f1 = TL.insert h 9 in
+  let f2 = TL.remove h 9 in
+  let f3 = TL.contains h 9 in
+  TL.flush h;
+  Alcotest.(check (list bool)) "replayed in order" [ true; true; false ]
+    [ force f1; force f2; force f3 ];
+  Alcotest.(check bool) "net nil" true (H.is_empty (TL.shared l))
+
+(* Atomicity across domains: a writer flips keys {0,1} together in one
+   transaction; a reader probes both keys in one transaction. The reader
+   must never see them differ — this is exactly what the (lock-free) weak
+   list cannot guarantee. *)
+let test_txn_atomic_visibility () =
+  let l = TL.create () in
+  let iterations = 2_000 in
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let writer =
+    Domain.spawn (fun () ->
+        let h = TL.handle l in
+        for _ = 1 to iterations do
+          ignore (TL.insert h 0);
+          ignore (TL.insert h 1);
+          TL.flush h;
+          ignore (TL.remove h 0);
+          ignore (TL.remove h 1);
+          TL.flush h
+        done;
+        Atomic.set stop true)
+  in
+  let reader =
+    Domain.spawn (fun () ->
+        let h = TL.handle l in
+        while not (Atomic.get stop) do
+          let f0 = TL.contains h 0 in
+          let f1 = TL.contains h 1 in
+          TL.flush h;
+          if force f0 <> force f1 then Atomic.incr violations
+        done)
+  in
+  Domain.join writer;
+  Domain.join reader;
+  Alcotest.(check int) "keys always flip together" 0 (Atomic.get violations)
+
+(* ------------------- model equivalence (sequential) ------------------ *)
+
+let prop_against_model (impl : Fl.Registry.set_impl) =
+  QCheck.Test.make
+    ~name:(impl.l_name ^ " set matches model with random slack")
+    ~count:200
+    QCheck.(pair (list (pair (int_bound 2) (int_bound 20))) (int_bound 7))
+    (fun (script, slack_minus_1) ->
+      let module IS = Set.Make (Int) in
+      let inst = impl.l_make () in
+      let o = inst.l_handle () in
+      let slack = Fl.Slack.create (slack_minus_1 + 1) in
+      let model = ref IS.empty in
+      let ok = ref true in
+      List.iter
+        (fun (kind, k) ->
+          match kind with
+          | 0 ->
+              let expected = not (IS.mem k !model) in
+              model := IS.add k !model;
+              let f = o.l_insert k in
+              Fl.Slack.note slack (fun () ->
+                  if Future.force f <> expected then ok := false)
+          | 1 ->
+              let expected = IS.mem k !model in
+              model := IS.remove k !model;
+              let f = o.l_remove k in
+              Fl.Slack.note slack (fun () ->
+                  if Future.force f <> expected then ok := false)
+          | _ ->
+              let expected = IS.mem k !model in
+              let f = o.l_contains k in
+              Fl.Slack.note slack (fun () ->
+                  if Future.force f <> expected then ok := false))
+        script;
+      Fl.Slack.drain slack;
+      o.l_flush ();
+      inst.l_drain ();
+      !ok && inst.l_contents () = IS.elements !model)
+
+let model_props =
+  List.map
+    (fun impl -> QCheck_alcotest.to_alcotest (prop_against_model impl))
+    Fl.Registry.set_impls
+
+let () =
+  Alcotest.run "fl-list"
+    [
+      ( "weak",
+        [
+          Alcotest.test_case "basic" `Quick test_weak_basic;
+          Alcotest.test_case "same-key combining, no CAS" `Quick
+            test_weak_same_key_combining;
+          Alcotest.test_case "net insert" `Quick test_weak_net_insert;
+          Alcotest.test_case "net remove" `Quick test_weak_net_remove;
+          Alcotest.test_case "many keys, sorted application" `Quick
+            test_weak_many_keys_one_traversal;
+        ] );
+      ( "medium",
+        [
+          Alcotest.test_case "descending keys ok" `Quick
+            test_medium_program_order;
+          Alcotest.test_case "stops at target" `Quick
+            test_medium_stops_at_target;
+          Alcotest.test_case "same-key temporal sequence" `Quick
+            test_medium_same_key_sequence;
+          Alcotest.test_case "resume-hint ablation equivalent" `Quick
+            test_medium_resume_hint_disabled_equivalent;
+        ] );
+      ( "strong",
+        [
+          Alcotest.test_case "basic" `Quick test_strong_basic;
+          Alcotest.test_case "same-key stable order" `Quick
+            test_strong_same_key_stable_order;
+          Alcotest.test_case "sort ablation equivalent" `Quick
+            test_strong_unsorted_ablation_equivalent;
+          Alcotest.test_case "delegation across domains" `Slow
+            test_strong_delegation;
+        ] );
+      ( "txn",
+        [
+          Alcotest.test_case "basic" `Quick test_txn_basic;
+          Alcotest.test_case "reorders under atomicity (§8)" `Quick
+            test_txn_reorders_but_medium;
+          Alcotest.test_case "same-key temporal replay" `Quick
+            test_txn_same_key_temporal;
+          Alcotest.test_case "atomic visibility (2 domains)" `Slow
+            test_txn_atomic_visibility;
+        ] );
+      ("model", model_props);
+    ]

@@ -1,0 +1,310 @@
+(* Tests for the three futures-based queues (weak/medium/strong FL). *)
+
+module Future = Futures.Future
+module Q = Lockfree.Ms_queue
+
+let force = Future.force
+
+(* ------------------------------ weak ------------------------------- *)
+
+let test_weak_roundtrip () =
+  let q = Fl.Weak_queue.create () in
+  let h = Fl.Weak_queue.handle q in
+  let f1 = Fl.Weak_queue.enqueue h 1 in
+  let f2 = Fl.Weak_queue.enqueue h 2 in
+  force f1;
+  Alcotest.(check bool) "both enqueues flushed" true (Future.is_ready f2);
+  Alcotest.(check (list int)) "fifo order" [ 1; 2 ]
+    (Q.to_list (Fl.Weak_queue.shared q));
+  let d1 = Fl.Weak_queue.dequeue h in
+  let d2 = Fl.Weak_queue.dequeue h in
+  Alcotest.(check (option int)) "deq 1" (Some 1) (force d1);
+  Alcotest.(check bool) "deq 2 combined" true (Future.is_ready d2);
+  Alcotest.(check (option int)) "deq 2" (Some 2) (force d2)
+
+let test_weak_type_separation () =
+  (* Forcing a dequeue must NOT flush pending enqueues (separate lists):
+     the dequeue can overtake the thread's own earlier enqueue. *)
+  let q = Fl.Weak_queue.create () in
+  let h = Fl.Weak_queue.handle q in
+  let fe = Fl.Weak_queue.enqueue h 5 in
+  let fd = Fl.Weak_queue.dequeue h in
+  Alcotest.(check (option int)) "deq sees empty (reordered)" None (force fd);
+  Alcotest.(check bool) "enqueue still pending" false (Future.is_ready fe);
+  force fe;
+  Alcotest.(check (list int)) "value arrives later" [ 5 ]
+    (Q.to_list (Fl.Weak_queue.shared q))
+
+let test_weak_combining_cas_budget () =
+  let q = Fl.Weak_queue.create () in
+  let h = Fl.Weak_queue.handle q in
+  let fs = List.init 16 (fun i -> Fl.Weak_queue.enqueue h i) in
+  Fl.Weak_queue.flush_enqueues h;
+  List.iter force fs;
+  (* Uncontended combined enqueue: one CAS to link + one to swing tail. *)
+  Alcotest.(check int) "two CAS" 2 (Q.cas_count (Fl.Weak_queue.shared q));
+  Q.reset_cas_count (Fl.Weak_queue.shared q);
+  let ds = List.init 16 (fun _ -> Fl.Weak_queue.dequeue h) in
+  Fl.Weak_queue.flush_dequeues h;
+  ignore (List.map force ds);
+  (* Combined dequeue: one head CAS (+ possibly one tail help). *)
+  Alcotest.(check bool) "at most two CAS"
+    true
+    (Q.cas_count (Fl.Weak_queue.shared q) <= 2)
+
+let test_weak_excess_dequeues () =
+  let q = Fl.Weak_queue.create () in
+  let h = Fl.Weak_queue.handle q in
+  ignore (Fl.Weak_queue.enqueue h 1);
+  Fl.Weak_queue.flush h;
+  let ds = List.init 3 (fun _ -> Fl.Weak_queue.dequeue h) in
+  Fl.Weak_queue.flush h;
+  Alcotest.(check (list (option int)))
+    "one value, two empties"
+    [ Some 1; None; None ]
+    (List.map force ds)
+
+(* ----------------------------- medium ------------------------------ *)
+
+let test_medium_program_order () =
+  let q = Fl.Medium_queue.create () in
+  let h = Fl.Medium_queue.handle q in
+  let fe1 = Fl.Medium_queue.enqueue h 1 in
+  let fe2 = Fl.Medium_queue.enqueue h 2 in
+  let fd = Fl.Medium_queue.dequeue h in
+  (* The paper's Figure 2 under medium-FL: deq must yield the thread's
+     first enqueue. *)
+  Alcotest.(check (option int)) "deq is 1" (Some 1) (force fd);
+  Alcotest.(check bool) "earlier enqueues were applied" true
+    (Future.is_ready fe1 && Future.is_ready fe2);
+  Alcotest.(check (list int)) "2 remains" [ 2 ]
+    (Q.to_list (Fl.Medium_queue.shared q))
+
+let test_medium_stops_at_target () =
+  let q = Fl.Medium_queue.create () in
+  let h = Fl.Medium_queue.handle q in
+  let fe1 = Fl.Medium_queue.enqueue h 1 in
+  let fd = Fl.Medium_queue.dequeue h in
+  let fe2 = Fl.Medium_queue.enqueue h 2 in
+  (* Forcing fd applies [enq 1] then [deq], but NOT the later [enq 2]. *)
+  Alcotest.(check (option int)) "deq gets 1" (Some 1) (force fd);
+  Alcotest.(check bool) "fe1 applied" true (Future.is_ready fe1);
+  Alcotest.(check bool) "fe2 still pending" false (Future.is_ready fe2);
+  Alcotest.(check int) "one pending op" 1 (Fl.Medium_queue.pending_count h);
+  force fe2;
+  Alcotest.(check int) "drained" 0 (Fl.Medium_queue.pending_count h)
+
+let test_medium_runs_combined () =
+  let q = Fl.Medium_queue.create () in
+  let h = Fl.Medium_queue.handle q in
+  let es = List.init 6 (fun i -> Fl.Medium_queue.enqueue h i) in
+  let ds = List.init 6 (fun _ -> Fl.Medium_queue.dequeue h) in
+  Fl.Medium_queue.flush h;
+  List.iter force es;
+  Alcotest.(check (list (option int)))
+    "fifo results"
+    [ Some 0; Some 1; Some 2; Some 3; Some 4; Some 5 ]
+    (List.map force ds);
+  Alcotest.(check bool) "queue empty" true
+    (Q.is_empty (Fl.Medium_queue.shared q))
+
+let test_medium_interleaved_runs () =
+  let q = Fl.Medium_queue.create () in
+  let h = Fl.Medium_queue.handle q in
+  (* enq 1; deq(=1); enq 2; deq(=2) — four runs of length one. *)
+  let e1 = Fl.Medium_queue.enqueue h 1 in
+  let d1 = Fl.Medium_queue.dequeue h in
+  let e2 = Fl.Medium_queue.enqueue h 2 in
+  let d2 = Fl.Medium_queue.dequeue h in
+  Fl.Medium_queue.flush h;
+  force e1;
+  force e2;
+  Alcotest.(check (option int)) "d1" (Some 1) (force d1);
+  Alcotest.(check (option int)) "d2" (Some 2) (force d2)
+
+let test_medium_deq_empty_then_enq () =
+  let q = Fl.Medium_queue.create () in
+  let h = Fl.Medium_queue.handle q in
+  let d = Fl.Medium_queue.dequeue h in
+  let e = Fl.Medium_queue.enqueue h 9 in
+  (* Program order: the dequeue precedes the enqueue, so it must see the
+     empty queue even though the enqueue is pending behind it. *)
+  Alcotest.(check (option int)) "deq empty" None (force d);
+  force e;
+  Alcotest.(check (list int)) "enq lands after" [ 9 ]
+    (Q.to_list (Fl.Medium_queue.shared q))
+
+(* ----------------------------- strong ------------------------------ *)
+
+let test_strong_figure2 () =
+  (* Figure 2 of the paper with a strong-FL queue: deq returns x. *)
+  let q = Fl.Strong_queue.create () in
+  let fx = Fl.Strong_queue.enqueue q 100 (* x *) in
+  let fy = Fl.Strong_queue.enqueue q 200 (* y *) in
+  let fz = Fl.Strong_queue.dequeue q in
+  force fx;
+  force fy;
+  Alcotest.(check (option int)) "fz = x" (Some 100) (force fz);
+  Fl.Strong_queue.drain q;
+  Alcotest.(check (list int)) "y remains" [ 200 ] (Fl.Strong_queue.to_list q)
+
+let test_strong_force_out_of_order () =
+  let q = Fl.Strong_queue.create () in
+  let _fx = Fl.Strong_queue.enqueue q 1 in
+  let fz = Fl.Strong_queue.dequeue q in
+  (* Forcing only the dequeue still sees the earlier enqueue. *)
+  Alcotest.(check (option int)) "sees pending enqueue" (Some 1) (force fz)
+
+let test_strong_empty_dequeue () =
+  let q : int Fl.Strong_queue.t = Fl.Strong_queue.create () in
+  Alcotest.(check (option int)) "empty" None (force (Fl.Strong_queue.dequeue q))
+
+let test_strong_delegation () =
+  let q = Fl.Strong_queue.create () in
+  let submitted = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let f = Fl.Strong_queue.enqueue q 77 in
+        Atomic.set submitted true;
+        Future.await f)
+  in
+  let rec wait tries =
+    if (not (Atomic.get submitted)) && tries > 0 then begin
+      Unix.sleepf 0.001;
+      wait (tries - 1)
+    end
+  in
+  wait 5000;
+  Alcotest.(check bool) "submitted" true (Atomic.get submitted);
+  let v = force (Fl.Strong_queue.dequeue q) in
+  Domain.join d;
+  Alcotest.(check (option int)) "delegated" (Some 77) v
+
+(* -------------------- conservation + FIFO checks -------------------- *)
+
+let conservation_test (impl : Fl.Registry.queue_impl) =
+  let inst = impl.q_make () in
+  let domains = 4 and ops = 2_000 in
+  let sums = Array.make domains 0 and enqueued = Array.make domains 0 in
+  let worker i () =
+    let o = inst.q_handle () in
+    let rng = Workload.Rng.create ~seed:321 ~stream:i in
+    let slack = Fl.Slack.create 20 in
+    for n = 1 to ops do
+      if Workload.Rng.bool rng then begin
+        let v = (i * 1_000_000) + n in
+        enqueued.(i) <- enqueued.(i) + v;
+        let f = o.q_enq v in
+        Fl.Slack.note slack (fun () -> Future.force f)
+      end
+      else
+        let f = o.q_deq () in
+        Fl.Slack.note slack (fun () ->
+            match Future.force f with
+            | Some v -> sums.(i) <- sums.(i) + v
+            | None -> ())
+    done;
+    Fl.Slack.drain slack;
+    o.q_flush ()
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  inst.q_drain ();
+  let total_in = Array.fold_left ( + ) 0 enqueued in
+  let total_out = Array.fold_left ( + ) 0 sums in
+  let remaining = List.fold_left ( + ) 0 (inst.q_contents ()) in
+  Alcotest.(check int)
+    (impl.q_name ^ ": sum conservation")
+    total_in (total_out + remaining)
+
+let test_conservation_all () =
+  List.iter conservation_test Fl.Registry.queue_impls
+
+(* Single-thread model property: under program-order-preserving conditions
+   the queue must match a plain FIFO model at any slack. The weak queue
+   keeps separate enq/deq lists — its own dequeue may overtake its own
+   pending enqueue — so it is exempt here (checked by the ≺-search). *)
+let prop_program_order_model (impl : Fl.Registry.queue_impl) =
+  QCheck.Test.make
+    ~name:(impl.q_name ^ " queue == FIFO model at any slack")
+    ~count:300
+    QCheck.(pair (list (pair bool (int_bound 50))) (int_bound 9))
+    (fun (script, slack_minus_1) ->
+      let inst = impl.q_make () in
+      let o = inst.q_handle () in
+      let sl = Fl.Slack.create (slack_minus_1 + 1) in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (is_enq, v) ->
+          if is_enq then begin
+            model := !model @ [ v ];
+            let f = o.q_enq v in
+            Fl.Slack.note sl (fun () -> Future.force f)
+          end
+          else begin
+            let expected =
+              match !model with
+              | [] -> None
+              | x :: rest ->
+                  model := rest;
+                  Some x
+            in
+            let f = o.q_deq () in
+            Fl.Slack.note sl (fun () ->
+                if Future.force f <> expected then ok := false)
+          end)
+        script;
+      Fl.Slack.drain sl;
+      o.q_flush ();
+      inst.q_drain ();
+      !ok && inst.q_contents () = !model)
+
+let program_order_props =
+  List.map
+    (fun name ->
+      QCheck_alcotest.to_alcotest
+        (prop_program_order_model (Fl.Registry.find_queue name)))
+    [ "lockfree"; "flatcomb"; "medium"; "strong" ]
+
+let () =
+  Alcotest.run "fl-queue"
+    [
+      ( "weak",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_weak_roundtrip;
+          Alcotest.test_case "enq/deq lists are separate" `Quick
+            test_weak_type_separation;
+          Alcotest.test_case "combining CAS budget" `Quick
+            test_weak_combining_cas_budget;
+          Alcotest.test_case "excess dequeues" `Quick
+            test_weak_excess_dequeues;
+        ] );
+      ( "medium",
+        [
+          Alcotest.test_case "program order (Figure 2)" `Quick
+            test_medium_program_order;
+          Alcotest.test_case "evaluation stops at target" `Quick
+            test_medium_stops_at_target;
+          Alcotest.test_case "runs combined" `Quick test_medium_runs_combined;
+          Alcotest.test_case "interleaved runs" `Quick
+            test_medium_interleaved_runs;
+          Alcotest.test_case "deq before enq sees empty" `Quick
+            test_medium_deq_empty_then_enq;
+        ] );
+      ( "strong",
+        [
+          Alcotest.test_case "Figure 2 semantics" `Quick test_strong_figure2;
+          Alcotest.test_case "force out of order" `Quick
+            test_strong_force_out_of_order;
+          Alcotest.test_case "empty dequeue" `Quick test_strong_empty_dequeue;
+          Alcotest.test_case "delegation across domains" `Slow
+            test_strong_delegation;
+        ] );
+      ( "conservation",
+        [
+          Alcotest.test_case "all implementations (4 domains)" `Slow
+            test_conservation_all;
+        ] );
+      ("model", program_order_props);
+    ]

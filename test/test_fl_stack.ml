@@ -1,0 +1,422 @@
+(* Tests for the three futures-based stacks (weak/medium/strong FL):
+   sequential semantics, elimination and combining behaviour, pending
+   bookkeeping, and multi-domain conservation. Linearizability of recorded
+   concurrent histories is checked in test_integration.ml. *)
+
+module Future = Futures.Future
+module T = Lockfree.Treiber_stack
+
+let force = Future.force
+
+(* ------------------------------ weak ------------------------------- *)
+
+let test_weak_push_pop_roundtrip () =
+  let s = Fl.Weak_stack.create () in
+  let h = Fl.Weak_stack.handle s in
+  let f1 = Fl.Weak_stack.push h 1 in
+  let f2 = Fl.Weak_stack.push h 2 in
+  (* Forcing any future flushes the whole pending list. *)
+  force f1;
+  Alcotest.(check bool) "f2 flushed too" true (Future.is_ready f2);
+  Alcotest.(check (list int)) "shared contents" [ 2; 1 ]
+    (T.to_list (Fl.Weak_stack.shared s));
+  let p = Fl.Weak_stack.pop h in
+  Alcotest.(check (option int)) "pop top" (Some 2) (force p)
+
+let test_weak_elimination_no_shared_access () =
+  let s = Fl.Weak_stack.create () in
+  let h = Fl.Weak_stack.handle s in
+  let fpop = Fl.Weak_stack.pop h in
+  Alcotest.(check int) "one pending" 1 (Fl.Weak_stack.pending_count h);
+  (* A push must eliminate against the pending pop: both become ready
+     without touching the shared stack. *)
+  let fpush = Fl.Weak_stack.push h 7 in
+  Alcotest.(check bool) "pop ready" true (Future.is_ready fpop);
+  Alcotest.(check bool) "push ready" true (Future.is_ready fpush);
+  Alcotest.(check (option int)) "pop got value" (Some 7) (force fpop);
+  Alcotest.(check int) "nothing pending" 0 (Fl.Weak_stack.pending_count h);
+  Alcotest.(check int) "zero CAS on shared stack" 0
+    (T.cas_count (Fl.Weak_stack.shared s));
+  Alcotest.(check bool) "shared untouched" true
+    (T.is_empty (Fl.Weak_stack.shared s))
+
+let test_weak_elimination_reorders () =
+  (* pop before push on an empty stack: under weak-FL the pop may take
+     effect after the push and return its value rather than None. *)
+  let s = Fl.Weak_stack.create () in
+  let h = Fl.Weak_stack.handle s in
+  let fpop = Fl.Weak_stack.pop h in
+  let _ = Fl.Weak_stack.push h 5 in
+  Alcotest.(check (option int)) "reordered" (Some 5) (force fpop)
+
+let test_weak_combining_single_cas () =
+  let s = Fl.Weak_stack.create () in
+  let h = Fl.Weak_stack.handle s in
+  let fs = List.init 10 (fun i -> Fl.Weak_stack.push h i) in
+  Alcotest.(check int) "ten pending" 10 (Fl.Weak_stack.pending_count h);
+  Fl.Weak_stack.flush h;
+  List.iter force fs;
+  (* One multi-node push = exactly one CAS attempt (uncontended). *)
+  Alcotest.(check int) "single CAS" 1 (T.cas_count (Fl.Weak_stack.shared s));
+  Alcotest.(check int) "all present" 10 (T.length (Fl.Weak_stack.shared s))
+
+let test_weak_excess_pops_empty () =
+  let s = Fl.Weak_stack.create () in
+  let h = Fl.Weak_stack.handle s in
+  let f1 = Fl.Weak_stack.push h 1 in
+  let f2 = Fl.Weak_stack.push h 2 in
+  Fl.Weak_stack.flush h;
+  force f1;
+  force f2;
+  let pops = List.init 4 (fun _ -> Fl.Weak_stack.pop h) in
+  Fl.Weak_stack.flush h;
+  let results = List.map force pops in
+  Alcotest.(check (list (option int)))
+    "two values then empties"
+    [ Some 2; Some 1; None; None ]
+    results
+
+let test_weak_no_elimination_flag () =
+  let s = Fl.Weak_stack.create ~elimination:false () in
+  let h = Fl.Weak_stack.handle s in
+  let fpop = Fl.Weak_stack.pop h in
+  let fpush = Fl.Weak_stack.push h 3 in
+  (* Without elimination both stay pending. *)
+  Alcotest.(check bool) "pop pending" false (Future.is_ready fpop);
+  Alcotest.(check bool) "push pending" false (Future.is_ready fpush);
+  Alcotest.(check int) "two pending" 2 (Fl.Weak_stack.pending_count h);
+  Fl.Weak_stack.flush h;
+  (* Flush applies pops before pushes: the pop sees the empty stack. *)
+  Alcotest.(check (option int)) "pop empty" None (force fpop);
+  Alcotest.(check unit) "push applied" () (force fpush);
+  Alcotest.(check (list int)) "value landed" [ 3 ]
+    (T.to_list (Fl.Weak_stack.shared s))
+
+(* ----------------------------- medium ------------------------------ *)
+
+let test_medium_program_order () =
+  let s = Fl.Medium_stack.create () in
+  let h = Fl.Medium_stack.handle s in
+  let f1 = Fl.Medium_stack.push h 1 in
+  let f2 = Fl.Medium_stack.push h 2 in
+  let fp = Fl.Medium_stack.pop h in
+  (* pop eliminates with the most recent push (2). *)
+  Alcotest.(check (option int)) "pop gets 2" (Some 2) (force fp);
+  force f1;
+  force f2;
+  Alcotest.(check (list int)) "1 remains" [ 1 ]
+    (T.to_list (Fl.Medium_stack.shared s))
+
+let test_medium_pop_then_push_no_elimination () =
+  (* A pop invoked before any pending push cannot be eliminated by a later
+     push (that would reorder the thread's operations). *)
+  let s = Fl.Medium_stack.create () in
+  let h = Fl.Medium_stack.handle s in
+  let fpop = Fl.Medium_stack.pop h in
+  let fpush = Fl.Medium_stack.push h 9 in
+  Alcotest.(check bool) "pop still pending" false (Future.is_ready fpop);
+  (* On flush, the pop (older) must see the empty stack, then the push
+     takes effect. *)
+  Alcotest.(check (option int)) "pop sees empty" None (force fpop);
+  Alcotest.(check unit) "push lands" () (force fpush);
+  Alcotest.(check (list int)) "after flush" [ 9 ]
+    (T.to_list (Fl.Medium_stack.shared s))
+
+let test_medium_alternation_collapses () =
+  let s = Fl.Medium_stack.create () in
+  let h = Fl.Medium_stack.handle s in
+  (* push 1; push 2; pop (=2); push 3; pop (=3); pop (=1) *)
+  let fa = Fl.Medium_stack.push h 1 in
+  let fb = Fl.Medium_stack.push h 2 in
+  let p1 = Fl.Medium_stack.pop h in
+  let fc = Fl.Medium_stack.push h 3 in
+  let p2 = Fl.Medium_stack.pop h in
+  let p3 = Fl.Medium_stack.pop h in
+  Alcotest.(check (option int)) "p1" (Some 2) (force p1);
+  Alcotest.(check (option int)) "p2" (Some 3) (force p2);
+  Alcotest.(check (option int)) "p3" (Some 1) (force p3);
+  force fa;
+  force fb;
+  force fc;
+  Alcotest.(check bool) "stack empty" true
+    (T.is_empty (Fl.Medium_stack.shared s))
+
+let test_medium_combining_cas_count () =
+  let s = Fl.Medium_stack.create () in
+  let h = Fl.Medium_stack.handle s in
+  let pushes = List.init 8 (fun i -> Fl.Medium_stack.push h i) in
+  Fl.Medium_stack.flush h;
+  List.iter force pushes;
+  let pops = List.init 8 (fun _ -> Fl.Medium_stack.pop h) in
+  Fl.Medium_stack.flush h;
+  ignore (List.map force pops);
+  (* One CAS for the combined push, one for the combined pop. *)
+  Alcotest.(check int) "two CAS total" 2
+    (T.cas_count (Fl.Medium_stack.shared s))
+
+let test_medium_pop_order_lifo () =
+  let s = Fl.Medium_stack.create () in
+  let h = Fl.Medium_stack.handle s in
+  List.iter (fun i -> ignore (Fl.Medium_stack.push h i)) [ 1; 2; 3 ];
+  Fl.Medium_stack.flush h;
+  let p1 = Fl.Medium_stack.pop h in
+  let p2 = Fl.Medium_stack.pop h in
+  Fl.Medium_stack.flush h;
+  (* Older pop takes effect first: gets the top (3), then 2. *)
+  Alcotest.(check (option int)) "first pop" (Some 3) (force p1);
+  Alcotest.(check (option int)) "second pop" (Some 2) (force p2)
+
+(* The schedule that makes eager (invocation-time) elimination unsound
+   under medium-FL, recorded and checked: thread A leaves pop1 pending,
+   then push1, then pop2 (which pairs with push1); if pop2's future were
+   fulfilled eagerly, a push by thread B issued strictly AFTER pop2's
+   evaluation and popped by A's still-pending pop1 would create the cycle
+   pop1 ≺ push1 ≺ pop2 ≺ pushB ≺ pop1. The flush-time pairing must keep
+   the recorded history medium-FL. *)
+let test_medium_no_eager_elimination_cycle () =
+  let module H = Lin.History in
+  let module SSpec = Lin.Spec.Stack_spec in
+  let module CS = Lin.Checker.Make (SSpec) in
+  let s = Fl.Medium_stack.create () in
+  let clock = H.clock () in
+  let log_a = H.log () and log_b = H.log () in
+  let ha = Fl.Medium_stack.handle s in
+  (* A: pop1 pending; push1; pop2; evaluate ONLY pop2. *)
+  let _f_pop1, c_pop1 =
+    H.recorded_call log_a clock ~thread:0 ~obj:0 (fun () ->
+        Fl.Medium_stack.pop ha)
+  in
+  let _f_push1, c_push1 =
+    H.recorded_call log_a clock ~thread:0 ~obj:0 (fun () ->
+        Fl.Medium_stack.push ha 5)
+  in
+  let _f_pop2, c_pop2 =
+    H.recorded_call log_a clock ~thread:0 ~obj:0 (fun () ->
+        Fl.Medium_stack.pop ha)
+  in
+  let pop2_result = c_pop2 (fun r -> SSpec.Pop r) in
+  (* B: push 7 strictly after pop2's evaluation completed, from another
+     domain with its own handle, fully evaluated. *)
+  let b =
+    Domain.spawn (fun () ->
+        let hb = Fl.Medium_stack.handle s in
+        let _f, c =
+          H.recorded_call log_b clock ~thread:1 ~obj:0 (fun () ->
+              Fl.Medium_stack.push hb 7)
+        in
+        ignore (c (fun () -> SSpec.Push 7)))
+  in
+  Domain.join b;
+  (* A: now evaluate pop1 and push1. *)
+  let pop1_result = c_pop1 (fun r -> SSpec.Pop r) in
+  ignore (c_push1 (fun () -> SSpec.Push 5));
+  let history = H.merge [ log_a; log_b ] in
+  if not (CS.check Lin.Order.Medium history) then begin
+    Format.printf "%a" CS.pp_history history;
+    Alcotest.fail "medium stack produced a non-medium-FL history"
+  end;
+  (* With flush-time pairing, pop2 still pairs with push1 and pop1 was
+     applied first (against the then-empty shared stack). *)
+  Alcotest.(check (option int)) "pop2 paired with push1" (Some 5) pop2_result;
+  Alcotest.(check (option int)) "pop1 saw the pre-push state" None
+    pop1_result
+
+(* ----------------------------- strong ------------------------------ *)
+
+let test_strong_immediate_order () =
+  let s = Fl.Strong_stack.create () in
+  let f1 = Fl.Strong_stack.push s 1 in
+  let f2 = Fl.Strong_stack.push s 2 in
+  let p = Fl.Strong_stack.pop s in
+  (* Strong-FL: effects follow invocation order regardless of forcing
+     order — force the pop first. *)
+  Alcotest.(check (option int)) "pop is 2" (Some 2) (force p);
+  force f1;
+  force f2;
+  Fl.Strong_stack.drain s;
+  Alcotest.(check (list int)) "remaining" [ 1 ] (Fl.Strong_stack.to_list s)
+
+let test_strong_pop_empty () =
+  let s : int Fl.Strong_stack.t = Fl.Strong_stack.create () in
+  let p = Fl.Strong_stack.pop s in
+  Alcotest.(check (option int)) "empty" None (force p)
+
+let test_strong_batch_elimination () =
+  let s = Fl.Strong_stack.create () in
+  (* A balanced batch: all pops are eliminated by preceding pushes and the
+     sequential stack is never touched. *)
+  let fs = List.init 6 (fun i -> Fl.Strong_stack.push s i) in
+  let ps = List.init 6 (fun _ -> Fl.Strong_stack.pop s) in
+  List.iter force fs;
+  let vs = List.map force ps in
+  Alcotest.(check (list (option int)))
+    "LIFO within batch"
+    [ Some 5; Some 4; Some 3; Some 2; Some 1; Some 0 ]
+    vs;
+  Alcotest.(check int) "sequential instance untouched" 0
+    (Fl.Strong_stack.length s)
+
+let test_strong_delegation () =
+  (* One domain forces; the other's futures get fulfilled by delegation. *)
+  let s = Fl.Strong_stack.create () in
+  let submitted = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let f = Fl.Strong_stack.push s 42 in
+        Atomic.set submitted true;
+        (* Wait until someone else evaluates our pending push. *)
+        Future.await f)
+  in
+  let rec wait_for_submit tries =
+    if (not (Atomic.get submitted)) && tries > 0 then begin
+      Unix.sleepf 0.001;
+      wait_for_submit (tries - 1)
+    end
+  in
+  wait_for_submit 5000;
+  Alcotest.(check bool) "producer submitted" true (Atomic.get submitted);
+  let p = Fl.Strong_stack.pop s in
+  let v = force p in
+  Domain.join d;
+  (* Our pop was submitted after their push, so it must return 42. *)
+  Alcotest.(check (option int)) "delegated value" (Some 42) v
+
+(* -------------------- cross-version conservation -------------------- *)
+
+let conservation_test (impl : Fl.Registry.stack_impl) =
+  let inst = impl.s_make () in
+  let domains = 4 and ops = 2_000 in
+  let sums = Array.make domains 0 and pushed = Array.make domains 0 in
+  let worker i () =
+    let o = inst.s_handle () in
+    let rng = Workload.Rng.create ~seed:123 ~stream:i in
+    let slack = Fl.Slack.create 10 in
+    for n = 1 to ops do
+      if Workload.Rng.bool rng then begin
+        let v = (i * 1_000_000) + n in
+        pushed.(i) <- pushed.(i) + v;
+        let f = o.s_push v in
+        Fl.Slack.note slack (fun () -> Future.force f)
+      end
+      else
+        let f = o.s_pop () in
+        Fl.Slack.note slack (fun () ->
+            match Future.force f with
+            | Some v -> sums.(i) <- sums.(i) + v
+            | None -> ())
+    done;
+    Fl.Slack.drain slack;
+    o.s_flush ()
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  inst.s_drain ();
+  let total_pushed = Array.fold_left ( + ) 0 pushed in
+  let total_popped = Array.fold_left ( + ) 0 sums in
+  let remaining = List.fold_left ( + ) 0 (inst.s_contents ()) in
+  Alcotest.(check int)
+    (impl.s_name ^ ": sum conservation")
+    total_pushed (total_popped + remaining)
+
+let test_conservation_all () =
+  List.iter conservation_test Fl.Registry.stack_impls
+
+(* Single-thread model property. Under medium- and strong-FL a thread's
+   operations take effect in program order, so regardless of slack the
+   results must match a plain LIFO model replayed in invocation order.
+   (Weak-FL deliberately violates this — elimination reorders pop before
+   push — so it is checked against the ≺-search in the integration suite
+   instead.) *)
+let prop_program_order_model (impl : Fl.Registry.stack_impl) =
+  QCheck.Test.make
+    ~name:(impl.s_name ^ " stack == LIFO model at any slack")
+    ~count:300
+    QCheck.(pair (list (pair bool (int_bound 50))) (int_bound 9))
+    (fun (script, slack_minus_1) ->
+      let inst = impl.s_make () in
+      let o = inst.s_handle () in
+      let sl = Fl.Slack.create (slack_minus_1 + 1) in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (is_push, v) ->
+          if is_push then begin
+            model := v :: !model;
+            let f = o.s_push v in
+            Fl.Slack.note sl (fun () -> Future.force f)
+          end
+          else begin
+            let expected =
+              match !model with
+              | [] -> None
+              | x :: rest ->
+                  model := rest;
+                  Some x
+            in
+            let f = o.s_pop () in
+            Fl.Slack.note sl (fun () ->
+                if Future.force f <> expected then ok := false)
+          end)
+        script;
+      Fl.Slack.drain sl;
+      o.s_flush ();
+      inst.s_drain ();
+      !ok && inst.s_contents () = !model)
+
+let program_order_props =
+  List.map
+    (fun name ->
+      QCheck_alcotest.to_alcotest
+        (prop_program_order_model (Fl.Registry.find_stack name)))
+    [ "lockfree"; "flatcomb"; "medium"; "strong" ]
+
+let () =
+  Alcotest.run "fl-stack"
+    [
+      ( "weak",
+        [
+          Alcotest.test_case "push/pop roundtrip" `Quick
+            test_weak_push_pop_roundtrip;
+          Alcotest.test_case "elimination avoids shared stack" `Quick
+            test_weak_elimination_no_shared_access;
+          Alcotest.test_case "elimination reorders pop/push" `Quick
+            test_weak_elimination_reorders;
+          Alcotest.test_case "combining is one CAS" `Quick
+            test_weak_combining_single_cas;
+          Alcotest.test_case "excess pops see empty" `Quick
+            test_weak_excess_pops_empty;
+          Alcotest.test_case "elimination can be disabled" `Quick
+            test_weak_no_elimination_flag;
+        ] );
+      ( "medium",
+        [
+          Alcotest.test_case "pop pairs with latest push" `Quick
+            test_medium_program_order;
+          Alcotest.test_case "earlier pop not eliminated" `Quick
+            test_medium_pop_then_push_no_elimination;
+          Alcotest.test_case "alternation collapses" `Quick
+            test_medium_alternation_collapses;
+          Alcotest.test_case "combining CAS count" `Quick
+            test_medium_combining_cas_count;
+          Alcotest.test_case "pop order is LIFO" `Quick
+            test_medium_pop_order_lifo;
+          Alcotest.test_case "no eager-elimination cycle (checked)" `Quick
+            test_medium_no_eager_elimination_cycle;
+        ] );
+      ( "strong",
+        [
+          Alcotest.test_case "invocation order respected" `Quick
+            test_strong_immediate_order;
+          Alcotest.test_case "pop empty" `Quick test_strong_pop_empty;
+          Alcotest.test_case "batch elimination" `Quick
+            test_strong_batch_elimination;
+          Alcotest.test_case "delegation across domains" `Slow
+            test_strong_delegation;
+        ] );
+      ( "conservation",
+        [
+          Alcotest.test_case "all implementations (4 domains)" `Slow
+            test_conservation_all;
+        ] );
+      ("model", program_order_props);
+    ]

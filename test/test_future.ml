@@ -1,0 +1,189 @@
+(* Tests for the Future mechanism: fulfilment, forcing, evaluators,
+   cross-domain handoff. *)
+
+module Future = Futures.Future
+
+let test_of_value () =
+  let f = Future.of_value 42 in
+  Alcotest.(check bool) "ready" true (Future.is_ready f);
+  Alcotest.(check (option int)) "peek" (Some 42) (Future.peek f);
+  Alcotest.(check int) "force" 42 (Future.force f);
+  Alcotest.(check int) "force again" 42 (Future.force f)
+
+let test_fulfil_once () =
+  let f = Future.create () in
+  Alcotest.(check bool) "pending" false (Future.is_ready f);
+  Alcotest.(check (option int)) "peek pending" None (Future.peek f);
+  Future.fulfil f 7;
+  Alcotest.(check bool) "ready" true (Future.is_ready f);
+  Alcotest.check_raises "double fulfil" Future.Already_fulfilled (fun () ->
+      Future.fulfil f 8);
+  Alcotest.(check int) "value preserved" 7 (Future.force f)
+
+let test_try_fulfil () =
+  let f = Future.create () in
+  Alcotest.(check bool) "first" true (Future.try_fulfil f 1);
+  Alcotest.(check bool) "second" false (Future.try_fulfil f 2);
+  Alcotest.(check int) "kept first" 1 (Future.force f)
+
+let test_evaluator_runs_on_force () =
+  let ran = ref false in
+  let f = Future.create () in
+  Future.set_evaluator f (fun () ->
+      ran := true;
+      Future.fulfil f 99);
+  Alcotest.(check bool) "not yet" false !ran;
+  Alcotest.(check int) "forced" 99 (Future.force f);
+  Alcotest.(check bool) "evaluator ran" true !ran
+
+let test_evaluator_not_rerun () =
+  let runs = ref 0 in
+  let f = Future.create () in
+  Future.set_evaluator f (fun () ->
+      incr runs;
+      Future.fulfil f !runs);
+  Alcotest.(check int) "first force" 1 (Future.force f);
+  Alcotest.(check int) "second force cached" 1 (Future.force f);
+  Alcotest.(check int) "single run" 1 !runs
+
+let test_create_with () =
+  let f = ref None in
+  let fut = Future.create_with ~evaluator:(fun () ->
+      match !f with Some fut -> Future.fulfil fut 5 | None -> ())
+  in
+  f := Some fut;
+  Alcotest.(check int) "force" 5 (Future.force fut)
+
+let test_force_stuck () =
+  let f : int Future.t = Future.create () in
+  Alcotest.check_raises "stuck without evaluator" Future.Stuck (fun () ->
+      ignore (Future.force f))
+
+let test_broken_evaluator_stuck () =
+  let f : int Future.t = Future.create () in
+  Future.set_evaluator f (fun () -> () (* forgets to fulfil *));
+  Alcotest.check_raises "stuck evaluator" Future.Stuck (fun () ->
+      ignore (Future.force f))
+
+let test_cross_domain_fulfil () =
+  let f = Future.create () in
+  let producer = Domain.spawn (fun () -> Future.fulfil f 123) in
+  Alcotest.(check int) "await" 123 (Future.await f);
+  Domain.join producer
+
+let test_cross_domain_force_waits () =
+  (* force with no evaluator waits a bounded time; a concurrent fulfiller
+     should win the race comfortably. *)
+  let f = Future.create () in
+  let producer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.01;
+        Future.fulfil f "hello")
+  in
+  Alcotest.(check string) "forced" "hello" (Future.force f);
+  Domain.join producer
+
+let test_many_futures_one_producer () =
+  let n = 1_000 in
+  let futures = Array.init n (fun _ -> Future.create ()) in
+  let producer =
+    Domain.spawn (fun () -> Array.iteri (fun i f -> Future.fulfil f i) futures)
+  in
+  let ok = ref true in
+  Array.iteri (fun i f -> if Future.await f <> i then ok := false) futures;
+  Domain.join producer;
+  Alcotest.(check bool) "all values delivered" true !ok
+
+(* ---------------------------- combinators --------------------------- *)
+
+let test_map () =
+  let f = Future.create () in
+  let g = Future.map (fun x -> x * 2) f in
+  Alcotest.(check bool) "derived pending" false (Future.is_ready g);
+  Future.fulfil f 21;
+  Alcotest.(check int) "derived forces parent" 42 (Future.force g);
+  Alcotest.(check int) "cached" 42 (Future.force g)
+
+let test_map_forces_evaluator () =
+  let evaluated = ref false in
+  let f = Future.create () in
+  Future.set_evaluator f (fun () ->
+      evaluated := true;
+      Future.fulfil f 10);
+  let g = Future.map string_of_int f in
+  Alcotest.(check string) "maps after eval" "10" (Future.force g);
+  Alcotest.(check bool) "parent evaluator ran" true !evaluated
+
+let test_both () =
+  let a = Future.create () and b = Future.create () in
+  Future.set_evaluator a (fun () -> Future.fulfil a 1);
+  Future.set_evaluator b (fun () -> Future.fulfil b "x");
+  let c = Future.both a b in
+  Alcotest.(check (pair int string)) "pair" (1, "x") (Future.force c)
+
+let test_all () =
+  let fs = List.init 5 Future.of_value in
+  let batch = Future.all fs in
+  Alcotest.(check (list int)) "batch" [ 0; 1; 2; 3; 4 ] (Future.force batch);
+  let pending = Future.create () in
+  let batch2 = Future.all [ pending ] in
+  Future.set_evaluator pending (fun () -> Future.fulfil pending 9);
+  Alcotest.(check (list int)) "evaluators forced" [ 9 ] (Future.force batch2)
+
+(* Compile-time conformance of the handle-based structures to the shared
+   signatures (no runtime component). *)
+module _ : Fl.Fl_intf.HANDLE_STACK = Fl.Weak_stack
+module _ : Fl.Fl_intf.HANDLE_STACK = Fl.Medium_stack
+module _ : Fl.Fl_intf.HANDLE_QUEUE = Fl.Weak_queue
+module _ : Fl.Fl_intf.HANDLE_QUEUE = Fl.Medium_queue
+
+module Int_key = struct
+  type t = int
+
+  let compare = Int.compare
+end
+
+module _ : Fl.Fl_intf.HANDLE_SET with module Key := Int_key =
+  Fl.Weak_list.Make (Int_key)
+
+module _ : Fl.Fl_intf.HANDLE_SET with module Key := Int_key =
+  Fl.Medium_list.Make (Int_key)
+
+module _ : Fl.Fl_intf.HANDLE_SET with module Key := Int_key =
+  Fl.Txn_list.Make (Int_key)
+
+let () =
+  Alcotest.run "future"
+    [
+      ( "single-thread",
+        [
+          Alcotest.test_case "of_value" `Quick test_of_value;
+          Alcotest.test_case "fulfil once" `Quick test_fulfil_once;
+          Alcotest.test_case "try_fulfil" `Quick test_try_fulfil;
+          Alcotest.test_case "evaluator on force" `Quick
+            test_evaluator_runs_on_force;
+          Alcotest.test_case "evaluator not rerun" `Quick
+            test_evaluator_not_rerun;
+          Alcotest.test_case "create_with" `Quick test_create_with;
+          Alcotest.test_case "force stuck" `Quick test_force_stuck;
+          Alcotest.test_case "broken evaluator" `Quick
+            test_broken_evaluator_stuck;
+        ] );
+      ( "combinators",
+        [
+          Alcotest.test_case "map" `Quick test_map;
+          Alcotest.test_case "map forces evaluator" `Quick
+            test_map_forces_evaluator;
+          Alcotest.test_case "both" `Quick test_both;
+          Alcotest.test_case "all" `Quick test_all;
+        ] );
+      ( "cross-domain",
+        [
+          Alcotest.test_case "fulfil then await" `Quick
+            test_cross_domain_fulfil;
+          Alcotest.test_case "force waits for fulfiller" `Quick
+            test_cross_domain_force_waits;
+          Alcotest.test_case "1000 futures" `Slow
+            test_many_futures_one_producer;
+        ] );
+    ]

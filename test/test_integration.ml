@@ -1,0 +1,312 @@
+(* Integration tests: record real multi-domain executions of every
+   implementation and verify them against the futures-linearizability
+   condition each claims (Section 3 of the paper), via the checker. Also
+   includes a deliberately broken implementation as a negative control and
+   cross-structure composition scenarios. *)
+
+module Future = Futures.Future
+module H = Lin.History
+module SSpec = Lin.Spec.Stack_spec
+module QSpec = Lin.Spec.Queue_spec
+module SetSpec = Lin.Spec.Set_spec
+module CS = Lin.Checker.Make (SSpec)
+module CQ = Lin.Checker.Make (QSpec)
+module CSet = Lin.Checker.Make (SetSpec)
+
+(* Conformance checks: the Conformance library runs recorded rounds and
+   checks them against the condition each implementation claims. The
+   lock-free baselines return pre-evaluated futures, so they are
+   strong-FL. *)
+
+let rounds = 8
+
+let fail_outcome name (o : Conformance.outcome) =
+  match o.first_failure with
+  | None -> ()
+  | Some history ->
+      Format.printf "%s@." history;
+      Alcotest.fail
+        (Printf.sprintf "%s: %d/%d rounds violated the claimed condition"
+           name o.violations o.rounds)
+
+let test_stack_condition (impl : Fl.Registry.stack_impl) () =
+  fail_outcome (impl.s_name ^ " stack")
+    (Conformance.check_stack ~rounds impl)
+
+let test_queue_condition (impl : Fl.Registry.queue_impl) () =
+  fail_outcome (impl.q_name ^ " queue")
+    (Conformance.check_queue ~rounds impl)
+
+let test_set_condition (impl : Fl.Registry.set_impl) () =
+  fail_outcome (impl.l_name ^ " list") (Conformance.check_set ~rounds impl)
+
+(* The weak implementations must also pass the weaker checks trivially;
+   more interestingly, medium implementations must pass the weak check and
+   strong implementations all three (the conditions form a hierarchy). *)
+let test_hierarchy_downgrades () =
+  let strong_stack = Fl.Registry.find_stack "strong" in
+  List.iter
+    (fun condition ->
+      fail_outcome "strong stack (downgraded)"
+        (Conformance.check_stack ~rounds:3 ~condition strong_stack))
+    [ Lin.Order.Strong; Lin.Order.Medium; Lin.Order.Weak ];
+  let medium_queue = Fl.Registry.find_queue "medium" in
+  List.iter
+    (fun condition ->
+      fail_outcome "medium queue (downgraded)"
+        (Conformance.check_queue ~rounds:3 ~condition medium_queue))
+    [ Lin.Order.Medium; Lin.Order.Weak ]
+
+(* ------------------------- negative control ------------------------- *)
+
+(* A deliberately broken "stack" backed by a FIFO queue: even the weak
+   condition must reject it once the interleaving pins the order. *)
+let test_negative_control () =
+  let q = Seqds.Seq_queue.create () in
+  let clock = H.clock () in
+  let log = H.log () in
+  let call op describe =
+    let _, complete =
+      H.recorded_call log clock ~thread:0 ~obj:0 (fun () ->
+          Future.of_value (op ()))
+    in
+    ignore (complete describe)
+  in
+  call (fun () -> Seqds.Seq_queue.enqueue q 1) (fun () -> SSpec.Push 1);
+  call (fun () -> Seqds.Seq_queue.enqueue q 2) (fun () -> SSpec.Push 2);
+  call (fun () -> Seqds.Seq_queue.dequeue q) (fun r -> SSpec.Pop r);
+  let h = H.merge [ log ] in
+  Alcotest.(check bool) "weak rejects FIFO stack" false
+    (CS.check Lin.Order.Weak h)
+
+(* ------------------------ composition scenes ------------------------ *)
+
+(* Items flow stack -> queue through futures; multiset is preserved.
+   Exercises two FL structures driven by the same thread with interleaved
+   pending operations (compositionality in practice). *)
+let test_stack_to_queue_pipeline () =
+  let s = Fl.Weak_stack.create () in
+  let q = Fl.Medium_queue.create () in
+  let n = 200 in
+  let mover =
+    Domain.spawn (fun () ->
+        let sh = Fl.Weak_stack.handle s in
+        let qh = Fl.Medium_queue.handle q in
+        (* Fill the stack. *)
+        let pushes = List.init n (fun i -> Fl.Weak_stack.push sh i) in
+        Fl.Weak_stack.flush sh;
+        List.iter Future.force pushes;
+        (* Move every element to the queue in batches of 10. *)
+        let moved = ref 0 in
+        while !moved < n do
+          let pops = List.init 10 (fun _ -> Fl.Weak_stack.pop sh) in
+          Fl.Weak_stack.flush sh;
+          List.iter
+            (fun p ->
+              match Future.force p with
+              | Some v ->
+                  ignore (Fl.Medium_queue.enqueue qh v);
+                  incr moved
+              | None -> ())
+            pops;
+          Fl.Medium_queue.flush qh
+        done)
+  in
+  Domain.join mover;
+  let contents = Lockfree.Ms_queue.to_list (Fl.Medium_queue.shared q) in
+  Alcotest.(check int) "all moved" n (List.length contents);
+  Alcotest.(check (list int)) "same multiset"
+    (List.init n Fun.id)
+    (List.sort compare contents)
+
+(* Two threads, two strong queues, the Figure 3 access pattern — executed
+   for real and recorded; must satisfy strong-FL per object. *)
+let test_two_queues_strong_composition () =
+  let p = Fl.Strong_queue.create () in
+  let q = Fl.Strong_queue.create () in
+  let clock = H.clock () in
+  let log_a = H.log () and log_b = H.log () in
+  let barrier = Sync.Barrier.create 2 in
+  let thread_body tid log (first : int Fl.Strong_queue.t)
+      (second : int Fl.Strong_queue.t) obj_first obj_second v =
+    Sync.Barrier.wait barrier;
+    let f1, c1 =
+      H.recorded_call log clock ~thread:tid ~obj:obj_first (fun () ->
+          Fl.Strong_queue.enqueue first v)
+    in
+    let f2, c2 =
+      H.recorded_call log clock ~thread:tid ~obj:obj_second (fun () ->
+          Fl.Strong_queue.enqueue second v)
+    in
+    ignore (f1, f2);
+    ignore (c1 (fun () -> QSpec.Enq v));
+    ignore (c2 (fun () -> QSpec.Enq v));
+    let _, c3 =
+      H.recorded_call log clock ~thread:tid ~obj:obj_first (fun () ->
+          Fl.Strong_queue.dequeue first)
+    in
+    ignore (c3 (fun r -> QSpec.Deq r))
+  in
+  let da =
+    Domain.spawn (fun () -> thread_body 0 log_a p q 0 1 100)
+  in
+  let db =
+    Domain.spawn (fun () -> thread_body 1 log_b q p 1 0 200)
+  in
+  Domain.join da;
+  Domain.join db;
+  Fl.Strong_queue.drain p;
+  Fl.Strong_queue.drain q;
+  let h = H.merge [ log_a; log_b ] in
+  Alcotest.(check bool) "strong-FL composition holds" true
+    (CQ.check Lin.Order.Strong h)
+
+(* Slack sweep: the observable final state of a weak stack must be a
+   permutation-compatible outcome for every slack level. *)
+let test_slack_levels_consistent_totals () =
+  List.iter
+    (fun slack ->
+      let s = Fl.Weak_stack.create () in
+      let h = Fl.Weak_stack.handle s in
+      let sl = Fl.Slack.create slack in
+      let popped = ref 0 and pushed = ref 0 in
+      let rng = Workload.Rng.create ~seed:slack ~stream:0 in
+      for n = 1 to 500 do
+        if Workload.Rng.bool rng then begin
+          incr pushed;
+          let f = Fl.Weak_stack.push h n in
+          Fl.Slack.note sl (fun () -> Future.force f)
+        end
+        else
+          let f = Fl.Weak_stack.pop h in
+          Fl.Slack.note sl (fun () ->
+              match Future.force f with
+              | Some _ -> incr popped
+              | None -> ())
+      done;
+      Fl.Slack.drain sl;
+      Fl.Weak_stack.flush h;
+      let remaining =
+        Lockfree.Treiber_stack.length (Fl.Weak_stack.shared s)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "slack %d conserves" slack)
+        !pushed
+        (!popped + remaining))
+    [ 1; 10; 20; 100 ]
+
+let test_registry_lookups () =
+  List.iter
+    (fun name ->
+      Alcotest.(check string) name name
+        (Fl.Registry.find_stack name).Fl.Registry.s_name)
+    [ "lockfree"; "elim"; "flatcomb"; "weak"; "medium"; "strong" ];
+  List.iter
+    (fun name ->
+      Alcotest.(check string) name name
+        (Fl.Registry.find_queue name).Fl.Registry.q_name)
+    [ "lockfree"; "flatcomb"; "weak"; "medium"; "strong" ];
+  List.iter
+    (fun name ->
+      Alcotest.(check string) name name
+        (Fl.Registry.find_set name).Fl.Registry.l_name)
+    [ "lockfree"; "flatcomb"; "weak"; "medium"; "strong"; "txn" ];
+  (match Fl.Registry.find_stack "nope" with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ());
+  (* Instances are independent. *)
+  let a = (Fl.Registry.find_stack "weak").s_make () in
+  let b = (Fl.Registry.find_stack "weak").s_make () in
+  let oa = a.s_handle () in
+  ignore (Futures.Future.force (oa.s_push 1));
+  Alcotest.(check (list int)) "a has it" [ 1 ] (a.s_contents ());
+  Alcotest.(check (list int)) "b untouched" [] (b.s_contents ())
+
+(* Auto_handle: each domain transparently gets its own handle; values
+   flow correctly and no handle is shared. *)
+let test_auto_handle_per_domain () =
+  let stack = Fl.Weak_stack.create () in
+  let auto = Fl.Auto_handle.create stack ~make:Fl.Weak_stack.handle in
+  let h_main = Fl.Auto_handle.get auto in
+  Alcotest.(check bool) "same handle on repeat get" true
+    (h_main == Fl.Auto_handle.get auto);
+  let n = 4 and per = 500 in
+  let ds =
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            let h = Fl.Auto_handle.get auto in
+            (* our domain's handle is stable *)
+            assert (h == Fl.Auto_handle.get auto);
+            let sl = Fl.Slack.create 10 in
+            for j = 1 to per do
+              let f = Fl.Weak_stack.push h ((i * per) + j) in
+              Fl.Slack.note sl (fun () -> Future.force f)
+            done;
+            Fl.Slack.drain sl;
+            Fl.Weak_stack.flush h))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "all values pushed" (n * per)
+    (Lockfree.Treiber_stack.length (Fl.Weak_stack.shared stack));
+  Alcotest.(check bool) "main handle distinct from workers" true
+    (Fl.Weak_stack.pending_count h_main = 0)
+
+let stack_cases =
+  List.map
+    (fun (impl : Fl.Registry.stack_impl) ->
+      Alcotest.test_case
+        (impl.s_name ^ " stack satisfies its condition")
+        `Slow
+        (test_stack_condition impl))
+    Fl.Registry.stack_impls
+
+let queue_cases =
+  List.map
+    (fun (impl : Fl.Registry.queue_impl) ->
+      Alcotest.test_case
+        (impl.q_name ^ " queue satisfies its condition")
+        `Slow
+        (test_queue_condition impl))
+    Fl.Registry.queue_impls
+
+let set_cases =
+  List.map
+    (fun (impl : Fl.Registry.set_impl) ->
+      Alcotest.test_case
+        (impl.l_name ^ " list satisfies its condition")
+        `Slow
+        (test_set_condition impl))
+    Fl.Registry.set_impls
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("checked-stack", stack_cases);
+      ("checked-queue", queue_cases);
+      ("checked-list", set_cases);
+      ( "hierarchy",
+        [
+          Alcotest.test_case "conditions downgrade" `Slow
+            test_hierarchy_downgrades;
+        ] );
+      ( "negative",
+        [ Alcotest.test_case "FIFO stack rejected" `Quick test_negative_control ]
+      );
+      ( "registry",
+        [ Alcotest.test_case "lookups and independence" `Quick
+            test_registry_lookups ] );
+      ( "auto-handle",
+        [
+          Alcotest.test_case "per-domain handles (4 domains)" `Slow
+            test_auto_handle_per_domain;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "stack->queue pipeline" `Slow
+            test_stack_to_queue_pipeline;
+          Alcotest.test_case "two strong queues (Fig. 3 pattern)" `Slow
+            test_two_queues_strong_composition;
+          Alcotest.test_case "slack sweep conserves" `Quick
+            test_slack_levels_consistent_totals;
+        ] );
+    ]

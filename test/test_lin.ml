@@ -1,0 +1,520 @@
+(* Tests for the linearizability framework: specs, precedence orders, the
+   checker, and the paper's worked examples (Figures 2 and 3). *)
+
+module H = Lin.History
+module QSpec = Lin.Spec.Queue_spec
+module SSpec = Lin.Spec.Stack_spec
+module SetSpec = Lin.Spec.Set_spec
+module QCheck_ = QCheck
+module CQ = Lin.Checker.Make (Lin.Spec.Queue_spec)
+module CS = Lin.Checker.Make (Lin.Spec.Stack_spec)
+module CSet = Lin.Checker.Make (Lin.Spec.Set_spec)
+
+let entry ?(thread = 0) ?(obj = 0) op ~c:(c_inv, c_res) ?e () =
+  {
+    H.thread;
+    obj;
+    op;
+    create_inv = c_inv;
+    create_res = c_res;
+    eval_inv = Option.map fst e;
+    eval_res = Option.map snd e;
+  }
+
+(* ----------------------------- specs -------------------------------- *)
+
+let test_queue_spec () =
+  let s0 = QSpec.initial in
+  let s1 = QSpec.apply s0 ~obj:0 (QSpec.Enq 1) in
+  Alcotest.(check bool) "enq legal" true (s1 <> None);
+  let s1 = Option.get s1 in
+  Alcotest.(check bool) "deq wrong value illegal" true
+    (QSpec.apply s1 ~obj:0 (QSpec.Deq (Some 2)) = None);
+  Alcotest.(check bool) "deq right value legal" true
+    (QSpec.apply s1 ~obj:0 (QSpec.Deq (Some 1)) <> None);
+  Alcotest.(check bool) "deq empty on nonempty illegal" true
+    (QSpec.apply s1 ~obj:0 (QSpec.Deq None) = None);
+  Alcotest.(check bool) "deq empty on empty legal" true
+    (QSpec.apply s0 ~obj:0 (QSpec.Deq None) <> None);
+  (* distinct objects are independent *)
+  Alcotest.(check bool) "other object still empty" true
+    (QSpec.apply s1 ~obj:1 (QSpec.Deq None) <> None)
+
+let test_stack_spec () =
+  let s0 = SSpec.initial in
+  let s1 = Option.get (SSpec.apply s0 ~obj:0 (SSpec.Push 1)) in
+  let s2 = Option.get (SSpec.apply s1 ~obj:0 (SSpec.Push 2)) in
+  Alcotest.(check bool) "lifo pop" true
+    (SSpec.apply s2 ~obj:0 (SSpec.Pop (Some 2)) <> None);
+  Alcotest.(check bool) "fifo pop illegal" true
+    (SSpec.apply s2 ~obj:0 (SSpec.Pop (Some 1)) = None)
+
+let test_set_spec () =
+  let s0 = SetSpec.initial in
+  Alcotest.(check bool) "insert false on empty illegal" true
+    (SetSpec.apply s0 ~obj:0 (SetSpec.Insert (3, false)) = None);
+  let s1 = Option.get (SetSpec.apply s0 ~obj:0 (SetSpec.Insert (3, true))) in
+  Alcotest.(check bool) "dup insert returns false" true
+    (SetSpec.apply s1 ~obj:0 (SetSpec.Insert (3, false)) <> None);
+  Alcotest.(check bool) "contains true" true
+    (SetSpec.apply s1 ~obj:0 (SetSpec.Contains (3, true)) <> None);
+  Alcotest.(check bool) "contains false illegal" true
+    (SetSpec.apply s1 ~obj:0 (SetSpec.Contains (3, false)) = None);
+  let s2 = Option.get (SetSpec.apply s1 ~obj:0 (SetSpec.Remove (3, true))) in
+  Alcotest.(check bool) "remove again false" true
+    (SetSpec.apply s2 ~obj:0 (SetSpec.Remove (3, false)) <> None)
+
+(* ----------------------------- history ------------------------------ *)
+
+let test_history_merge_sorted () =
+  let clock = H.clock () in
+  let l1 = H.log () and l2 = H.log () in
+  (* Interleave creations across two logs. *)
+  let record log thread op =
+    let c0 = H.now clock in
+    let c1 = H.now clock in
+    H.add log
+      {
+        H.thread;
+        obj = 0;
+        op;
+        create_inv = c0;
+        create_res = c1;
+        eval_inv = None;
+        eval_res = None;
+      }
+  in
+  record l1 0 (QSpec.Enq 1);
+  record l2 1 (QSpec.Enq 2);
+  record l1 0 (QSpec.Enq 3);
+  let merged = H.merge [ l1; l2 ] in
+  let starts = Array.to_list (Array.map (fun e -> e.H.create_inv) merged) in
+  Alcotest.(check (list int)) "sorted by create_inv"
+    (List.sort compare starts) starts;
+  Alcotest.(check int) "all entries" 3 (Array.length merged)
+
+let test_clock_monotone_across_domains () =
+  let clock = H.clock () in
+  let n = 4 and per = 2_000 in
+  let draws = Array.make n [] in
+  let ds =
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            let mine = ref [] in
+            for _ = 1 to per do
+              mine := H.now clock :: !mine
+            done;
+            draws.(i) <- !mine))
+  in
+  List.iter Domain.join ds;
+  let all = Array.to_list draws |> List.concat in
+  Alcotest.(check int) "all distinct" (n * per)
+    (List.length (List.sort_uniq compare all))
+
+(* ----------------------------- orders ------------------------------- *)
+
+let test_intervals () =
+  let e = entry (QSpec.Enq 1) ~c:(0, 1) ~e:(6, 7) () in
+  Alcotest.(check (pair int int)) "strong = creation" (0, 1)
+    (Lin.Order.interval Lin.Order.Strong e);
+  Alcotest.(check (pair int int)) "weak = create..eval" (0, 7)
+    (Lin.Order.interval Lin.Order.Weak e);
+  let pending = entry (QSpec.Enq 1) ~c:(0, 1) () in
+  Alcotest.(check (pair int int)) "unevaluated extends forever" (0, max_int)
+    (Lin.Order.interval Lin.Order.Medium pending)
+
+let test_program_order_edges () =
+  (* Same thread, same object, non-overlapping creations. *)
+  let a = entry (QSpec.Enq 1) ~c:(0, 1) ~e:(10, 11) () in
+  let b = entry (QSpec.Enq 2) ~c:(2, 3) ~e:(12, 13) () in
+  let h = [| a; b |] in
+  let has cond =
+    List.mem (0, 1) (Lin.Order.edges cond h)
+  in
+  Alcotest.(check bool) "weak: unordered" false (has Lin.Order.Weak);
+  Alcotest.(check bool) "medium: ordered" true (has Lin.Order.Medium);
+  Alcotest.(check bool) "strong: ordered (intervals)" true
+    (has Lin.Order.Strong);
+  (* different objects *)
+  let b' = { b with H.obj = 1 } in
+  let h' = [| a; b' |] in
+  let has' cond = List.mem (0, 1) (Lin.Order.edges cond h') in
+  Alcotest.(check bool) "medium: cross-object unordered" false
+    (has' Lin.Order.Medium);
+  Alcotest.(check bool) "fsc: cross-object ordered" true
+    (has' Lin.Order.Fsc)
+
+(* --------------------------- Figure 2 ------------------------------- *)
+
+(* One thread, one queue: enq(1); enq(2); deq() -> z, all futures forced
+   after all creations. Admissible z per condition:
+     strong/medium: only Some 1;  weak: None, Some 1 or Some 2. *)
+let figure2_history z =
+  [|
+    entry (QSpec.Enq 1) ~c:(0, 1) ~e:(6, 7) ();
+    entry (QSpec.Enq 2) ~c:(2, 3) ~e:(8, 9) ();
+    entry (QSpec.Deq z) ~c:(4, 5) ~e:(10, 11) ();
+  |]
+
+let test_figure2 () =
+  let accepted cond z = CQ.check cond (figure2_history z) in
+  List.iter
+    (fun cond ->
+      Alcotest.(check bool) "z=1 accepted" true (accepted cond (Some 1));
+      Alcotest.(check bool) "z=2 rejected" false (accepted cond (Some 2));
+      Alcotest.(check bool) "z=empty rejected" false (accepted cond None))
+    [ Lin.Order.Strong; Lin.Order.Medium ];
+  Alcotest.(check bool) "weak: z=1" true (accepted Lin.Order.Weak (Some 1));
+  Alcotest.(check bool) "weak: z=2" true (accepted Lin.Order.Weak (Some 2));
+  Alcotest.(check bool) "weak: z=empty" true (accepted Lin.Order.Weak None)
+
+(* If the first enqueue's future is evaluated before the second enqueue is
+   even created, weak-FL must order them. *)
+let test_weak_sequentialized_by_eval () =
+  let h =
+    [|
+      entry (QSpec.Enq 1) ~c:(0, 1) ~e:(2, 3) ();
+      entry (QSpec.Enq 2) ~c:(4, 5) ~e:(6, 7) ();
+      entry (QSpec.Deq (Some 2)) ~c:(8, 9) ~e:(10, 11) ();
+    |]
+  in
+  Alcotest.(check bool) "deq=2 now illegal even under weak" false
+    (CQ.check Lin.Order.Weak h)
+
+(* --------------------------- Figure 3 ------------------------------- *)
+
+(* Two threads, two queues p(=0) and q(=1):
+     A: p.enq(x); q.enq(x); evals; p.deq() = y
+     B: q.enq(y); p.enq(y); evals; q.deq() = x
+   Medium-FL accepts it; futures sequential consistency does not (cycle),
+   even though each object's subhistory alone is Fsc-linearizable —
+   Fsc is not compositional. *)
+let x = 100
+
+let y = 200
+
+let figure3_history =
+  [|
+    (* A *)
+    entry ~thread:0 ~obj:0 (QSpec.Enq x) ~c:(0, 1) ~e:(8, 9) ();
+    entry ~thread:0 ~obj:1 (QSpec.Enq x) ~c:(4, 5) ~e:(12, 13) ();
+    entry ~thread:0 ~obj:0 (QSpec.Deq (Some y)) ~c:(16, 17) ~e:(18, 19) ();
+    (* B *)
+    entry ~thread:1 ~obj:1 (QSpec.Enq y) ~c:(2, 3) ~e:(10, 11) ();
+    entry ~thread:1 ~obj:0 (QSpec.Enq y) ~c:(6, 7) ~e:(14, 15) ();
+    entry ~thread:1 ~obj:1 (QSpec.Deq (Some x)) ~c:(20, 21) ~e:(22, 23) ();
+  |]
+
+let test_figure3_medium_accepts () =
+  Alcotest.(check bool) "medium-FL accepts" true
+    (CQ.check Lin.Order.Medium figure3_history)
+
+let test_figure3_fsc_rejects () =
+  Alcotest.(check bool) "futures SC rejects (cycle)" false
+    (CQ.check Lin.Order.Fsc figure3_history)
+
+let test_figure3_fsc_not_compositional () =
+  (* Each per-object subhistory alone is Fsc-linearizable. *)
+  let by_obj o =
+    Array.of_list
+      (List.filter (fun e -> e.H.obj = o) (Array.to_list figure3_history))
+  in
+  Alcotest.(check bool) "p alone ok" true
+    (CQ.linearization Lin.Order.Fsc (by_obj 0) <> None);
+  Alcotest.(check bool) "q alone ok" true
+    (CQ.linearization Lin.Order.Fsc (by_obj 1) <> None)
+
+let test_figure3_weak_accepts () =
+  Alcotest.(check bool) "weak accepts too" true
+    (CQ.check Lin.Order.Weak figure3_history)
+
+let test_figure3_strong_rejects () =
+  (* Under strong-FL the enqueues take effect at creation time: on p,
+     enq(x) [0,1] precedes enq(y) [6,7], so p.deq() = y is illegal. *)
+  Alcotest.(check bool) "strong rejects" false
+    (CQ.check Lin.Order.Strong figure3_history)
+
+(* ---------------------- unevaluated operations ---------------------- *)
+
+(* An operation whose future is never evaluated has an effect interval
+   that extends to infinity under weak/medium: it may be linearized
+   arbitrarily late. Here a never-forced enqueue must be ordered AFTER a
+   later deq()=empty for the history to be legal — which weak permits. *)
+let test_unevaluated_op_linearizes_late () =
+  (* Two threads: thread 0's enqueue is pending forever, thread 1's
+     dequeue finds the queue empty. Weak and medium allow ordering the
+     enqueue after the dequeue; strong pins it inside [0,1]. *)
+  let h =
+    [|
+      entry ~thread:0 (QSpec.Enq 9) ~c:(0, 1) (* never evaluated *) ();
+      entry ~thread:1 (QSpec.Deq None) ~c:(2, 3) ~e:(4, 5) ();
+    |]
+  in
+  Alcotest.(check bool) "weak accepts (enq after deq)" true
+    (CQ.check Lin.Order.Weak h);
+  Alcotest.(check bool) "medium accepts (different threads)" true
+    (CQ.check Lin.Order.Medium h);
+  Alcotest.(check bool) "strong rejects" false (CQ.check Lin.Order.Strong h)
+
+let test_unevaluated_medium_program_order () =
+  (* Same thread, same object: medium orders the unevaluated enq(9)
+     BEFORE the thread's later deq, so deq()=empty becomes illegal; weak
+     still accepts the late enqueue. *)
+  let h =
+    [|
+      entry (QSpec.Enq 9) ~c:(0, 1) ();
+      entry (QSpec.Deq None) ~c:(2, 3) ~e:(4, 5) ();
+    |]
+  in
+  Alcotest.(check bool) "medium rejects" false
+    (CQ.check Lin.Order.Medium h);
+  Alcotest.(check bool) "weak still accepts" true
+    (CQ.check Lin.Order.Weak h)
+
+(* --------------------------- checker -------------------------------- *)
+
+let test_checker_witness_order () =
+  let h = figure2_history (Some 1) in
+  match CQ.linearization Lin.Order.Medium h with
+  | None -> Alcotest.fail "expected a linearization"
+  | Some order ->
+      Alcotest.(check int) "all ops" 3 (List.length order);
+      (* enq(1) must come before deq in the witness *)
+      let pos v = Option.get (List.find_index (fun i -> i = v) order) in
+      Alcotest.(check bool) "enq1 before deq" true (pos 0 < pos 2)
+
+let test_checker_rejects_oversized () =
+  let h =
+    Array.init 63 (fun i -> entry (QSpec.Enq i) ~c:(2 * i, (2 * i) + 1) ())
+  in
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Checker.linearization: history too large (> 62 ops)")
+    (fun () -> ignore (CQ.linearization Lin.Order.Weak h))
+
+let test_checker_empty_history () =
+  Alcotest.(check bool) "empty ok" true (CQ.check Lin.Order.Strong [||])
+
+(* Condition hierarchy on random single-object histories: strong-FL
+   implies medium-FL implies weak-FL (the orders only shrink). *)
+let prop_hierarchy =
+  QCheck_.Test.make ~name:"strong => medium => weak (random histories)"
+    ~count:300
+    QCheck_.(list_of_size Gen.(int_range 1 6) (pair bool (int_bound 2)))
+    (fun script ->
+      (* Build a single-thread history with immediate or deferred evals and
+         semi-random results; the hierarchy must hold whether or not the
+         history is actually correct. *)
+      let t = ref 0 in
+      let tick () =
+        incr t;
+        !t
+      in
+      let entries =
+        List.map
+          (fun (is_enq, r) ->
+            let c0 = tick () in
+            let c1 = tick () in
+            let e0 = tick () in
+            let e1 = tick () in
+            let op =
+              if is_enq then QSpec.Enq r
+              else QSpec.Deq (if r = 0 then None else Some (r - 1))
+            in
+            entry op ~c:(c0, c1) ~e:(e0, e1) ())
+          script
+      in
+      let h = Array.of_list entries in
+      let s = CQ.check Lin.Order.Strong h in
+      let m = CQ.check Lin.Order.Medium h in
+      let w = CQ.check Lin.Order.Weak h in
+      ((not s) || m) && ((not m) || w))
+
+(* Overlapping-everything histories: weak accepts iff some permutation is
+   legal; compare against brute force. *)
+let prop_weak_equals_bruteforce =
+  QCheck_.Test.make ~name:"weak == brute-force permutation search"
+    ~count:200
+    QCheck_.(list_of_size Gen.(int_range 1 5) (pair bool (int_bound 2)))
+    (fun script ->
+      let ops =
+        List.map
+          (fun (is_enq, r) ->
+            if is_enq then QSpec.Enq r
+            else QSpec.Deq (if r = 0 then None else Some (r - 1)))
+          script
+      in
+      (* All creations first (overlapping), all evals at the end, all
+         overlapping: the weak order is empty. *)
+      let n = List.length ops in
+      let h =
+        Array.of_list
+          (List.mapi
+             (fun i op -> entry op ~c:(i, 100 + i) ~e:(200 + i, 300 + i) ())
+             ops)
+      in
+      let rec permutations = function
+        | [] -> [ [] ]
+        | l ->
+            List.concat_map
+              (fun x ->
+                let rest = List.filter (fun y -> y != x) l in
+                List.map (fun p -> x :: p) (permutations rest))
+              l
+      in
+      let legal perm =
+        let rec go state = function
+          | [] -> true
+          | op :: rest -> (
+              match QSpec.apply state ~obj:0 op with
+              | Some s -> go s rest
+              | None -> false)
+        in
+        go QSpec.initial perm
+      in
+      let brute = List.exists legal (permutations ops) in
+      let _ = n in
+      CQ.check Lin.Order.Weak h = brute)
+
+(* Theorem 6.2 (non-blocking), witness form: an accepted history can
+   always be extended with one more total-method call whose result is
+   derived from the final state of some linearization witness. *)
+let test_nonblocking_extension () =
+  let h = figure2_history (Some 1) in
+  match CQ.linearization Lin.Order.Weak h with
+  | None -> Alcotest.fail "base history must be accepted"
+  | Some order ->
+      (* Replay the witness to find the final queue contents. *)
+      let final =
+        List.fold_left
+          (fun state i ->
+            match
+              QSpec.apply state ~obj:0 h.(i).H.op
+            with
+            | Some s -> s
+            | None -> Alcotest.fail "witness must replay")
+          QSpec.initial order
+      in
+      let next_deq =
+        match final with
+        | [] -> QSpec.Deq None
+        | (_, []) :: _ -> QSpec.Deq None
+        | (_, v :: _) :: _ -> QSpec.Deq (Some v)
+      in
+      let extended =
+        Array.append h
+          [| entry next_deq ~c:(100, 101) ~e:(102, 103) () |]
+      in
+      Alcotest.(check bool) "extension accepted" true
+        (CQ.check Lin.Order.Weak extended)
+
+(* Two threads, one object, every creation overlapping every evaluation:
+   the medium order is exactly "each thread's operations in program
+   order", so the checker must agree with a brute-force search over all
+   interleavings (merges) of the two scripts. *)
+let prop_medium_equals_merge_bruteforce =
+  QCheck_.Test.make ~name:"medium == brute-force merge search" ~count:200
+    QCheck_.(
+      pair
+        (list_of_size Gen.(int_range 0 4) (pair bool (int_bound 2)))
+        (list_of_size Gen.(int_range 0 4) (pair bool (int_bound 2))))
+    (fun (script_a, script_b) ->
+      let to_op (is_enq, r) =
+        if is_enq then QSpec.Enq r
+        else QSpec.Deq (if r = 0 then None else Some (r - 1))
+      in
+      let ops_a = List.map to_op script_a in
+      let ops_b = List.map to_op script_b in
+      (* Creations strictly ordered within each thread; evaluations all at
+         the end, overlapping everything. *)
+      let t = ref 0 in
+      let mk thread op =
+        incr t;
+        let c0 = !t in
+        incr t;
+        let c1 = !t in
+        entry ~thread op ~c:(c0, c1) ~e:(1000 + !t, 2000 + !t) ()
+      in
+      let h =
+        Array.of_list
+          (List.map (mk 0) ops_a @ List.map (mk 1) ops_b)
+      in
+      let rec merges xs ys =
+        match (xs, ys) with
+        | [], l | l, [] -> [ l ]
+        | x :: xs', y :: ys' ->
+            List.map (fun m -> x :: m) (merges xs' ys)
+            @ List.map (fun m -> y :: m) (merges xs ys')
+      in
+      let legal seq =
+        let rec go state = function
+          | [] -> true
+          | op :: rest -> (
+              match QSpec.apply state ~obj:0 op with
+              | Some s -> go s rest
+              | None -> false)
+        in
+        go QSpec.initial seq
+      in
+      let brute = List.exists legal (merges ops_a ops_b) in
+      CQ.check Lin.Order.Medium h = brute)
+
+let () =
+  Alcotest.run "lin"
+    [
+      ( "specs",
+        [
+          Alcotest.test_case "queue" `Quick test_queue_spec;
+          Alcotest.test_case "stack" `Quick test_stack_spec;
+          Alcotest.test_case "set" `Quick test_set_spec;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "merge sorts" `Quick test_history_merge_sorted;
+          Alcotest.test_case "clock distinct across domains" `Slow
+            test_clock_monotone_across_domains;
+        ] );
+      ( "orders",
+        [
+          Alcotest.test_case "intervals" `Quick test_intervals;
+          Alcotest.test_case "program-order edges" `Quick
+            test_program_order_edges;
+        ] );
+      ( "figure2",
+        [ Alcotest.test_case "admissible results" `Quick test_figure2;
+          Alcotest.test_case "weak ordered by early eval" `Quick
+            test_weak_sequentialized_by_eval;
+        ] );
+      ( "figure3",
+        [
+          Alcotest.test_case "medium accepts" `Quick
+            test_figure3_medium_accepts;
+          Alcotest.test_case "fsc rejects" `Quick test_figure3_fsc_rejects;
+          Alcotest.test_case "fsc not compositional" `Quick
+            test_figure3_fsc_not_compositional;
+          Alcotest.test_case "weak accepts" `Quick test_figure3_weak_accepts;
+          Alcotest.test_case "strong rejects" `Quick
+            test_figure3_strong_rejects;
+        ] );
+      ( "nonblocking",
+        [
+          Alcotest.test_case "Theorem 6.2 extension" `Quick
+            test_nonblocking_extension;
+        ] );
+      ( "pending",
+        [
+          Alcotest.test_case "unevaluated op linearizes late" `Quick
+            test_unevaluated_op_linearizes_late;
+          Alcotest.test_case "medium pins unevaluated by program order"
+            `Quick test_unevaluated_medium_program_order;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "witness order" `Quick test_checker_witness_order;
+          Alcotest.test_case "oversized history" `Quick
+            test_checker_rejects_oversized;
+          Alcotest.test_case "empty history" `Quick test_checker_empty_history;
+          QCheck_alcotest.to_alcotest prop_hierarchy;
+          QCheck_alcotest.to_alcotest prop_weak_equals_bruteforce;
+          QCheck_alcotest.to_alcotest prop_medium_equals_merge_bruteforce;
+        ] );
+    ]

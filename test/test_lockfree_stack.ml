@@ -1,0 +1,248 @@
+(* Tests for the Treiber stack: sequential semantics, multi-node
+   operations, multi-domain stress with conservation checks. *)
+
+module T = Lockfree.Treiber_stack
+
+let test_lifo () =
+  let s = T.create () in
+  Alcotest.(check bool) "empty" true (T.is_empty s);
+  Alcotest.(check (option int)) "pop empty" None (T.pop s);
+  T.push s 1;
+  T.push s 2;
+  Alcotest.(check (option int)) "peek" (Some 2) (T.peek s);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (T.pop s);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (T.pop s);
+  Alcotest.(check bool) "empty again" true (T.is_empty s)
+
+let test_push_list () =
+  let s = T.create () in
+  T.push_list s [];
+  Alcotest.(check bool) "noop on []" true (T.is_empty s);
+  T.push_list s [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "top-first" [ 3; 2; 1 ] (T.to_list s);
+  T.push_list s [ 4; 5 ];
+  Alcotest.(check (list int)) "appended" [ 5; 4; 3; 2; 1 ] (T.to_list s);
+  Alcotest.(check int) "length" 5 (T.length s)
+
+let test_pop_many () =
+  let s = T.create () in
+  T.push_list s [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "pop 0" [] (T.pop_many s 0);
+  Alcotest.(check (list int)) "pop 2" [ 5; 4 ] (T.pop_many s 2);
+  Alcotest.(check (list int)) "pop beyond" [ 3; 2; 1 ] (T.pop_many s 10);
+  Alcotest.(check (list int)) "pop empty" [] (T.pop_many s 3);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Treiber_stack.pop_many: negative count") (fun () ->
+      ignore (T.pop_many s (-1)))
+
+let test_cas_counter_moves () =
+  let s = T.create () in
+  T.push s 1;
+  Alcotest.(check bool) "counted" true (T.cas_count s >= 1);
+  T.reset_cas_count s;
+  Alcotest.(check int) "reset" 0 (T.cas_count s)
+
+(* Conservation under concurrency: the multiset of values pushed equals
+   the multiset popped plus what remains. *)
+let test_parallel_conservation () =
+  let s = T.create () in
+  let domains = 4 and per_domain = 5_000 in
+  let popped = Array.make domains [] in
+  let worker i () =
+    let rng = Workload.Rng.create ~seed:42 ~stream:i in
+    let mine = ref [] in
+    for op = 1 to per_domain do
+      if Workload.Rng.bool rng then T.push s ((i * per_domain) + op)
+      else
+        match T.pop s with
+        | Some v -> mine := v :: !mine
+        | None -> ()
+    done;
+    popped.(i) <- !mine
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  let all_popped = Array.to_list popped |> List.concat in
+  let remaining = T.to_list s in
+  (* Every popped/remaining value is distinct by construction, so a
+     multiset check reduces to a set check plus cardinality. *)
+  let module IS = Set.Make (Int) in
+  let popped_set = IS.of_list all_popped in
+  let remaining_set = IS.of_list remaining in
+  Alcotest.(check int) "no duplicated pops"
+    (List.length all_popped) (IS.cardinal popped_set);
+  Alcotest.(check int) "no duplicated survivors"
+    (List.length remaining) (IS.cardinal remaining_set);
+  Alcotest.(check int) "popped/remaining disjoint" 0
+    (IS.cardinal (IS.inter popped_set remaining_set))
+
+(* Bulk operations race against single operations without losing nodes. *)
+let test_parallel_bulk () =
+  let s = T.create () in
+  let domains = 4 and batches = 500 and batch_size = 8 in
+  let popped_counts = Array.make domains 0 in
+  let worker i () =
+    let count = ref 0 in
+    for b = 1 to batches do
+      if i land 1 = 0 then
+        T.push_list s (List.init batch_size (fun j -> (i * 1000000) + (b * 100) + j))
+      else count := !count + List.length (T.pop_many s batch_size)
+    done;
+    popped_counts.(i) <- !count
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  let pushed = 2 * batches * batch_size in
+  let popped = Array.fold_left ( + ) 0 popped_counts in
+  let remaining = T.length s in
+  Alcotest.(check int) "pushed = popped + remaining" pushed
+    (popped + remaining)
+
+let prop_model =
+  QCheck.Test.make ~name:"treiber matches list model (sequential)"
+    ~count:300
+    QCheck.(list (pair (int_bound 3) (list small_int)))
+    (fun script ->
+      let s = T.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (kind, args) ->
+          match kind with
+          | 0 ->
+              let v = match args with v :: _ -> v | [] -> 0 in
+              T.push s v;
+              model := v :: !model;
+              true
+          | 1 ->
+              let expected =
+                match !model with
+                | [] -> None
+                | x :: rest ->
+                    model := rest;
+                    Some x
+              in
+              T.pop s = expected
+          | 2 ->
+              T.push_list s args;
+              model := List.rev_append args !model;
+              true
+          | _ ->
+              let n = List.length args in
+              let expected =
+                let rec take k l =
+                  if k = 0 then []
+                  else
+                    match l with
+                    | [] -> []
+                    | x :: rest ->
+                        model := rest;
+                        x :: take (k - 1) rest
+                in
+                take n !model
+              in
+              T.pop_many s n = expected)
+        script
+      && T.to_list s = !model)
+
+(* ----------------------- elimination stack -------------------------- *)
+
+module E = Lockfree.Elimination_stack
+
+let test_elim_sequential_semantics () =
+  let s = E.create () in
+  Alcotest.(check bool) "empty" true (E.is_empty s);
+  Alcotest.(check (option int)) "pop empty" None (E.pop s);
+  E.push s 1;
+  E.push s 2;
+  Alcotest.(check (list int)) "lifo" [ 2; 1 ] (E.to_list s);
+  Alcotest.(check (option int)) "pop" (Some 2) (E.pop s);
+  Alcotest.(check int) "length" 1 (E.length s);
+  Alcotest.(check int) "no elimination when uncontended" 0
+    (E.eliminated_pairs s);
+  Alcotest.check_raises "bad slots"
+    (Invalid_argument "Elimination_stack.create: slots <= 0") (fun () ->
+      ignore (E.create ~slots:0 ()))
+
+let test_elim_parallel_conservation () =
+  let s = E.create ~slots:2 () in
+  let domains = 4 and ops = 4_000 in
+  let balance = Array.make domains 0 in
+  let worker i () =
+    let rng = Workload.Rng.create ~seed:13 ~stream:i in
+    for n = 1 to ops do
+      if Workload.Rng.bool rng then begin
+        E.push s ((i * ops) + n);
+        balance.(i) <- balance.(i) + 1
+      end
+      else
+        match E.pop s with
+        | Some _ -> balance.(i) <- balance.(i) - 1
+        | None -> ()
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "pushes - pops = remaining"
+    (Array.fold_left ( + ) 0 balance)
+    (E.length s);
+  (* The snapshot must also contain distinct values only. *)
+  let contents = E.to_list s in
+  Alcotest.(check int) "no duplicated nodes"
+    (List.length contents)
+    (List.length (List.sort_uniq compare contents))
+
+(* Regression: a parked elimination offer must always be claimable or
+   withdrawable. A physical-equality bug in the slot CAS once made
+   withdrawal impossible, hanging one domain forever; heavy
+   oversubscription (8 domains on few cores) reproduces it within a few
+   thousand operations. The test simply has to terminate. *)
+let test_elim_oversubscribed_terminates () =
+  let s = E.create ~slots:2 () in
+  let domains = 8 and ops = 10_000 in
+  let ds =
+    List.init domains (fun i ->
+        Domain.spawn (fun () ->
+            let rng = Workload.Rng.create ~seed:99 ~stream:i in
+            for n = 1 to ops do
+              if Workload.Rng.bool rng then E.push s n else ignore (E.pop s)
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check pass) "terminated" () ()
+
+let test_elim_registry_strong_fl () =
+  let outcome =
+    Conformance.check_stack ~rounds:6 (Fl.Registry.find_stack "elim")
+  in
+  Alcotest.(check int) "elim stack strong-FL" 0
+    outcome.Conformance.violations
+
+let () =
+  Alcotest.run "lockfree-stack"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "lifo" `Quick test_lifo;
+          Alcotest.test_case "push_list" `Quick test_push_list;
+          Alcotest.test_case "pop_many" `Quick test_pop_many;
+          Alcotest.test_case "cas counter" `Quick test_cas_counter_moves;
+          QCheck_alcotest.to_alcotest prop_model;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "conservation (4 domains)" `Slow
+            test_parallel_conservation;
+          Alcotest.test_case "bulk ops (4 domains)" `Slow test_parallel_bulk;
+        ] );
+      ( "elimination-stack",
+        [
+          Alcotest.test_case "sequential semantics" `Quick
+            test_elim_sequential_semantics;
+          Alcotest.test_case "conservation (4 domains)" `Slow
+            test_elim_parallel_conservation;
+          Alcotest.test_case "oversubscription terminates (8 domains)" `Slow
+            test_elim_oversubscribed_terminates;
+          Alcotest.test_case "strong-FL (checked)" `Slow
+            test_elim_registry_strong_fl;
+        ] );
+    ]

@@ -1,0 +1,268 @@
+(* Tests for the sequential substrate: stack, queue, sorted list set.
+   Unit tests plus qcheck model-based properties. *)
+
+module IntList = Seqds.Seq_list.Make (struct
+  type t = int
+
+  let compare = Int.compare
+end)
+
+(* ---------------------------- Seq_stack ----------------------------- *)
+
+let test_stack_lifo () =
+  let s = Seqds.Seq_stack.create () in
+  Alcotest.(check bool) "empty" true (Seqds.Seq_stack.is_empty s);
+  Seqds.Seq_stack.push s 1;
+  Seqds.Seq_stack.push s 2;
+  Seqds.Seq_stack.push s 3;
+  Alcotest.(check int) "length" 3 (Seqds.Seq_stack.length s);
+  Alcotest.(check (option int)) "top" (Some 3) (Seqds.Seq_stack.top s);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Seqds.Seq_stack.pop s);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Seqds.Seq_stack.pop s);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Seqds.Seq_stack.pop s);
+  Alcotest.(check (option int)) "pop empty" None (Seqds.Seq_stack.pop s)
+
+let test_stack_push_list_order () =
+  let s = Seqds.Seq_stack.create () in
+  Seqds.Seq_stack.push_list s [ 1; 2; 3 ];
+  (* 1 pushed first, 3 on top *)
+  Alcotest.(check (list int)) "top-first" [ 3; 2; 1 ]
+    (Seqds.Seq_stack.to_list s)
+
+let test_stack_pop_many () =
+  let s = Seqds.Seq_stack.create () in
+  Seqds.Seq_stack.push_list s [ 1; 2; 3; 4 ];
+  Alcotest.(check (list int)) "pop 2" [ 4; 3 ] (Seqds.Seq_stack.pop_many s 2);
+  Alcotest.(check (list int)) "pop beyond" [ 2; 1 ]
+    (Seqds.Seq_stack.pop_many s 10);
+  Alcotest.(check (list int)) "pop empty" [] (Seqds.Seq_stack.pop_many s 1);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Seq_stack.pop_many: negative count") (fun () ->
+      ignore (Seqds.Seq_stack.pop_many s (-1)))
+
+let prop_stack_model =
+  QCheck.Test.make ~name:"seq_stack matches list model" ~count:500
+    QCheck.(list (pair bool small_int))
+    (fun script ->
+      let s = Seqds.Seq_stack.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Seqds.Seq_stack.push s v;
+            model := v :: !model;
+            true
+          end
+          else
+            let expected =
+              match !model with
+              | [] -> None
+              | x :: rest ->
+                  model := rest;
+                  Some x
+            in
+            Seqds.Seq_stack.pop s = expected)
+        script
+      && Seqds.Seq_stack.to_list s = !model)
+
+(* ---------------------------- Seq_queue ----------------------------- *)
+
+let test_queue_fifo () =
+  let q = Seqds.Seq_queue.create () in
+  Alcotest.(check bool) "empty" true (Seqds.Seq_queue.is_empty q);
+  Seqds.Seq_queue.enqueue q 1;
+  Seqds.Seq_queue.enqueue q 2;
+  Seqds.Seq_queue.enqueue q 3;
+  Alcotest.(check (option int)) "peek" (Some 1) (Seqds.Seq_queue.peek q);
+  Alcotest.(check (option int)) "deq 1" (Some 1) (Seqds.Seq_queue.dequeue q);
+  Seqds.Seq_queue.enqueue q 4;
+  Alcotest.(check (option int)) "deq 2" (Some 2) (Seqds.Seq_queue.dequeue q);
+  Alcotest.(check (option int)) "deq 3" (Some 3) (Seqds.Seq_queue.dequeue q);
+  Alcotest.(check (option int)) "deq 4" (Some 4) (Seqds.Seq_queue.dequeue q);
+  Alcotest.(check (option int)) "deq empty" None (Seqds.Seq_queue.dequeue q)
+
+let test_queue_bulk () =
+  let q = Seqds.Seq_queue.create () in
+  Seqds.Seq_queue.enqueue_list q [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "snapshot" [ 1; 2; 3; 4; 5 ]
+    (Seqds.Seq_queue.to_list q);
+  Alcotest.(check (list int)) "deq 3" [ 1; 2; 3 ]
+    (Seqds.Seq_queue.dequeue_many q 3);
+  Alcotest.(check (list int)) "deq beyond" [ 4; 5 ]
+    (Seqds.Seq_queue.dequeue_many q 99);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Seq_queue.dequeue_many: negative count") (fun () ->
+      ignore (Seqds.Seq_queue.dequeue_many q (-2)))
+
+let prop_queue_model =
+  QCheck.Test.make ~name:"seq_queue matches list model" ~count:500
+    QCheck.(list (pair bool small_int))
+    (fun script ->
+      let q = Seqds.Seq_queue.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_enq, v) ->
+          if is_enq then begin
+            Seqds.Seq_queue.enqueue q v;
+            model := !model @ [ v ];
+            true
+          end
+          else
+            let expected =
+              match !model with
+              | [] -> None
+              | x :: rest ->
+                  model := rest;
+                  Some x
+            in
+            Seqds.Seq_queue.dequeue q = expected)
+        script
+      && Seqds.Seq_queue.to_list q = !model)
+
+(* ----------------------------- Seq_list ----------------------------- *)
+
+let test_list_set_semantics () =
+  let l = IntList.create () in
+  Alcotest.(check bool) "empty" true (IntList.is_empty l);
+  Alcotest.(check bool) "insert 5" true (IntList.insert l 5);
+  Alcotest.(check bool) "insert 5 again" false (IntList.insert l 5);
+  Alcotest.(check bool) "insert 3" true (IntList.insert l 3);
+  Alcotest.(check bool) "insert 8" true (IntList.insert l 8);
+  Alcotest.(check (list int)) "sorted" [ 3; 5; 8 ] (IntList.to_list l);
+  Alcotest.(check bool) "contains 5" true (IntList.contains l 5);
+  Alcotest.(check bool) "contains 4" false (IntList.contains l 4);
+  Alcotest.(check bool) "remove 5" true (IntList.remove l 5);
+  Alcotest.(check bool) "remove 5 again" false (IntList.remove l 5);
+  Alcotest.(check (list int)) "after remove" [ 3; 8 ] (IntList.to_list l);
+  Alcotest.(check int) "length" 2 (IntList.length l)
+
+let test_list_cursor_single_traversal () =
+  let l = IntList.create () in
+  List.iter (fun k -> ignore (IntList.insert l k)) [ 10; 20; 30; 40 ];
+  let c = IntList.cursor l in
+  Alcotest.(check bool) "seek_contains 10" true (IntList.seek_contains c 10);
+  Alcotest.(check bool) "seek_insert 25" true (IntList.seek_insert c 25);
+  Alcotest.(check bool) "seek_remove 30" true (IntList.seek_remove c 30);
+  Alcotest.(check bool) "seek_contains 35" false (IntList.seek_contains c 35);
+  Alcotest.(check bool) "seek_insert 40 dup" false (IntList.seek_insert c 40);
+  Alcotest.(check (list int)) "final" [ 10; 20; 25; 40 ] (IntList.to_list l)
+
+let test_list_cursor_monotonicity () =
+  let l = IntList.create () in
+  ignore (IntList.insert l 10);
+  let c = IntList.cursor l in
+  ignore (IntList.seek_contains c 10);
+  Alcotest.check_raises "backwards seek"
+    (Invalid_argument "Seq_list: cursor keys must be non-decreasing")
+    (fun () -> ignore (IntList.seek_contains c 5))
+
+let test_list_cursor_equal_keys_ok () =
+  let l = IntList.create () in
+  let c = IntList.cursor l in
+  Alcotest.(check bool) "insert 7" true (IntList.seek_insert c 7);
+  Alcotest.(check bool) "remove 7" true (IntList.seek_remove c 7);
+  Alcotest.(check bool) "insert 7 again" true (IntList.seek_insert c 7);
+  Alcotest.(check (list int)) "content" [ 7 ] (IntList.to_list l)
+
+let test_list_boundaries () =
+  let l = IntList.create () in
+  Alcotest.(check bool) "insert min_int" true (IntList.insert l min_int);
+  Alcotest.(check bool) "insert max_int" true (IntList.insert l max_int);
+  Alcotest.(check bool) "insert 0" true (IntList.insert l 0);
+  Alcotest.(check (list int)) "sorted extremes" [ min_int; 0; max_int ]
+    (IntList.to_list l);
+  Alcotest.(check bool) "remove head" true (IntList.remove l min_int);
+  Alcotest.(check (list int)) "head removed" [ 0; max_int ]
+    (IntList.to_list l)
+
+let prop_list_model =
+  QCheck.Test.make ~name:"seq_list matches Set model" ~count:500
+    QCheck.(list (pair (int_bound 2) (int_bound 30)))
+    (fun script ->
+      let module IS = Set.Make (Int) in
+      let l = IntList.create () in
+      let model = ref IS.empty in
+      List.for_all
+        (fun (kind, k) ->
+          match kind with
+          | 0 ->
+              let expected = not (IS.mem k !model) in
+              model := IS.add k !model;
+              IntList.insert l k = expected
+          | 1 ->
+              let expected = IS.mem k !model in
+              model := IS.remove k !model;
+              IntList.remove l k = expected
+          | _ -> IntList.contains l k = IS.mem k !model)
+        script
+      && IntList.to_list l = IS.elements !model)
+
+let prop_list_sorted_batch_equals_individual =
+  QCheck.Test.make
+    ~name:"cursor batch application == individual operations" ~count:300
+    QCheck.(pair (list (int_bound 30)) (list (pair (int_bound 2) (int_bound 30))))
+    (fun (init, batch) ->
+      (* Apply a key-sorted batch through one cursor vs. fresh searches. *)
+      let build () =
+        let l = IntList.create () in
+        List.iter (fun k -> ignore (IntList.insert l k)) init;
+        l
+      in
+      let sorted =
+        List.stable_sort (fun (_, k1) (_, k2) -> compare k1 k2) batch
+      in
+      let l1 = build () and l2 = build () in
+      let c = IntList.cursor l1 in
+      let r1 =
+        List.map
+          (fun (kind, k) ->
+            match kind with
+            | 0 -> IntList.seek_insert c k
+            | 1 -> IntList.seek_remove c k
+            | _ -> IntList.seek_contains c k)
+          sorted
+      in
+      let r2 =
+        List.map
+          (fun (kind, k) ->
+            match kind with
+            | 0 -> IntList.insert l2 k
+            | 1 -> IntList.remove l2 k
+            | _ -> IntList.contains l2 k)
+          sorted
+      in
+      r1 = r2 && IntList.to_list l1 = IntList.to_list l2)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "seqds"
+    [
+      ( "seq_stack",
+        [
+          Alcotest.test_case "lifo" `Quick test_stack_lifo;
+          Alcotest.test_case "push_list order" `Quick
+            test_stack_push_list_order;
+          Alcotest.test_case "pop_many" `Quick test_stack_pop_many;
+        ]
+        @ qsuite [ prop_stack_model ] );
+      ( "seq_queue",
+        [
+          Alcotest.test_case "fifo" `Quick test_queue_fifo;
+          Alcotest.test_case "bulk ops" `Quick test_queue_bulk;
+        ]
+        @ qsuite [ prop_queue_model ] );
+      ( "seq_list",
+        [
+          Alcotest.test_case "set semantics" `Quick test_list_set_semantics;
+          Alcotest.test_case "cursor single traversal" `Quick
+            test_list_cursor_single_traversal;
+          Alcotest.test_case "cursor monotonicity" `Quick
+            test_list_cursor_monotonicity;
+          Alcotest.test_case "cursor equal keys" `Quick
+            test_list_cursor_equal_keys_ok;
+          Alcotest.test_case "boundary keys" `Quick test_list_boundaries;
+        ]
+        @ qsuite [ prop_list_model; prop_list_sorted_batch_equals_individual ]
+      );
+    ]

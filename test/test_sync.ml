@@ -1,0 +1,169 @@
+(* Tests for the sync substrate: backoff, spin lock, barrier, counter. *)
+
+let test_backoff_window_growth () =
+  let b = Sync.Backoff.create ~min_wait:4 ~max_wait:64 () in
+  Alcotest.(check int) "initial window" 4 (Sync.Backoff.current_window b);
+  Sync.Backoff.once b;
+  Alcotest.(check int) "doubled" 8 (Sync.Backoff.current_window b);
+  Sync.Backoff.once b;
+  Sync.Backoff.once b;
+  Sync.Backoff.once b;
+  Alcotest.(check int) "capped" 64 (Sync.Backoff.current_window b);
+  Sync.Backoff.once b;
+  Alcotest.(check int) "stays capped" 64 (Sync.Backoff.current_window b)
+
+let test_backoff_reset () =
+  let b = Sync.Backoff.create ~min_wait:2 ~max_wait:32 () in
+  Sync.Backoff.once b;
+  Sync.Backoff.once b;
+  Sync.Backoff.reset b;
+  Alcotest.(check int) "reset to min" 2 (Sync.Backoff.current_window b)
+
+let test_backoff_invalid_args () =
+  Alcotest.check_raises "min_wait 0" (Invalid_argument
+      "Backoff.create: min_wait must be positive") (fun () ->
+      ignore (Sync.Backoff.create ~min_wait:0 ()));
+  Alcotest.check_raises "max < min" (Invalid_argument
+      "Backoff.create: max_wait must be >= min_wait") (fun () ->
+      ignore (Sync.Backoff.create ~min_wait:10 ~max_wait:5 ()))
+
+let test_spinlock_basic () =
+  let l = Sync.Spinlock.create () in
+  Alcotest.(check bool) "initially unlocked" false (Sync.Spinlock.is_locked l);
+  Alcotest.(check bool) "try_acquire" true (Sync.Spinlock.try_acquire l);
+  Alcotest.(check bool) "locked" true (Sync.Spinlock.is_locked l);
+  Alcotest.(check bool) "second try fails" false (Sync.Spinlock.try_acquire l);
+  Sync.Spinlock.release l;
+  Alcotest.(check bool) "released" false (Sync.Spinlock.is_locked l)
+
+let test_spinlock_release_unheld () =
+  let l = Sync.Spinlock.create () in
+  Alcotest.check_raises "release unheld"
+    (Invalid_argument "Spinlock.release: lock is not held") (fun () ->
+      Sync.Spinlock.release l)
+
+let test_spinlock_with_lock_exception () =
+  let l = Sync.Spinlock.create () in
+  (try Sync.Spinlock.with_lock l (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  Alcotest.(check bool) "released after exception" false
+    (Sync.Spinlock.is_locked l)
+
+let test_spinlock_acquire_until_ready () =
+  let l = Sync.Spinlock.create () in
+  Sync.Spinlock.acquire l;
+  (* stop immediately: cannot acquire, should bail out *)
+  let got = Sync.Spinlock.acquire_until l (fun () -> true) in
+  Alcotest.(check bool) "bailed out" false got;
+  Sync.Spinlock.release l;
+  let got = Sync.Spinlock.acquire_until l (fun () -> false) in
+  Alcotest.(check bool) "acquired free lock" true got;
+  Sync.Spinlock.release l
+
+(* Mutual exclusion: domains increment a plain (non-atomic) counter under
+   the lock; races would lose increments. *)
+let test_spinlock_mutual_exclusion () =
+  let l = Sync.Spinlock.create () in
+  let counter = ref 0 in
+  let domains = 4 and per_domain = 2_000 in
+  let worker () =
+    for _ = 1 to per_domain do
+      Sync.Spinlock.with_lock l (fun () -> incr counter)
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost updates" (domains * per_domain) !counter
+
+let test_barrier_invalid () =
+  Alcotest.check_raises "zero parties"
+    (Invalid_argument "Barrier.create: parties must be positive") (fun () ->
+      ignore (Sync.Barrier.create 0))
+
+let test_barrier_single_party () =
+  let b = Sync.Barrier.create 1 in
+  (* must not block *)
+  Sync.Barrier.wait b;
+  Sync.Barrier.wait b;
+  Alcotest.(check int) "parties" 1 (Sync.Barrier.parties b)
+
+(* All domains must observe every phase: each phase, every domain writes
+   its slot, then after the barrier checks everyone's slot from the
+   previous phase. *)
+let test_barrier_phases () =
+  let domains = 4 and phases = 20 in
+  let b = Sync.Barrier.create domains in
+  let slots = Array.init domains (fun _ -> Atomic.make (-1)) in
+  let failures = Atomic.make 0 in
+  let worker i () =
+    for phase = 0 to phases - 1 do
+      Atomic.set slots.(i) phase;
+      Sync.Barrier.wait b;
+      (* Everyone must have reached [phase] by now. *)
+      Array.iter
+        (fun s -> if Atomic.get s < phase then Atomic.incr failures)
+        slots;
+      Sync.Barrier.wait b (* second barrier so nobody races ahead *)
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no stragglers seen" 0 (Atomic.get failures)
+
+let test_cas_counter_single () =
+  let c = Sync.Cas_counter.create () in
+  Alcotest.(check int) "zero" 0 (Sync.Cas_counter.total c);
+  Sync.Cas_counter.incr c;
+  Sync.Cas_counter.incr c;
+  Sync.Cas_counter.add c 5;
+  Alcotest.(check int) "seven" 7 (Sync.Cas_counter.total c);
+  Sync.Cas_counter.reset c;
+  Alcotest.(check int) "reset" 0 (Sync.Cas_counter.total c)
+
+let test_cas_counter_parallel () =
+  let c = Sync.Cas_counter.create () in
+  let domains = 4 and per_domain = 10_000 in
+  let worker () =
+    for _ = 1 to per_domain do
+      Sync.Cas_counter.incr c
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "all counted" (domains * per_domain)
+    (Sync.Cas_counter.total c)
+
+let () =
+  Alcotest.run "sync"
+    [
+      ( "backoff",
+        [
+          Alcotest.test_case "window growth" `Quick test_backoff_window_growth;
+          Alcotest.test_case "reset" `Quick test_backoff_reset;
+          Alcotest.test_case "invalid args" `Quick test_backoff_invalid_args;
+        ] );
+      ( "spinlock",
+        [
+          Alcotest.test_case "basic" `Quick test_spinlock_basic;
+          Alcotest.test_case "release unheld" `Quick
+            test_spinlock_release_unheld;
+          Alcotest.test_case "with_lock releases on exception" `Quick
+            test_spinlock_with_lock_exception;
+          Alcotest.test_case "acquire_until" `Quick
+            test_spinlock_acquire_until_ready;
+          Alcotest.test_case "mutual exclusion (4 domains)" `Slow
+            test_spinlock_mutual_exclusion;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "invalid parties" `Quick test_barrier_invalid;
+          Alcotest.test_case "single party" `Quick test_barrier_single_party;
+          Alcotest.test_case "phases (4 domains)" `Slow test_barrier_phases;
+        ] );
+      ( "cas-counter",
+        [
+          Alcotest.test_case "single thread" `Quick test_cas_counter_single;
+          Alcotest.test_case "parallel (4 domains)" `Slow
+            test_cas_counter_parallel;
+        ] );
+    ]

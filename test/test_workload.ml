@@ -1,0 +1,341 @@
+(* Tests for the workload library (rng, distributions, stats, report,
+   runner) and the Slack policy helper. *)
+
+let test_rng_deterministic () =
+  let a = Workload.Rng.create ~seed:1 ~stream:0 in
+  let b = Workload.Rng.create ~seed:1 ~stream:0 in
+  let xs = List.init 100 (fun _ -> Workload.Rng.next a) in
+  let ys = List.init 100 (fun _ -> Workload.Rng.next b) in
+  Alcotest.(check (list int)) "same stream, same numbers" xs ys
+
+let test_rng_streams_differ () =
+  let a = Workload.Rng.create ~seed:1 ~stream:0 in
+  let b = Workload.Rng.create ~seed:1 ~stream:1 in
+  let xs = List.init 20 (fun _ -> Workload.Rng.next a) in
+  let ys = List.init 20 (fun _ -> Workload.Rng.next b) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_rng_below_in_range () =
+  let r = Workload.Rng.create ~seed:99 ~stream:3 in
+  for _ = 1 to 10_000 do
+    let v = Workload.Rng.below r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of range"
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.below: bound must be positive") (fun () ->
+      ignore (Workload.Rng.below r 0))
+
+let test_rng_below_covers () =
+  let r = Workload.Rng.create ~seed:5 ~stream:0 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 5_000 do
+    seen.(Workload.Rng.below r 10) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_range () =
+  let r = Workload.Rng.create ~seed:8 ~stream:0 in
+  for _ = 1 to 1_000 do
+    let f = Workload.Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_distribution_stack_balance () =
+  let r = Workload.Rng.create ~seed:3 ~stream:0 in
+  let pushes = ref 0 and total = 20_000 in
+  for _ = 1 to total do
+    match Workload.Distribution.stack_op r with
+    | Workload.Distribution.Push _ -> incr pushes
+    | Workload.Distribution.Pop -> ()
+  done;
+  let ratio = float_of_int !pushes /. float_of_int total in
+  Alcotest.(check bool) "about half pushes" true
+    (ratio > 0.45 && ratio < 0.55)
+
+let test_distribution_list_mix () =
+  let r = Workload.Rng.create ~seed:4 ~stream:0 in
+  let ins = ref 0 and rem = ref 0 and con = ref 0 and total = 30_000 in
+  for _ = 1 to total do
+    match Workload.Distribution.list_op r with
+    | Workload.Distribution.Insert _ -> incr ins
+    | Workload.Distribution.Remove _ -> incr rem
+    | Workload.Distribution.Contains _ -> incr con
+  done;
+  let pct x = float_of_int !x /. float_of_int total in
+  Alcotest.(check bool) "20% inserts" true (pct ins > 0.17 && pct ins < 0.23);
+  Alcotest.(check bool) "20% removes" true (pct rem > 0.17 && pct rem < 0.23);
+  Alcotest.(check bool) "60% contains" true (pct con > 0.56 && pct con < 0.64)
+
+let test_distribution_keys_in_range () =
+  let r = Workload.Rng.create ~seed:4 ~stream:1 in
+  for _ = 1 to 5_000 do
+    let k =
+      match Workload.Distribution.list_op ~key_range:500 r with
+      | Workload.Distribution.Insert k
+      | Workload.Distribution.Remove k
+      | Workload.Distribution.Contains k ->
+          k
+    in
+    if k < 0 || k >= 500 then Alcotest.fail "key out of range"
+  done
+
+let test_initial_keys () =
+  let keys = Workload.Distribution.initial_keys ~key_range:1000 ~seed:7 () in
+  Alcotest.(check int) "half the range" 500 (List.length keys);
+  Alcotest.(check int) "distinct" 500
+    (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun k -> if k < 0 || k >= 1000 then Alcotest.fail "key out of range")
+    keys;
+  let keys' = Workload.Distribution.initial_keys ~key_range:1000 ~seed:7 () in
+  Alcotest.(check (list int)) "deterministic" keys keys'
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_basics () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.check feq "mean" 2.5 (Workload.Stats.mean xs);
+  Alcotest.check feq "min" 1.0 (Workload.Stats.min xs);
+  Alcotest.check feq "max" 4.0 (Workload.Stats.max xs);
+  Alcotest.check (Alcotest.float 1e-6) "std" 1.2909944487 (Workload.Stats.std_dev xs);
+  Alcotest.check feq "median" 2.0 (Workload.Stats.median xs);
+  Alcotest.check feq "p100" 4.0 (Workload.Stats.percentile xs 100.0);
+  Alcotest.check feq "p1" 1.0 (Workload.Stats.percentile xs 1.0)
+
+let test_stats_degenerate () =
+  Alcotest.check feq "std of single" 0.0 (Workload.Stats.std_dev [| 5.0 |]);
+  Alcotest.check_raises "empty mean"
+    (Invalid_argument "Stats.mean: empty sample array") (fun () ->
+      ignore (Workload.Stats.mean [||]))
+
+let test_report_rendering () =
+  let t =
+    Workload.Report.create ~title:"demo" ~columns:[ "a"; "b" ]
+  in
+  Workload.Report.add_row t ~label:"1" ~cells:[ "x"; "y" ];
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Workload.Report.print ppf t;
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 4 && String.sub s 0 4 = "demo");
+  Alcotest.check_raises "bad row"
+    (Invalid_argument "Report.add_row: cell count does not match columns")
+    (fun () -> Workload.Report.add_row t ~label:"2" ~cells:[ "only one" ])
+
+let test_report_csv () =
+  let t = Workload.Report.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Workload.Report.add_row t ~label:"1" ~cells:[ "x"; "y" ];
+  Workload.Report.add_row t ~label:"2" ~cells:[ "u"; "v" ];
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Workload.Report.csv ppf t;
+  Format.pp_print_flush ppf ();
+  Alcotest.(check string) "csv shape" "# t\nthreads,a,b\n1,x,y\n2,u,v\n"
+    (Buffer.contents buf)
+
+let test_report_seconds () =
+  Alcotest.(check string) "seconds" "1.50s" (Workload.Report.seconds 1.5);
+  Alcotest.(check string) "millis" "12.0ms" (Workload.Report.seconds 0.012);
+  Alcotest.(check string) "micros" "120us" (Workload.Report.seconds 0.00012);
+  Alcotest.(check string) "nan" "-" (Workload.Report.seconds Float.nan)
+
+let test_runner_runs_workers () =
+  let counter = Atomic.make 0 in
+  let m =
+    Workload.Runner.run ~threads:3 ~repeats:2 ~ops_per_thread:100
+      ~setup:(fun () -> ())
+      ~worker:(fun () ~thread:_ ~ops ->
+        for _ = 1 to ops do
+          Atomic.incr counter
+        done)
+      ()
+  in
+  Alcotest.(check int) "all ops ran twice" 600 (Atomic.get counter);
+  Alcotest.(check int) "threads recorded" 3 m.Workload.Runner.threads;
+  Alcotest.(check bool) "time positive" true (m.Workload.Runner.seconds > 0.0);
+  Alcotest.(check bool) "cas nan when absent" true
+    (Float.is_nan m.Workload.Runner.cas_per_op)
+
+let test_runner_propagates_failure () =
+  match
+    Workload.Runner.run ~threads:2 ~repeats:1 ~ops_per_thread:1
+      ~setup:(fun () -> ())
+      ~worker:(fun () ~thread ~ops:_ -> if thread = 1 then failwith "worker boom")
+      ()
+  with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure msg -> Alcotest.(check string) "propagated" "worker boom" msg
+
+let test_runner_invalid_args () =
+  Alcotest.check_raises "zero threads"
+    (Invalid_argument "Runner.run: threads must be positive") (fun () ->
+      ignore
+        (Workload.Runner.run ~threads:0 ~repeats:1 ~ops_per_thread:1
+           ~setup:(fun () -> ())
+           ~worker:(fun () ~thread:_ ~ops:_ -> ())
+           ()));
+  Alcotest.check_raises "zero repeats"
+    (Invalid_argument "Runner.run: repeats must be positive") (fun () ->
+      ignore
+        (Workload.Runner.run ~threads:1 ~repeats:0 ~ops_per_thread:1
+           ~setup:(fun () -> ())
+           ~worker:(fun () ~thread:_ ~ops:_ -> ())
+           ()))
+
+let test_runner_cas_accounting () =
+  let m =
+    Workload.Runner.run ~threads:2 ~repeats:1 ~ops_per_thread:50
+      ~setup:(fun () -> Lockfree.Treiber_stack.create ())
+      ~worker:(fun s ~thread:_ ~ops ->
+        for i = 1 to ops do
+          Lockfree.Treiber_stack.push s i
+        done)
+      ~cas_total:(fun s -> Lockfree.Treiber_stack.cas_count s)
+      ()
+  in
+  Alcotest.(check bool) "at least one CAS per push" true
+    (m.Workload.Runner.cas_per_op >= 1.0)
+
+let test_slack_policy () =
+  let forced = ref [] in
+  let s = Fl.Slack.create 3 in
+  Fl.Slack.note s (fun () -> forced := 1 :: !forced);
+  Fl.Slack.note s (fun () -> forced := 2 :: !forced);
+  Alcotest.(check int) "pending below bound" 2 (Fl.Slack.pending s);
+  Alcotest.(check (list int)) "nothing forced" [] !forced;
+  Fl.Slack.note s (fun () -> forced := 3 :: !forced);
+  Alcotest.(check (list int)) "all forced newest-first" [ 1; 2; 3 ] !forced;
+  Alcotest.(check int) "reset" 0 (Fl.Slack.pending s)
+
+let test_slack_one_is_immediate () =
+  let count = ref 0 in
+  let s = Fl.Slack.create 1 in
+  Fl.Slack.note s (fun () -> incr count);
+  Alcotest.(check int) "forced immediately" 1 !count
+
+let test_slack_drain_partial () =
+  let count = ref 0 in
+  let s = Fl.Slack.create 100 in
+  Fl.Slack.note s (fun () -> incr count);
+  Fl.Slack.note s (fun () -> incr count);
+  Fl.Slack.drain s;
+  Alcotest.(check int) "drained" 2 !count;
+  Fl.Slack.drain s;
+  Alcotest.(check int) "idempotent" 2 !count
+
+let test_slack_oldest_first_order () =
+  let forced = ref [] in
+  let s = Fl.Slack.create ~order:Fl.Slack.Oldest_first 3 in
+  Fl.Slack.note s (fun () -> forced := 1 :: !forced);
+  Fl.Slack.note s (fun () -> forced := 2 :: !forced);
+  Fl.Slack.note s (fun () -> forced := 3 :: !forced);
+  Alcotest.(check (list int)) "oldest first" [ 3; 2; 1 ] !forced
+
+let test_zipf_skew () =
+  let z = Workload.Distribution.zipf ~n:100 () in
+  let rng = Workload.Rng.create ~seed:17 ~stream:0 in
+  let counts = Array.make 100 0 in
+  let draws = 50_000 in
+  for _ = 1 to draws do
+    let k = Workload.Distribution.zipf_draw z rng in
+    if k < 0 || k >= 100 then Alcotest.fail "rank out of range";
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* Rank 0 has weight 1/H(100) ~ 19%; expect it to dominate. *)
+  Alcotest.(check bool) "rank 0 most frequent" true
+    (Array.for_all (fun c -> c <= counts.(0)) counts);
+  let p0 = float_of_int counts.(0) /. float_of_int draws in
+  Alcotest.(check bool) "rank 0 frequency plausible" true
+    (p0 > 0.15 && p0 < 0.25);
+  (* Monotone-ish decay: rank 0 >> rank 50. *)
+  Alcotest.(check bool) "heavy head" true (counts.(0) > 10 * counts.(50))
+
+let test_zipf_uniform_exponent_zero () =
+  let z = Workload.Distribution.zipf ~exponent:0.0 ~n:10 () in
+  let rng = Workload.Rng.create ~seed:18 ~stream:0 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let k = Workload.Distribution.zipf_draw z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* With exponent 0 every rank is equally likely; no rank should be
+     wildly over-represented. *)
+  Array.iter
+    (fun c ->
+      if c < 500 || c > 3500 then
+        Alcotest.fail (Printf.sprintf "uniform draw skewed: %d" c))
+    counts
+
+let test_zipf_invalid () =
+  Alcotest.check_raises "n=0"
+    (Invalid_argument "Distribution.zipf: n must be positive") (fun () ->
+      ignore (Workload.Distribution.zipf ~n:0 ()));
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Distribution.zipf: exponent must be non-negative")
+    (fun () -> ignore (Workload.Distribution.zipf ~exponent:(-1.0) ~n:5 ()))
+
+let test_slack_invalid () =
+  Alcotest.check_raises "zero slack"
+    (Invalid_argument "Slack.create: slack must be >= 1") (fun () ->
+      ignore (Fl.Slack.create 0))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "streams differ" `Quick test_rng_streams_differ;
+          Alcotest.test_case "below in range" `Quick test_rng_below_in_range;
+          Alcotest.test_case "below covers" `Quick test_rng_below_covers;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+        ] );
+      ( "distribution",
+        [
+          Alcotest.test_case "stack balance" `Quick
+            test_distribution_stack_balance;
+          Alcotest.test_case "list mix 20/20/60" `Quick
+            test_distribution_list_mix;
+          Alcotest.test_case "keys in range" `Quick
+            test_distribution_keys_in_range;
+          Alcotest.test_case "initial keys" `Quick test_initial_keys;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "degenerate" `Quick test_stats_degenerate;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "rendering" `Quick test_report_rendering;
+          Alcotest.test_case "csv" `Quick test_report_csv;
+          Alcotest.test_case "seconds formatting" `Quick test_report_seconds;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "runs workers" `Quick test_runner_runs_workers;
+          Alcotest.test_case "propagates failures" `Quick
+            test_runner_propagates_failure;
+          Alcotest.test_case "invalid args" `Quick test_runner_invalid_args;
+          Alcotest.test_case "cas accounting" `Quick test_runner_cas_accounting;
+        ] );
+      ( "slack",
+        [
+          Alcotest.test_case "policy" `Quick test_slack_policy;
+          Alcotest.test_case "slack=1 immediate" `Quick
+            test_slack_one_is_immediate;
+          Alcotest.test_case "drain partial" `Quick test_slack_drain_partial;
+          Alcotest.test_case "oldest-first order" `Quick
+            test_slack_oldest_first_order;
+          Alcotest.test_case "invalid" `Quick test_slack_invalid;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "exponent zero is uniform" `Quick
+            test_zipf_uniform_exponent_zero;
+          Alcotest.test_case "invalid args" `Quick test_zipf_invalid;
+        ] );
+    ]

@@ -15,10 +15,19 @@ bench-quick:
 bench-full:
 	dune exec bench/main.exe -- all --ops 20000 --repeats 3
 
+# Chaos suite: the whole test tree under seeded schedule perturbation
+# (FLDS_FAULTS arms every injection point with delays/yields — never
+# kills — so the suite must still be green), then the chaos benchmark
+# reporting worker kills and combiner-lease takeovers.
+CHAOS_SEED ?= 2014
+chaos:
+	FLDS_FAULTS=$(CHAOS_SEED) dune runtest --force --no-buffer
+	dune exec bench/main.exe -- chaos --quick --seed $(CHAOS_SEED)
+
 doc:
 	dune build @doc
 
 clean:
 	dune clean
 
-.PHONY: all test test-force bench-quick bench-full doc clean
+.PHONY: all test test-force bench-quick bench-full chaos doc clean

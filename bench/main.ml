@@ -505,15 +505,108 @@ let micro () =
     (List.sort compare rows);
   Format.print_newline ()
 
+(* ----------------------------- chaos -------------------------------- *)
+
+(* Robustness run: seeded fault injection on every hot-path point
+   (combining passes, record scans, spins, fulfils) plus one runner-level
+   victim per repeat that dies or stalls mid-run. The interesting output
+   is not the time but the recovery counters: how many workers were lost
+   and how often a waiter usurped a stalled combiner's lease instead of
+   hanging. Fault-free runs report 0 takeovers. *)
+let chaos_seed = ref 2014
+
+let chaos_bench cfg =
+  let seed = !chaos_seed in
+  Format.printf
+    "== Chaos: flat combining under seeded faults (seed %d) — %d \
+     ops/thread, %d repeat(s) ==@.@."
+    seed cfg.ops cfg.repeats;
+  let cell ~insts ~takeovers ~run_measure =
+    (* Seeded noise on every point, plus a scripted hard stall of the
+       combiner every 1000th pass: 15 ms, comfortably past the ~6 ms a
+       waiter needs to exhaust the default takeover budget of 64 backoff
+       rounds, so multi-thread rows must show takeovers (a single thread
+       has no waiter and shows 0). *)
+    Faults.enable ~seed ();
+    Faults.on "fc.pass" (fun k ->
+        if k mod 1000 = 999 then Faults.Sleep 15e-3 else Faults.Nothing);
+    let m =
+      Fun.protect ~finally:Faults.clear_all (fun () ->
+          run_measure ~chaos:(Workload.Runner.chaos ~seed ()))
+    in
+    let usurped = List.fold_left (fun a i -> a + takeovers i) 0 !insts in
+    Printf.sprintf "%s (%d killed, %d takeovers)"
+      (Workload.Report.seconds m.Workload.Runner.seconds)
+      m.Workload.Runner.killed usurped
+  in
+  let stack_cell ~threads =
+    let insts = ref [] in
+    let setup () =
+      let s = Combining.Fc_stack.create () in
+      insts := s :: !insts;
+      s
+    in
+    let worker s ~thread ~ops =
+      let h = Combining.Fc_stack.handle s in
+      let rng = Workload.Rng.create ~seed:(0xC0A5 + seed) ~stream:thread in
+      for _ = 1 to ops do
+        if Workload.Rng.bool rng then Combining.Fc_stack.push h 1
+        else ignore (Combining.Fc_stack.pop h)
+      done
+    in
+    cell ~insts ~takeovers:Combining.Fc_stack.combiner_takeovers
+      ~run_measure:(fun ~chaos ->
+        Workload.Runner.run ~threads ~repeats:cfg.repeats
+          ~ops_per_thread:cfg.ops ~setup ~worker ~chaos ())
+  in
+  let queue_cell ~threads =
+    let insts = ref [] in
+    let setup () =
+      let q = Combining.Fc_queue.create () in
+      insts := q :: !insts;
+      q
+    in
+    let worker q ~thread ~ops =
+      let h = Combining.Fc_queue.handle q in
+      let rng = Workload.Rng.create ~seed:(0xC0A5 + seed) ~stream:thread in
+      for _ = 1 to ops do
+        if Workload.Rng.bool rng then Combining.Fc_queue.enqueue h 1
+        else ignore (Combining.Fc_queue.dequeue h)
+      done
+    in
+    cell ~insts ~takeovers:Combining.Fc_queue.combiner_takeovers
+      ~run_measure:(fun ~chaos ->
+        Workload.Runner.run ~threads ~repeats:cfg.repeats
+          ~ops_per_thread:cfg.ops ~setup ~worker ~chaos ())
+  in
+  let table =
+    Workload.Report.create
+      ~title:
+        (Printf.sprintf
+           "chaos, seed=%d (time; workers killed; combiner-lease takeovers)"
+           seed)
+      ~columns:[ "fc-stack"; "fc-queue" ]
+  in
+  List.iter
+    (fun threads ->
+      Workload.Report.add_row table
+        ~label:(string_of_int threads)
+        ~cells:[ stack_cell ~threads; queue_cell ~threads ])
+    cfg.threads;
+  let ppf = Format.std_formatter in
+  if cfg.csv then Workload.Report.csv ppf table
+  else Workload.Report.print ppf table;
+  Format.pp_print_newline ppf ()
+
 (* ------------------------------ main -------------------------------- *)
 
 let parse_int_list s = List.map int_of_string (String.split_on_char ',' s)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [fig4|fig5|fig6|ablation|micro|cas|all]... \
+    "usage: main.exe [fig4|fig5|fig6|ablation|micro|cas|extra|chaos|all]... \
      [--quick|--full] [--ops N] [--repeats N] [--threads a,b,c] [--slacks \
-     a,b,c] [--csv]";
+     a,b,c] [--seed N] [--csv]";
   exit 2
 
 let () =
@@ -530,10 +623,13 @@ let () =
         parse { cfg with threads = parse_int_list l } cmds rest
     | "--slacks" :: l :: rest ->
         parse { cfg with slacks = parse_int_list l } cmds rest
+    | "--seed" :: n :: rest ->
+        chaos_seed := int_of_string n;
+        parse cfg cmds rest
     | cmd :: rest
       when List.mem cmd
              [ "fig4"; "fig5"; "fig6"; "ablation"; "micro"; "cas"; "extra";
-               "all" ]
+               "chaos"; "all" ]
       ->
         parse cfg (cmd :: cmds) rest
     | _ -> usage ()
@@ -557,7 +653,10 @@ let () =
     | "micro" -> micro ()
     | "cas" -> cas_experiment cfg
     | "extra" -> extra cfg
+    | "chaos" -> chaos_bench cfg
     | "all" ->
+        (* chaos is deliberately not part of [all]: its injected delays
+           would contaminate the figure timings run in the same process. *)
         fig4 cfg;
         fig5 cfg;
         fig6 cfg;

@@ -17,7 +17,7 @@ let create () =
         Done
     | Deq -> Dequeued (Seqds.Seq_queue.dequeue seq)
   in
-  { seq; fc = Flat_combining.create ~apply }
+  { seq; fc = Flat_combining.create ~apply () }
 
 let handle t = Flat_combining.handle t.fc
 
@@ -34,3 +34,4 @@ let dequeue h =
 let length t = Seqds.Seq_queue.length t.seq
 let to_list t = Seqds.Seq_queue.to_list t.seq
 let combiner_passes t = Flat_combining.combiner_passes t.fc
+let combiner_takeovers t = Flat_combining.combiner_takeovers t.fc

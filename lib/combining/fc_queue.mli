@@ -17,3 +17,6 @@ val to_list : 'a t -> 'a list
 (** Oldest-first; quiescent snapshot. *)
 
 val combiner_passes : 'a t -> int
+
+val combiner_takeovers : 'a t -> int
+(** Stalled-combiner lease takeovers (see {!Flat_combining}). *)

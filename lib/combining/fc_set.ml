@@ -14,7 +14,7 @@ module Make (K : Seqds.Seq_list.KEY) = struct
       | Remove k -> S.remove seq k
       | Contains k -> S.contains seq k
     in
-    { seq; fc = Flat_combining.create ~apply }
+    { seq; fc = Flat_combining.create ~apply () }
 
   let handle t = Flat_combining.handle t.fc
   let insert h k = Flat_combining.apply h (Insert k)
@@ -23,4 +23,5 @@ module Make (K : Seqds.Seq_list.KEY) = struct
   let length t = S.length t.seq
   let to_list t = S.to_list t.seq
   let combiner_passes t = Flat_combining.combiner_passes t.fc
+  let combiner_takeovers t = Flat_combining.combiner_takeovers t.fc
 end

@@ -19,4 +19,7 @@ module Make (K : Seqds.Seq_list.KEY) : sig
   (** Ascending; quiescent snapshot. *)
 
   val combiner_passes : t -> int
+
+  val combiner_takeovers : t -> int
+  (** Stalled-combiner lease takeovers (see {!Flat_combining}). *)
 end

@@ -2,28 +2,51 @@
    (reset to None) by the combiner; [response] is written by the combiner
    and consumed by the owner. The owner publishes a new request only
    after consuming the previous response, so a record holds at most one
-   in-flight operation. *)
+   in-flight operation. Responses carry [('res, exn) result] so that an
+   [apply_op] that raises still answers its record — the exception
+   travels back to the owner and is re-raised there, and every other
+   record in the pass is answered normally. *)
 type ('op, 'res) record = {
   request : 'op option Atomic.t;
-  response : 'res option Atomic.t;
+  response : ('res, exn) result option Atomic.t;
   mutable next : ('op, 'res) record option; (* immutable once published *)
 }
 
+(* Combining is guarded by a lease, not a plain lock: [term] is even when
+   no combiner is active and odd while one holds the role, and it only
+   ever grows. Becoming the combiner is CAS [even -> even+1] (acquire) or
+   CAS [odd -> odd+2] (takeover of a stalled combiner's lease); release
+   is CAS [odd -> odd+1]. A combiner re-reads [term] at every record
+   boundary and abandons the scan the moment its term is stale, so a
+   deposed (stalled, now awake) combiner stops touching the sequential
+   structure; its release CAS then fails harmlessly. [progress] ticks at
+   every record boundary, giving waiters a liveness signal that is fine
+   grained even during one long pass. *)
 type ('op, 'res) t = {
   apply_op : 'op -> 'res;
-  lock : Sync.Spinlock.t;
+  term : int Atomic.t;
   publication : ('op, 'res) record option Atomic.t;
   passes : int Atomic.t;
+  progress : int Atomic.t;
+  takeovers : int Atomic.t;
+  takeover_budget : int;
 }
 
 type ('op, 'res) handle = { owner : ('op, 'res) t; record : ('op, 'res) record }
 
-let create ~apply =
+let default_takeover_budget = 64
+
+let create ?(takeover_budget = default_takeover_budget) ~apply () =
+  if takeover_budget <= 0 then
+    invalid_arg "Flat_combining.create: takeover_budget must be positive";
   {
     apply_op = apply;
-    lock = Sync.Spinlock.create ();
+    term = Atomic.make 0;
     publication = Atomic.make None;
     passes = Atomic.make 0;
+    progress = Atomic.make 0;
+    takeovers = Atomic.make 0;
+    takeover_budget;
   }
 
 let handle owner =
@@ -39,47 +62,97 @@ let handle owner =
   link ();
   { owner; record }
 
-(* Scan the whole publication list, answering every pending request. Runs
-   with the combiner lock held. *)
-let combine t =
+(* Scan the whole publication list, answering every pending request.
+   Runs as the holder of lease [my_term]; stops (without error) as soon
+   as the lease is observed stale. *)
+let combine t my_term =
   Atomic.incr t.passes;
+  Faults.point "fc.pass";
   let rec scan = function
     | None -> ()
     | Some r ->
-        (match Atomic.get r.request with
-        | Some op ->
-            let result = t.apply_op op in
-            Atomic.set r.request None;
-            Atomic.set r.response (Some result)
-        | None -> ());
-        scan r.next
+        Faults.point "fc.record";
+        if Atomic.get t.term = my_term then begin
+          (match Atomic.get r.request with
+          | Some op ->
+              let result =
+                match t.apply_op op with v -> Ok v | exception e -> Error e
+              in
+              Atomic.set r.request None;
+              Atomic.set r.response (Some result);
+              Atomic.incr t.progress
+          | None -> ());
+          scan r.next
+        end
   in
   scan (Atomic.get t.publication)
 
+let try_release t my_term =
+  ignore (Atomic.compare_and_set t.term my_term (my_term + 1))
+
+(* Run a pass as the holder of [my_term], releasing the lease afterwards.
+   A simulated thread death ([Faults.Killed]) deliberately leaves the
+   lease held — a dead combiner releases nothing — so recovery must come
+   from a waiter's takeover; any other exception releases normally. *)
+let run_as_combiner t my_term =
+  match combine t my_term with
+  | () -> try_release t my_term
+  | exception e ->
+      (match e with Faults.Killed _ -> () | _ -> try_release t my_term);
+      raise e
+
 let apply h op =
   let t = h.owner in
+  Faults.point "fc.apply";
   Atomic.set h.record.request (Some op);
-  let b = Sync.Backoff.create () in
-  let rec wait () =
+  let b = Sync.Backoff.create ~budget:t.takeover_budget () in
+  let rec wait last_term last_progress =
     match Atomic.get h.record.response with
-    | Some result ->
+    | Some result -> (
         Atomic.set h.record.response None;
-        result
+        match result with Ok v -> v | Error e -> raise e)
     | None ->
-        if Sync.Spinlock.try_acquire t.lock then begin
-          (* We are the combiner: everybody's requests, including our own
-             (published above, before the lock attempt), are answered in
-             this pass. *)
-          Fun.protect
-            ~finally:(fun () -> Sync.Spinlock.release t.lock)
-            (fun () -> combine t);
-          wait ()
-        end
+        let term = Atomic.get t.term in
+        if term land 1 = 0 then
+          if Atomic.compare_and_set t.term term (term + 1) then begin
+            (* We are the combiner: everybody's requests, including our
+               own (published above, before the lease attempt), are
+               answered in this pass. *)
+            run_as_combiner t (term + 1);
+            Sync.Backoff.reset b;
+            wait (Atomic.get t.term) (Atomic.get t.progress)
+          end
+          else wait last_term last_progress
         else begin
-          Sync.Backoff.once b;
-          wait ()
+          let progress = Atomic.get t.progress in
+          if term <> last_term || progress <> last_progress then begin
+            (* The combiner moved between records (or changed identity)
+               since we last looked: it is alive, keep waiting. *)
+            Sync.Backoff.reset b;
+            Sync.Backoff.once b;
+            wait term progress
+          end
+          else if Sync.Backoff.give_up b then
+            (* No record boundary crossed for a whole spin budget: the
+               lease holder is stalled or dead. Usurp its term and
+               combine ourselves rather than spinning forever. *)
+            if Atomic.compare_and_set t.term term (term + 2) then begin
+              Atomic.incr t.takeovers;
+              run_as_combiner t (term + 2);
+              Sync.Backoff.reset b;
+              wait (Atomic.get t.term) (Atomic.get t.progress)
+            end
+            else begin
+              Sync.Backoff.reset b;
+              wait (Atomic.get t.term) (Atomic.get t.progress)
+            end
+          else begin
+            Sync.Backoff.once b;
+            wait term progress
+          end
         end
   in
-  wait ()
+  wait (Atomic.get t.term) (Atomic.get t.progress)
 
 let combiner_passes t = Atomic.get t.passes
+let combiner_takeovers t = Atomic.get t.takeovers

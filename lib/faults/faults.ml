@@ -1,0 +1,134 @@
+module Rng = Rng
+
+exception Killed of string
+
+type action = Nothing | Delay of int | Sleep of float | Kill
+
+type config = { seed : int; prob : float; kill : bool }
+
+(* [active] is the one word the disabled fast path reads: true iff seeded
+   chaos is on or at least one script is installed. Everything else is
+   reached only on the slow path. *)
+let active = Atomic.make false
+let config : config option Atomic.t = Atomic.make None
+let scripts : (string * (int -> action)) list Atomic.t = Atomic.make []
+
+let refresh_active () =
+  Atomic.set active (Atomic.get config <> None || Atomic.get scripts <> [])
+
+(* Per-point hit counters, published as an immutable association list so
+   concurrent domains can read while another registers a new point. *)
+let counters : (string * int Atomic.t) list Atomic.t = Atomic.make []
+
+let rec counter name =
+  match List.assoc_opt name (Atomic.get counters) with
+  | Some c -> c
+  | None ->
+      let cur = Atomic.get counters in
+      (match List.assoc_opt name cur with
+      | Some c -> c
+      | None ->
+          let c = Atomic.make 0 in
+          if Atomic.compare_and_set counters cur ((name, c) :: cur) then c
+          else counter name)
+
+let hits name =
+  match List.assoc_opt name (Atomic.get counters) with
+  | Some c -> Atomic.get c
+  | None -> 0
+
+let reset_counters () =
+  List.iter (fun (_, c) -> Atomic.set c 0) (Atomic.get counters)
+
+(* Each domain draws from its own stream of the configured seed, so the
+   schedule a domain experiences is a deterministic function of
+   (seed, domain id, hit sequence). *)
+let rng_key : (int * Rng.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let domain_rng cfg =
+  let slot = Domain.DLS.get rng_key in
+  match !slot with
+  | Some (seed, rng) when seed = cfg.seed -> rng
+  | _ ->
+      let rng = Rng.create ~seed:cfg.seed ~stream:(Domain.self () :> int) in
+      slot := Some (cfg.seed, rng);
+      rng
+
+let draw cfg =
+  let rng = domain_rng cfg in
+  if Rng.float rng >= cfg.prob then Nothing
+  else
+    match Rng.below rng (if cfg.kill then 16 else 15) with
+    | 0 | 1 | 2 | 3 | 4 | 5 -> Delay (1 + Rng.below rng 512)
+    | 6 | 7 | 8 -> Delay (1 + Rng.below rng 16_384) (* cpu_relax storm *)
+    | 9 | 10 | 11 | 12 | 13 ->
+        Sleep (1e-6 *. float_of_int (1 + Rng.below rng 50))
+    | 14 -> Sleep (1e-4 *. float_of_int (1 + Rng.below rng 10)) (* long stall *)
+    | _ -> Kill
+
+let perform name = function
+  | Nothing -> ()
+  | Delay n ->
+      for _ = 1 to n do
+        Domain.cpu_relax ()
+      done
+  | Sleep s -> Unix.sleepf s
+  | Kill -> raise (Killed name)
+
+let hit name =
+  let k = Atomic.fetch_and_add (counter name) 1 in
+  match List.assoc_opt name (Atomic.get scripts) with
+  | Some f -> perform name (f k)
+  | None -> (
+      match Atomic.get config with
+      | Some cfg -> perform name (draw cfg)
+      | None -> ())
+
+let point name = if Atomic.get active then hit name
+
+let enable ?(kill = false) ?(prob = 0.02) ~seed () =
+  if prob < 0.0 || prob > 1.0 then
+    invalid_arg "Faults.enable: prob must be in [0, 1]";
+  Atomic.set config (Some { seed; prob; kill });
+  refresh_active ()
+
+let disable () =
+  Atomic.set config None;
+  refresh_active ()
+
+let enabled () = Atomic.get config <> None
+
+let on name f =
+  let rec update () =
+    let cur = Atomic.get scripts in
+    let next = (name, f) :: List.remove_assoc name cur in
+    if not (Atomic.compare_and_set scripts cur next) then update ()
+  in
+  update ();
+  refresh_active ()
+
+let clear name =
+  let rec update () =
+    let cur = Atomic.get scripts in
+    let next = List.remove_assoc name cur in
+    if not (Atomic.compare_and_set scripts cur next) then update ()
+  in
+  update ();
+  refresh_active ()
+
+let clear_all () =
+  Atomic.set scripts [];
+  Atomic.set config None;
+  refresh_active ();
+  reset_counters ()
+
+(* [FLDS_FAULTS=<seed>] arms schedule perturbation (never kills) for the
+   whole process — the `make chaos` entry point. *)
+let () =
+  match Sys.getenv_opt "FLDS_FAULTS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some seed -> enable ~seed ()
+      | None -> ())
+  | None -> ()

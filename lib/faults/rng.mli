@@ -1,0 +1,25 @@
+(** Deterministic splitmix64 pseudo-random numbers.
+
+    Lives at the bottom of the library stack so that both workload
+    generation ({!Workload.Rng} re-exports this module) and fault
+    schedules draw from the same generator. Every thread derives its own
+    stream from (seed, stream id), so runs are reproducible regardless of
+    interleaving and no two threads share generator state. *)
+
+type t
+
+val create : seed:int -> stream:int -> t
+(** A generator for logical stream [stream] (e.g. the thread index) of the
+    experiment [seed]. *)
+
+val next : t -> int
+(** Next raw 62-bit non-negative value. *)
+
+val below : t -> int -> int
+(** [below t n] is uniform in [0, n). Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool

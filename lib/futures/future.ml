@@ -9,6 +9,7 @@ type 'a t = {
 
 exception Already_fulfilled
 exception Stuck
+exception Timeout
 
 let create () = { state = Atomic.make Pending; evaluator = None }
 
@@ -17,7 +18,9 @@ let create_with ~evaluator =
 
 let of_value v = { state = Atomic.make (Ready v); evaluator = None }
 
-let try_fulfil t v = Atomic.compare_and_set t.state Pending (Ready v)
+let try_fulfil t v =
+  Faults.point "future.fulfil";
+  Atomic.compare_and_set t.state Pending (Ready v)
 
 let fulfil t v = if not (try_fulfil t v) then raise Already_fulfilled
 
@@ -34,6 +37,7 @@ let set_evaluator t f = t.evaluator <- Some f
 let stuck_rounds = 1000
 
 let await t =
+  Faults.point "future.await";
   let b = Sync.Backoff.create () in
   let rec loop () =
     match Atomic.get t.state with
@@ -44,7 +48,25 @@ let await t =
   in
   loop ()
 
+let await_for t ~seconds =
+  Faults.point "future.await";
+  match Atomic.get t.state with
+  | Ready v -> v
+  | Pending ->
+      let deadline = Unix.gettimeofday () +. seconds in
+      let b = Sync.Backoff.create () in
+      let rec loop () =
+        match Atomic.get t.state with
+        | Ready v -> v
+        | Pending ->
+            if Unix.gettimeofday () >= deadline then raise Timeout;
+            Sync.Backoff.once b;
+            loop ()
+      in
+      loop ()
+
 let force t =
+  Faults.point "future.force";
   match Atomic.get t.state with
   | Ready v -> v
   | Pending -> (
@@ -66,6 +88,33 @@ let force t =
                 wait (rounds - 1)
           in
           wait stuck_rounds)
+
+let force_until t ~deadline =
+  Faults.point "future.force";
+  match Atomic.get t.state with
+  | Ready v -> v
+  | Pending -> (
+      match t.evaluator with
+      | Some eval -> (
+          (* The evaluator is the owner's own code: run it to completion
+             (aborting it midway could leave the structure's pending
+             lists half-applied); the deadline bounds only the wait on
+             other threads. *)
+          eval ();
+          match Atomic.get t.state with
+          | Ready v -> v
+          | Pending -> raise Stuck)
+      | None ->
+          let b = Sync.Backoff.create () in
+          let rec wait () =
+            match Atomic.get t.state with
+            | Ready v -> v
+            | Pending ->
+                if Unix.gettimeofday () >= deadline then raise Timeout;
+                Sync.Backoff.once b;
+                wait ()
+          in
+          wait ())
 
 let map f fut =
   let t = create () in

@@ -62,6 +62,26 @@ val await : 'a t -> 'a
     return the result. Unlike [force], never runs the evaluator — for
     consumers that know a producer will fulfil. *)
 
+exception Timeout
+(** Raised by the bounded waits below when their deadline passes while
+    the future is still pending. The future itself is untouched: it may
+    still be fulfilled later, and the owner may retry or switch to the
+    unbounded wait. *)
+
+val force_until : 'a t -> deadline:float -> 'a
+(** [force_until t ~deadline] is [force t], except that the
+    no-evaluator wait for a concurrent fulfiller is bounded by the
+    absolute wall-clock time [deadline] (as returned by
+    [Unix.gettimeofday]) instead of a fixed round count.
+    @raise Timeout if the deadline passes first — the graceful
+    alternative to spinning on a fulfiller that died.
+    @raise Stuck if an installed evaluator returns without fulfilling
+    (evaluators run to completion; the deadline does not abort them). *)
+
+val await_for : 'a t -> seconds:float -> 'a
+(** [await_for t ~seconds] is [await t] bounded by a relative timeout.
+    @raise Timeout if no thread fulfils the future within [seconds]. *)
+
 val set_evaluator : 'a t -> (unit -> unit) -> unit
 (** Install or replace the evaluator. Owner thread only. *)
 

@@ -7,6 +7,7 @@ let try_acquire t =
   (not (Atomic.get t.locked)) && Atomic.compare_and_set t.locked false true
 
 let acquire t =
+  Faults.point "spinlock.acquire";
   let b = Backoff.create () in
   let rec loop () =
     if not (try_acquire t) then begin
@@ -17,6 +18,7 @@ let acquire t =
   loop ()
 
 let acquire_until t stop =
+  Faults.point "spinlock.acquire";
   let b = Backoff.create () in
   let rec loop () =
     if try_acquire t then true
@@ -27,6 +29,23 @@ let acquire_until t stop =
     end
   in
   loop ()
+
+let try_acquire_for t ~seconds =
+  Faults.point "spinlock.acquire";
+  if try_acquire t then true
+  else begin
+    let deadline = Unix.gettimeofday () +. seconds in
+    let b = Backoff.create () in
+    let rec loop () =
+      if try_acquire t then true
+      else if Unix.gettimeofday () >= deadline then false
+      else begin
+        Backoff.once b;
+        loop ()
+      end
+    in
+    loop ()
+  end
 
 let release t =
   if not (Atomic.get t.locked) then

@@ -22,6 +22,13 @@ val acquire_until : t -> (unit -> bool) -> bool
     the lock, it waits until the lock becomes available again, checking
     periodically that F is still pending". *)
 
+val try_acquire_for : t -> seconds:float -> bool
+(** [try_acquire_for l ~seconds] spins to take the lock for at most
+    [seconds] of wall-clock time, then gives up. Returns [true] iff the
+    lock was acquired (in which case the caller must release it). The
+    bounded-wait counterpart of [acquire] for callers that must degrade
+    gracefully when the holder has stalled. *)
+
 val release : t -> unit
 (** Release the lock. Raises [Invalid_argument] if the lock is not held. *)
 

@@ -1,30 +1,5 @@
-(* splitmix64-style generator (Steele, Lea & Flood 2014) adapted to
-   OCaml's 63-bit ints: the multiplicative constants are the originals
-   truncated to 62 bits, and overflow wraps modulo 2^63. The statistical
-   quality is below the genuine 64-bit splitmix but far more than adequate
-   for workload generation. *)
-
-type t = { mutable state : int }
-
-let golden_gamma = 0x1e3779b97f4a7c15
-
-let mix z =
-  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 in
-  let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb in
-  z lxor (z lsr 31)
-
-let create ~seed ~stream =
-  (* Decorrelate streams by mixing the stream id into the seed. *)
-  { state = mix (seed + ((stream + 1) * golden_gamma)) }
-
-let next t =
-  t.state <- t.state + golden_gamma;
-  mix t.state land max_int
-
-let below t n =
-  if n <= 0 then invalid_arg "Rng.below: bound must be positive";
-  next t mod n
-
-let float t = Stdlib.float_of_int (next t) /. Stdlib.float_of_int max_int
-
-let bool t = next t land 1 = 1
+(* The generator itself lives in [Faults.Rng] (bottom of the library
+   stack) so fault schedules and workload generation share one
+   deterministic source; this module is its historical home and public
+   name for workload code. *)
+include Faults.Rng

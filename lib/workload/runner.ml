@@ -4,43 +4,94 @@ type measurement = {
   std_dev : float;
   throughput : float;
   cas_per_op : float;
+  killed : int;
+  suppressed_failures : int;
 }
+
+type chaos = { c_seed : int; c_kill : bool; c_stall : float }
+
+exception Killed_worker of int
+
+let chaos ?(kill = true) ?(stall = 0.005) ~seed () =
+  if stall < 0.0 then invalid_arg "Runner.chaos: stall must be non-negative";
+  { c_seed = seed; c_kill = kill; c_stall = stall }
 
 let time f =
   let t0 = Unix.gettimeofday () in
   f ();
   Unix.gettimeofday () -. t0
 
-let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total
-    ?teardown () =
+(* The victim's plan for one repeat, drawn from the chaos seed: which
+   thread misbehaves, after how many of its operations, and whether it
+   dies there or stalls and resumes. *)
+type victim_plan = Healthy | Die of int | Stall of int * float
+
+let plan_victims ~chaos ~threads ~ops_per_thread ~rep =
+  match chaos with
+  | None -> Array.make threads Healthy
+  | Some c ->
+      let rng = Rng.create ~seed:c.c_seed ~stream:rep in
+      let plans = Array.make threads Healthy in
+      let victim = Rng.below rng threads in
+      let cut = 1 + Rng.below rng (max 1 ops_per_thread) in
+      plans.(victim) <-
+        (if c.c_kill && Rng.bool rng then Die cut else Stall (cut, c.c_stall));
+      plans
+
+let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total ?teardown
+    ?chaos () =
   if threads <= 0 then invalid_arg "Runner.run: threads must be positive";
   if repeats <= 0 then invalid_arg "Runner.run: repeats must be positive";
   let samples = Array.make repeats 0.0 in
   let cas_samples = Array.make repeats Float.nan in
+  let killed = ref 0 in
+  let suppressed = ref 0 in
   for rep = 0 to repeats - 1 do
     let ctx = setup () in
     let barrier = Sync.Barrier.create (threads + 1) in
     let cas_before = match cas_total with Some f -> f ctx | None -> 0 in
+    let plans = plan_victims ~chaos ~threads ~ops_per_thread ~rep in
     let spawn i =
       Domain.spawn (fun () ->
           Sync.Barrier.wait barrier;
-          worker ctx ~thread:i ~ops:ops_per_thread)
+          match plans.(i) with
+          | Healthy -> worker ctx ~thread:i ~ops:ops_per_thread
+          | Die cut ->
+              (* Simulated mid-run death: the worker performs a seeded
+                 prefix of its operations, then its domain is lost —
+                 pending futures unforced, handles never flushed. *)
+              worker ctx ~thread:i ~ops:(min cut ops_per_thread);
+              raise (Killed_worker i)
+          | Stall (cut, stall) ->
+              let cut = min cut ops_per_thread in
+              worker ctx ~thread:i ~ops:cut;
+              Unix.sleepf stall;
+              worker ctx ~thread:i ~ops:(ops_per_thread - cut))
     in
     let domains = List.init threads spawn in
-    (* Release all workers at once and time until the last finishes. *)
+    (* Release all workers at once and time until the last finishes. Join
+       every domain before acting on failures; chaos kills are expected
+       and counted, the first genuine failure is re-raised (after
+       teardown), and further genuine failures are counted as
+       suppressed. *)
+    let failure = ref None in
     let seconds =
       time (fun () ->
           Sync.Barrier.wait barrier;
-          (* Join in order; re-raise the first worker failure, but only
-             after every domain has been joined. *)
-          let failure = ref None in
           List.iter
             (fun d ->
               match Domain.join d with
               | () -> ()
-              | exception e -> if !failure = None then failure := Some e)
-            domains;
-          match !failure with Some e -> raise e | None -> ())
+              | exception Killed_worker _ -> incr killed
+              | exception Faults.Killed _ ->
+                  (* Scripted injection killed the worker mid-loop —
+                     stronger than [Die], which lets the prefix flush:
+                     here futures die pending. Expected, like [Die]. *)
+                  incr killed
+              | exception e ->
+                  if !failure = None then failure := Some e
+                  else incr suppressed)
+            domains)
     in
     samples.(rep) <- seconds;
     (match cas_total with
@@ -49,7 +100,20 @@ let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total
         cas_samples.(rep) <-
           float_of_int (f ctx - cas_before) /. float_of_int total_ops
     | None -> ());
-    match teardown with Some f -> f ctx | None -> ()
+    (* Teardown must run even when a worker failed: it settles shared
+       pending state, and skipping it would leak the failure into the
+       next repeat's (fresh) context diagnostics. *)
+    (match teardown with Some f -> f ctx | None -> ());
+    match !failure with
+    | Some e ->
+        if !suppressed > 0 then
+          Printf.eprintf
+            "Runner.run: suppressed %d additional worker failure(s) behind \
+             the re-raised one\n\
+             %!"
+            !suppressed;
+        raise e
+    | None -> ()
   done;
   let mean = Stats.mean samples in
   {
@@ -59,4 +123,6 @@ let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total
     throughput = float_of_int (threads * ops_per_thread) /. mean;
     cas_per_op =
       (if cas_total = None then Float.nan else Stats.mean cas_samples);
+    killed = !killed;
+    suppressed_failures = !suppressed;
   }

@@ -4,7 +4,17 @@
     number of operations on a shared structure with no external work in
     between; we measure the wall-clock time for {e all} threads to finish,
     from a common barrier release. Results are the mean over [repeats]
-    runs on fresh structure instances. *)
+    runs on fresh structure instances.
+
+    {b Chaos mode.} Helper-based structures (combining, strong-FL
+    evaluation) must survive losing a participant: passing [?chaos] makes
+    one seeded victim thread per repeat either die mid-run (its domain
+    raises {!Killed_worker} after a seeded prefix of its operations,
+    leaving futures unforced and handles unflushed) or stall for a
+    configured pause before resuming. Kills are expected failures: they
+    are counted in [killed], not re-raised. Callers then re-check
+    structure invariants — typically via [Conformance] — on the
+    torn-down context. *)
 
 type measurement = {
   threads : int;
@@ -14,7 +24,24 @@ type measurement = {
   cas_per_op : float;
       (** CAS attempts on the shared structure per high-level operation,
           when the workload reports them; [nan] otherwise *)
+  killed : int;
+      (** chaos-mode worker deaths over all repeats; 0 without [?chaos] *)
+  suppressed_failures : int;
+      (** genuine worker failures beyond the first (re-raised) one *)
 }
+
+type chaos
+
+val chaos : ?kill:bool -> ?stall:float -> seed:int -> unit -> chaos
+(** A seeded fault plan. Each repeat draws one victim thread and a cut
+    point in its operation sequence from [seed]; the victim then either
+    dies there ([kill], default [true], chooses death vs stall per
+    repeat) or sleeps [stall] seconds (default [0.005]) and resumes.
+    Raises [Invalid_argument] if [stall < 0]. *)
+
+exception Killed_worker of int
+(** Raised inside a chaos victim's domain to simulate its death; the
+    argument is the thread index. Counted by [run], never re-raised. *)
 
 val run :
   threads:int ->
@@ -24,13 +51,21 @@ val run :
   worker:('ctx -> thread:int -> ops:int -> unit) ->
   ?cas_total:('ctx -> int) ->
   ?teardown:('ctx -> unit) ->
+  ?chaos:chaos ->
   unit ->
   measurement
 (** [setup] builds a fresh shared context per repeat; [worker ctx ~thread
     ~ops] is executed by each of the [threads] domains and must perform
     [ops] operations; [cas_total] reads the context's CAS counter after
-    the run; [teardown] may validate or drain the context. Exceptions in
-    workers are re-raised after all domains join. *)
+    the run; [teardown] may validate or drain the context and runs on
+    {e every} path, including after worker failures. Exceptions in
+    workers are re-raised after all domains join and teardown completes;
+    only the first is re-raised, the rest are counted in
+    [suppressed_failures] (and a note is printed to stderr). Chaos
+    victims' {!Killed_worker} exceptions are counted in [killed] instead.
+    Note that a stalling victim calls [worker] twice in its domain
+    (prefix and remainder), so workers must tolerate re-entry per thread
+    (fresh handle, fresh slack window). *)
 
 val time : (unit -> unit) -> float
 (** Wall-clock seconds of one call (monotonic). *)

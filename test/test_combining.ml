@@ -19,6 +19,7 @@ let test_engine_applies () =
     FC.create ~apply:(fun op ->
         calls := op :: !calls;
         op * 2)
+      ()
   in
   let h = FC.handle t in
   Alcotest.(check int) "result" 10 (FC.apply h 5);
@@ -28,7 +29,7 @@ let test_engine_applies () =
   Alcotest.(check bool) "combiner ran" true (FC.combiner_passes t >= 2)
 
 let test_engine_multiple_handles () =
-  let t = FC.create ~apply:(fun op -> op + 100) in
+  let t = FC.create ~apply:(fun op -> op + 100) () in
   let h1 = FC.handle t in
   let h2 = FC.handle t in
   Alcotest.(check int) "h1" 101 (FC.apply h1 1);
@@ -42,6 +43,7 @@ let test_engine_combines_for_others () =
     FC.create ~apply:(fun op ->
         sum := !sum + op;
         !sum)
+      ()
   in
   let n = 4 and per = 2_000 in
   let domains =

@@ -1,0 +1,453 @@
+(* Fault-injection tests: the Faults subsystem itself, the combiner-lease
+   takeover protocol under recorded stall schedules, bounded waits
+   (Future timeouts, Spinlock deadlines) under stalled producers, and
+   runner chaos mode (killed/stalled workers) against the strong, medium
+   and weak queues and stacks — with conformance re-checks after every
+   provoked failure. *)
+
+module Future = Futures.Future
+module FC = Combining.Flat_combining
+module R = Fl.Registry
+
+(* Every test leaves the global injection state clean, even on failure. *)
+let with_clean_faults f () =
+  Fun.protect ~finally:Faults.clear_all (fun () ->
+      Faults.clear_all ();
+      f ())
+
+(* ----------------------------- faults ------------------------------- *)
+
+let test_point_disabled_noop () =
+  Faults.clear_all ();
+  (* Must not raise, delay, or count. *)
+  Faults.point "nosuch";
+  Alcotest.(check int) "no hits counted when disabled" 0 (Faults.hits "nosuch")
+
+let test_scripted_actions () =
+  let log = ref [] in
+  Faults.on "t.p" (fun k ->
+      log := k :: !log;
+      if k = 2 then Faults.Kill else Faults.Nothing);
+  Faults.point "t.p";
+  Faults.point "t.p";
+  Alcotest.check_raises "third hit killed" (Faults.Killed "t.p") (fun () ->
+      Faults.point "t.p");
+  Alcotest.(check (list int)) "hit indices in order" [ 0; 1; 2 ]
+    (List.rev !log);
+  Alcotest.(check int) "hits counted" 3 (Faults.hits "t.p");
+  Faults.clear "t.p";
+  Faults.point "t.p";
+  Alcotest.(check int) "cleared script no longer counts" 3 (Faults.hits "t.p")
+
+let test_scripted_delay_and_sleep () =
+  (* Delay and Sleep must perturb, not fail. *)
+  Faults.on "t.d" (fun _ -> Faults.Delay 100);
+  Faults.on "t.s" (fun _ -> Faults.Sleep 1e-4);
+  Faults.point "t.d";
+  let dt = Workload.Runner.time (fun () -> Faults.point "t.s") in
+  Alcotest.(check bool) "sleep actually slept" true (dt >= 5e-5)
+
+let test_seeded_mode_deterministic () =
+  Faults.enable ~prob:0.5 ~seed:7 ();
+  Alcotest.(check bool) "enabled" true (Faults.enabled ());
+  (* Same seed, same domain, same hit sequence => same perturbations: we
+     can only observe the absence of kills (kill is off) and that
+     counters advance. *)
+  for _ = 1 to 50 do
+    Faults.point "t.seeded"
+  done;
+  Alcotest.(check int) "all hits counted" 50 (Faults.hits "t.seeded");
+  Faults.disable ();
+  Alcotest.(check bool) "disabled" false (Faults.enabled ());
+  Faults.point "t.seeded";
+  Alcotest.(check int) "fast path stops counting" 50 (Faults.hits "t.seeded")
+
+let test_reset_counters () =
+  Faults.on "t.r" (fun _ -> Faults.Nothing);
+  Faults.point "t.r";
+  Faults.point "t.r";
+  Faults.reset_counters ();
+  Alcotest.(check int) "zeroed" 0 (Faults.hits "t.r")
+
+(* ------------------------ combiner takeover -------------------------- *)
+
+(* One recorded schedule per seed: the seed fixes how many fault-free
+   warm-up passes precede the stall, and how long the stalled combiner
+   sleeps. Two domains then contend; whichever one holds the combiner
+   term when the scripted pass fires goes to sleep mid-pass, and the
+   other must usurp the lease within its takeover budget instead of
+   spinning for the whole stall. *)
+let takeover_schedule seed =
+  let rng = Workload.Rng.create ~seed ~stream:0 in
+  let warmup = Workload.Rng.below rng 3 in
+  let stall = 0.01 +. (0.02 *. Workload.Rng.float rng) in
+  (warmup, stall)
+
+let test_takeover seed () =
+  let warmup, stall = takeover_schedule seed in
+  let sum = ref 0 in
+  let t =
+    FC.create ~takeover_budget:8
+      ~apply:(fun op ->
+        sum := !sum + op;
+        !sum)
+      ()
+  in
+  Faults.on "fc.pass" (fun k ->
+      if k = warmup then Faults.Sleep stall else Faults.Nothing);
+  let gate = Atomic.make false in
+  let d1 =
+    Domain.spawn (fun () ->
+        let h = FC.handle t in
+        for i = 1 to warmup do
+          ignore (FC.apply h i)
+        done;
+        Atomic.set gate true;
+        ignore (FC.apply h 1000))
+  in
+  let d2 =
+    Domain.spawn (fun () ->
+        let h = FC.handle t in
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done;
+        ignore (FC.apply h 2000))
+  in
+  let elapsed =
+    Workload.Runner.time (fun () ->
+        Domain.join d1;
+        Domain.join d2)
+  in
+  ignore elapsed;
+  Alcotest.(check int) "every op applied exactly once"
+    ((warmup * (warmup + 1) / 2) + 3000)
+    !sum;
+  Alcotest.(check bool) "a waiter usurped the stalled combiner" true
+    (FC.combiner_takeovers t >= 1);
+  (* The same recorded schedule must also leave bounded waits bounded:
+     forcing a future nobody will fulfil times out rather than spinning. *)
+  let fut : int Future.t = Future.create () in
+  Alcotest.check_raises "force_until times out" Future.Timeout (fun () ->
+      ignore
+        (Future.force_until fut ~deadline:(Unix.gettimeofday () +. 0.003)));
+  (* Structure-level invariants after the provoked stall: the
+     flat-combining implementations still pass their conformance
+     condition. *)
+  let outcome = Conformance.check_stack ~rounds:2 (R.find_stack "flatcomb") in
+  Alcotest.(check int) "flatcomb stack conformance clean" 0
+    outcome.Conformance.violations;
+  let outcome = Conformance.check_queue ~rounds:2 (R.find_queue "flatcomb") in
+  Alcotest.(check int) "flatcomb queue conformance clean" 0
+    outcome.Conformance.violations
+
+(* A combiner killed mid-pass leaves the lease held forever (a dead
+   thread releases nothing); the next applier must usurp it. *)
+let test_takeover_after_death () =
+  let sum = ref 0 in
+  let t =
+    FC.create ~takeover_budget:8
+      ~apply:(fun op ->
+        sum := !sum + op;
+        !sum)
+      ()
+  in
+  Faults.on "fc.pass" (fun k -> if k = 0 then Faults.Kill else Faults.Nothing);
+  let victim =
+    Domain.spawn (fun () ->
+        let h = FC.handle t in
+        match FC.apply h 7 with
+        | _ -> Alcotest.fail "victim survived its kill"
+        | exception Faults.Killed _ -> ())
+  in
+  Domain.join victim;
+  (* The victim died as combiner, before answering anyone (including
+     itself). A later thread must take the orphaned lease over; its scan
+     starts at its own (newest) record, so it sees its own result first,
+     and also answers the victim's still-published request. *)
+  let h = FC.handle t in
+  Alcotest.(check int) "applied past the dead combiner" 5 (FC.apply h 5);
+  Alcotest.(check int) "victim's orphaned op applied too" (5 + 7) !sum;
+  Alcotest.(check bool) "lease was usurped" true (FC.combiner_takeovers t >= 1)
+
+(* Exceptions raised by the wrapped operation must answer every record:
+   the raiser gets the exception re-raised, everyone else their result. *)
+let test_apply_op_exception_answers_all () =
+  let t =
+    FC.create
+      ~apply:(fun op -> if op < 0 then failwith "bad op" else op * 10)
+      ()
+  in
+  let n = 4 and per = 500 in
+  let errors = Array.make n 0 in
+  let oks = Array.make n 0 in
+  let ds =
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            let h = FC.handle t in
+            for j = 1 to per do
+              (* Thread 0 keeps throwing bad ops into the mix. *)
+              if i = 0 && j mod 3 = 0 then
+                match FC.apply h (-j) with
+                | _ -> Alcotest.fail "negative op must raise"
+                | exception Failure _ -> errors.(i) <- errors.(i) + 1
+              else
+                let v = FC.apply h j in
+                if v = j * 10 then oks.(i) <- oks.(i) + 1
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "raiser saw every exception" (per / 3) errors.(0);
+  List.iteri
+    (fun i expected ->
+      Alcotest.(check int)
+        (Printf.sprintf "thread %d answered" i)
+        expected oks.(i))
+    (per - (per / 3) :: List.init (n - 1) (fun _ -> per))
+
+(* ------------------------- bounded waits ----------------------------- *)
+
+let test_await_for_timeout_and_recovery seed () =
+  (* Recorded schedule: the producer stalls (via the future.fulfil
+     injection point) longer than the consumer's patience; the consumer
+     times out, then recovers the value with an unbounded await. *)
+  let rng = Workload.Rng.create ~seed ~stream:1 in
+  let stall = 0.01 +. (0.01 *. Workload.Rng.float rng) in
+  Faults.on "future.fulfil" (fun _ -> Faults.Sleep stall);
+  let fut = Future.create () in
+  let producer = Domain.spawn (fun () -> Future.fulfil fut 42) in
+  Alcotest.check_raises "await_for gives up first" Future.Timeout (fun () ->
+      ignore (Future.await_for fut ~seconds:(stall /. 8.)));
+  Alcotest.(check int) "value still arrives" 42 (Future.await fut);
+  Domain.join producer
+
+let test_force_until_ready_and_evaluator () =
+  let f = Future.of_value 3 in
+  Alcotest.(check int) "ready future ignores deadline" 3
+    (Future.force_until f ~deadline:0.0);
+  let g = Future.create () in
+  Future.set_evaluator g (fun () -> Future.fulfil g 9);
+  Alcotest.(check int) "evaluator runs regardless of deadline" 9
+    (Future.force_until g ~deadline:0.0)
+
+let test_spinlock_try_acquire_for () =
+  let l = Sync.Spinlock.create () in
+  Alcotest.(check bool) "free lock acquired" true
+    (Sync.Spinlock.try_acquire_for l ~seconds:0.01);
+  (* Held elsewhere: a short deadline must expire, a longer one must win
+     once the holder releases. *)
+  let release = Atomic.make false in
+  let holder =
+    Domain.spawn (fun () ->
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        Sync.Spinlock.release l)
+  in
+  Alcotest.(check bool) "deadline expires while held" false
+    (Sync.Spinlock.try_acquire_for l ~seconds:0.005);
+  Atomic.set release true;
+  Alcotest.(check bool) "acquired after release" true
+    (Sync.Spinlock.try_acquire_for l ~seconds:1.0);
+  Sync.Spinlock.release l;
+  Domain.join holder
+
+(* --------------------------- runner chaos ---------------------------- *)
+
+(* Chaos workloads: tagged, globally unique values so that whatever
+   subset of operations survives a worker's death, the drained structure
+   must contain no duplicates and nothing it was never given. A scripted
+   kill at the per-op injection point additionally murders one worker
+   mid-loop — futures pending, handle never flushed. *)
+
+let tag thread uid = (thread * 1_000_000) + uid
+
+let check_contents ~threads ~label contents =
+  let sorted = List.sort_uniq compare contents in
+  Alcotest.(check int)
+    (label ^ ": no element duplicated by recovery")
+    (List.length contents) (List.length sorted);
+  List.iter
+    (fun v ->
+      if v < 0 || v / 1_000_000 >= threads then
+        Alcotest.fail (label ^ ": fabricated element"))
+    contents
+
+(* Survivor order per producer (valid for strong and medium, whose
+   program-order guarantees survive partial application; weak makes no
+   such promise). *)
+let check_queue_order ~label contents =
+  let last = Hashtbl.create 4 in
+  List.iter
+    (fun v ->
+      let p = v / 1_000_000 and n = v mod 1_000_000 in
+      (match Hashtbl.find_opt last p with
+      | Some m when m >= n ->
+          Alcotest.fail (label ^ ": per-producer order broken")
+      | _ -> ());
+      Hashtbl.replace last p n)
+    contents
+
+let threads = 3
+let ops = 200
+
+let chaos_schedule seed =
+  let rng = Workload.Rng.create ~seed ~stream:9 in
+  (* Where in the run the scripted mid-loop kill lands. *)
+  100 + Workload.Rng.below rng 300
+
+let run_stack_chaos name seed =
+  let impl = R.find_stack name in
+  let kill_at = chaos_schedule seed in
+  Faults.on "chaos.op" (fun k ->
+      if k = kill_at then Faults.Kill else Faults.Nothing);
+  let uid = Atomic.make 0 in
+  let worker inst ~thread ~ops =
+    let o = inst.R.s_handle () in
+    let rng = Workload.Rng.create ~seed ~stream:thread in
+    let sl = Fl.Slack.create 5 in
+    for _ = 1 to ops do
+      Faults.point "chaos.op";
+      if Workload.Rng.bool rng then begin
+        let f = o.R.s_push (tag thread (Atomic.fetch_and_add uid 1)) in
+        Fl.Slack.note sl (fun () -> Future.force f)
+      end
+      else
+        let f = o.R.s_pop () in
+        Fl.Slack.note sl (fun () -> ignore (Future.force f))
+    done;
+    Fl.Slack.drain sl;
+    o.R.s_flush ()
+  in
+  Workload.Runner.run ~threads ~repeats:2 ~ops_per_thread:ops
+    ~setup:impl.R.s_make ~worker
+    ~teardown:(fun inst ->
+      inst.R.s_drain ();
+      check_contents ~threads ~label:(name ^ " stack") (inst.R.s_contents ()))
+    ~chaos:(Workload.Runner.chaos ~seed ())
+    ()
+
+let run_queue_chaos name seed =
+  let impl = R.find_queue name in
+  let kill_at = chaos_schedule (seed + 1) in
+  Faults.on "chaos.op" (fun k ->
+      if k = kill_at then Faults.Kill else Faults.Nothing);
+  let uid = Atomic.make 0 in
+  let worker inst ~thread ~ops =
+    let o = inst.R.q_handle () in
+    let rng = Workload.Rng.create ~seed ~stream:thread in
+    let sl = Fl.Slack.create 5 in
+    for _ = 1 to ops do
+      Faults.point "chaos.op";
+      if Workload.Rng.bool rng then begin
+        let f = o.R.q_enq (tag thread (Atomic.fetch_and_add uid 1)) in
+        Fl.Slack.note sl (fun () -> Future.force f)
+      end
+      else
+        let f = o.R.q_deq () in
+        Fl.Slack.note sl (fun () -> ignore (Future.force f))
+    done;
+    Fl.Slack.drain sl;
+    o.R.q_flush ()
+  in
+  Workload.Runner.run ~threads ~repeats:2 ~ops_per_thread:ops
+    ~setup:impl.R.q_make ~worker
+    ~teardown:(fun inst ->
+      inst.R.q_drain ();
+      let contents = inst.R.q_contents () in
+      check_contents ~threads ~label:(name ^ " queue") contents;
+      if name <> "weak" then
+        check_queue_order ~label:(name ^ " queue") contents)
+    ~chaos:(Workload.Runner.chaos ~seed ())
+    ()
+
+let test_stack_chaos name seed () =
+  let m = run_stack_chaos name seed in
+  (* The scripted mid-loop kill always lands: kill_at < the minimum
+     number of per-repeat op hits, so at least one worker dies with
+     futures pending and its handle unflushed. *)
+  Alcotest.(check bool) "at least one worker was killed" true
+    (m.Workload.Runner.killed >= 1);
+  Alcotest.(check int) "no unexplained failures" 0
+    m.Workload.Runner.suppressed_failures;
+  (* The implementation class still satisfies its claimed condition. *)
+  let outcome = Conformance.check_stack ~rounds:2 (R.find_stack name) in
+  Alcotest.(check int) "conformance clean after chaos" 0
+    outcome.Conformance.violations
+
+let test_queue_chaos name seed () =
+  let m = run_queue_chaos name seed in
+  Alcotest.(check bool) "at least one worker was killed" true
+    (m.Workload.Runner.killed >= 1);
+  Alcotest.(check int) "no unexplained failures" 0
+    m.Workload.Runner.suppressed_failures;
+  let outcome = Conformance.check_queue ~rounds:2 (R.find_queue name) in
+  Alcotest.(check int) "conformance clean after chaos" 0
+    outcome.Conformance.violations
+
+(* ------------------------------ suite -------------------------------- *)
+
+let takeover_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+let chaos_seeds = [ 41; 42 ]
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "points",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            (with_clean_faults test_point_disabled_noop);
+          Alcotest.test_case "scripted actions" `Quick
+            (with_clean_faults test_scripted_actions);
+          Alcotest.test_case "delay and sleep" `Quick
+            (with_clean_faults test_scripted_delay_and_sleep);
+          Alcotest.test_case "seeded mode" `Quick
+            (with_clean_faults test_seeded_mode_deterministic);
+          Alcotest.test_case "reset counters" `Quick
+            (with_clean_faults test_reset_counters);
+        ] );
+      ( "takeover",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "stalled combiner, schedule %d" seed)
+              `Slow
+              (with_clean_faults (test_takeover seed)))
+          takeover_seeds
+        @ [
+            Alcotest.test_case "dead combiner leaves lease held" `Slow
+              (with_clean_faults test_takeover_after_death);
+            Alcotest.test_case "apply_op exception answers all" `Slow
+              (with_clean_faults test_apply_op_exception_answers_all);
+          ] );
+      ( "bounded-waits",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "stalled fulfiller, schedule %d" seed)
+              `Slow
+              (with_clean_faults (test_await_for_timeout_and_recovery seed)))
+          [ 21; 22; 23 ]
+        @ [
+            Alcotest.test_case "force_until ready/evaluator" `Quick
+              (with_clean_faults test_force_until_ready_and_evaluator);
+            Alcotest.test_case "spinlock try_acquire_for" `Slow
+              (with_clean_faults test_spinlock_try_acquire_for);
+          ] );
+      ( "chaos",
+        List.concat_map
+          (fun seed ->
+            List.concat_map
+              (fun name ->
+                [
+                  Alcotest.test_case
+                    (Printf.sprintf "%s stack, chaos seed %d" name seed)
+                    `Slow
+                    (with_clean_faults (test_stack_chaos name seed));
+                  Alcotest.test_case
+                    (Printf.sprintf "%s queue, chaos seed %d" name seed)
+                    `Slow
+                    (with_clean_faults (test_queue_chaos name seed));
+                ])
+              [ "strong"; "medium"; "weak" ])
+          chaos_seeds );
+    ]

@@ -65,6 +65,96 @@ let test_broken_evaluator_stuck () =
   Alcotest.check_raises "stuck evaluator" Future.Stuck (fun () ->
       ignore (Future.force f))
 
+let test_evaluator_replacement () =
+  (* set_evaluator replaces: only the latest installed evaluator runs.
+     This is how the medium-FL structures re-point a pending future at a
+     cheaper resume position as more operations pile up behind it. *)
+  let f = Future.create () in
+  let first = ref 0 and second = ref 0 in
+  Future.set_evaluator f (fun () ->
+      incr first;
+      Future.fulfil f 1);
+  Future.set_evaluator f (fun () ->
+      incr second;
+      Future.fulfil f 2);
+  Alcotest.(check int) "replacement fulfilled" 2 (Future.force f);
+  Alcotest.(check int) "old evaluator never ran" 0 !first;
+  Alcotest.(check int) "new evaluator ran once" 1 !second
+
+let test_replace_broken_evaluator () =
+  (* A Stuck force leaves the future pending: the owner may install a
+     working evaluator and retry. *)
+  let f : int Future.t = Future.create () in
+  Future.set_evaluator f (fun () -> ());
+  Alcotest.check_raises "broken first" Future.Stuck (fun () ->
+      ignore (Future.force f));
+  Alcotest.(check bool) "still pending" false (Future.is_ready f);
+  Future.set_evaluator f (fun () -> Future.fulfil f 11);
+  Alcotest.(check int) "repaired and forced" 11 (Future.force f)
+
+let test_evaluator_fulfilled_concurrently () =
+  (* The evaluator finds the future already fulfilled (an eliminator or
+     combiner got there first): it must not double-fulfil, and force
+     returns the existing value. *)
+  let f = Future.create () in
+  Future.set_evaluator f (fun () -> ignore (Future.try_fulfil f 2));
+  Future.fulfil f 1;
+  Alcotest.(check int) "first fulfilment wins" 1 (Future.force f)
+
+(* --------------------------- bounded waits --------------------------- *)
+
+let test_await_for_ready () =
+  let f = Future.of_value 5 in
+  Alcotest.(check int) "ready, no wait" 5 (Future.await_for f ~seconds:0.0)
+
+let test_await_for_timeout () =
+  let f : int Future.t = Future.create () in
+  let dt =
+    Workload.Runner.time (fun () ->
+        Alcotest.check_raises "nobody fulfils" Future.Timeout (fun () ->
+            ignore (Future.await_for f ~seconds:0.002)))
+  in
+  Alcotest.(check bool) "waited the timeout out" true (dt >= 0.002);
+  (* Timeout leaves the future usable. *)
+  Future.fulfil f 3;
+  Alcotest.(check int) "late fulfilment still lands" 3 (Future.await f)
+
+let test_force_until_timeout_then_value () =
+  let f : int Future.t = Future.create () in
+  Alcotest.check_raises "deadline passes" Future.Timeout (fun () ->
+      ignore (Future.force_until f ~deadline:(Unix.gettimeofday () +. 0.002)));
+  Future.fulfil f 8;
+  Alcotest.(check int) "ready future ignores deadline" 8
+    (Future.force_until f ~deadline:0.0)
+
+let test_force_until_evaluator_completes () =
+  (* An installed evaluator runs to completion even past the deadline —
+     aborting it midway could leave pending lists half-applied. *)
+  let f = Future.create () in
+  Future.set_evaluator f (fun () ->
+      Unix.sleepf 0.005;
+      Future.fulfil f 4);
+  Alcotest.(check int) "evaluator finishes despite past deadline" 4
+    (Future.force_until f ~deadline:0.0)
+
+let test_force_until_broken_evaluator_stuck () =
+  let f : int Future.t = Future.create () in
+  Future.set_evaluator f (fun () -> ());
+  Alcotest.check_raises "stuck beats timeout for broken evaluators"
+    Future.Stuck (fun () ->
+      ignore (Future.force_until f ~deadline:(Unix.gettimeofday () +. 1.0)))
+
+let test_await_for_cross_domain () =
+  let f = Future.create () in
+  let producer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.005;
+        Future.fulfil f 77)
+  in
+  Alcotest.(check int) "fulfilled within patience" 77
+    (Future.await_for f ~seconds:2.0);
+  Domain.join producer
+
 let test_cross_domain_fulfil () =
   let f = Future.create () in
   let producer = Domain.spawn (fun () -> Future.fulfil f 123) in
@@ -168,6 +258,25 @@ let () =
           Alcotest.test_case "force stuck" `Quick test_force_stuck;
           Alcotest.test_case "broken evaluator" `Quick
             test_broken_evaluator_stuck;
+          Alcotest.test_case "evaluator replacement" `Quick
+            test_evaluator_replacement;
+          Alcotest.test_case "repair broken evaluator" `Quick
+            test_replace_broken_evaluator;
+          Alcotest.test_case "evaluator loses fulfilment race" `Quick
+            test_evaluator_fulfilled_concurrently;
+        ] );
+      ( "bounded-waits",
+        [
+          Alcotest.test_case "await_for ready" `Quick test_await_for_ready;
+          Alcotest.test_case "await_for timeout" `Quick test_await_for_timeout;
+          Alcotest.test_case "force_until timeout then value" `Quick
+            test_force_until_timeout_then_value;
+          Alcotest.test_case "force_until runs evaluator to completion"
+            `Quick test_force_until_evaluator_completes;
+          Alcotest.test_case "force_until broken evaluator is Stuck" `Quick
+            test_force_until_broken_evaluator_stuck;
+          Alcotest.test_case "await_for cross-domain" `Quick
+            test_await_for_cross_domain;
         ] );
       ( "combinators",
         [

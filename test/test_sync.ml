@@ -19,13 +19,57 @@ let test_backoff_reset () =
   Sync.Backoff.reset b;
   Alcotest.(check int) "reset to min" 2 (Sync.Backoff.current_window b)
 
+let test_backoff_budget () =
+  let b = Sync.Backoff.create ~min_wait:2 ~max_wait:8 ~budget:3 () in
+  Alcotest.(check bool) "fresh streak" false (Sync.Backoff.give_up b);
+  Sync.Backoff.once b;
+  Sync.Backoff.once b;
+  Alcotest.(check int) "rounds counted" 2 (Sync.Backoff.rounds b);
+  Alcotest.(check bool) "under budget" false (Sync.Backoff.give_up b);
+  Sync.Backoff.once b;
+  Alcotest.(check bool) "budget exhausted" true (Sync.Backoff.give_up b);
+  (* give_up never blocks and never resets by itself. *)
+  Alcotest.(check bool) "still exhausted" true (Sync.Backoff.give_up b);
+  (* A reset starts a new streak: the budget applies per streak, so a
+     waiter that observes progress can keep waiting indefinitely. *)
+  Sync.Backoff.reset b;
+  Alcotest.(check int) "rounds zeroed" 0 (Sync.Backoff.rounds b);
+  Alcotest.(check bool) "patience restored" false (Sync.Backoff.give_up b)
+
+let test_backoff_no_budget () =
+  let b = Sync.Backoff.create ~min_wait:2 ~max_wait:8 () in
+  for _ = 1 to 100 do
+    Sync.Backoff.once b
+  done;
+  Alcotest.(check bool) "never gives up without a budget" false
+    (Sync.Backoff.give_up b)
+
+let test_backoff_yields () =
+  (* Past the yield threshold, rounds sleep instead of pure-spinning —
+     that is what keeps waits live when domains outnumber cores. *)
+  let b = Sync.Backoff.create ~min_wait:2 ~max_wait:8 () in
+  for _ = 1 to 4 do
+    Sync.Backoff.once b
+  done;
+  Alcotest.(check int) "no yields up to the threshold" 0
+    (Sync.Backoff.yields b);
+  Sync.Backoff.once b;
+  Sync.Backoff.once b;
+  Alcotest.(check int) "every later round yields" 2 (Sync.Backoff.yields b);
+  (* reset starts a new streak but keeps the lifetime yield count. *)
+  Sync.Backoff.reset b;
+  Alcotest.(check int) "yields survive reset" 2 (Sync.Backoff.yields b)
+
 let test_backoff_invalid_args () =
   Alcotest.check_raises "min_wait 0" (Invalid_argument
       "Backoff.create: min_wait must be positive") (fun () ->
       ignore (Sync.Backoff.create ~min_wait:0 ()));
   Alcotest.check_raises "max < min" (Invalid_argument
       "Backoff.create: max_wait must be >= min_wait") (fun () ->
-      ignore (Sync.Backoff.create ~min_wait:10 ~max_wait:5 ()))
+      ignore (Sync.Backoff.create ~min_wait:10 ~max_wait:5 ()));
+  Alcotest.check_raises "budget 0" (Invalid_argument
+      "Backoff.create: budget must be positive") (fun () ->
+      ignore (Sync.Backoff.create ~budget:0 ()))
 
 let test_spinlock_basic () =
   let l = Sync.Spinlock.create () in
@@ -62,6 +106,23 @@ let test_spinlock_acquire_until_ready () =
 
 (* Mutual exclusion: domains increment a plain (non-atomic) counter under
    the lock; races would lose increments. *)
+let test_spinlock_try_acquire_for () =
+  let l = Sync.Spinlock.create () in
+  Alcotest.(check bool) "free lock, immediate" true
+    (Sync.Spinlock.try_acquire_for l ~seconds:0.05);
+  (* Now held: a short deadline must expire without acquiring. *)
+  let dt =
+    Workload.Runner.time (fun () ->
+        Alcotest.(check bool) "held lock, deadline expires" false
+          (Sync.Spinlock.try_acquire_for l ~seconds:0.002))
+  in
+  Alcotest.(check bool) "waited at least the deadline" true (dt >= 0.002);
+  Alcotest.(check bool) "still locked" true (Sync.Spinlock.is_locked l);
+  Sync.Spinlock.release l;
+  Alcotest.(check bool) "acquired once free again" true
+    (Sync.Spinlock.try_acquire_for l ~seconds:0.05);
+  Sync.Spinlock.release l
+
 let test_spinlock_mutual_exclusion () =
   let l = Sync.Spinlock.create () in
   let counter = ref 0 in
@@ -140,6 +201,10 @@ let () =
         [
           Alcotest.test_case "window growth" `Quick test_backoff_window_growth;
           Alcotest.test_case "reset" `Quick test_backoff_reset;
+          Alcotest.test_case "budget and give_up" `Quick test_backoff_budget;
+          Alcotest.test_case "no budget never gives up" `Quick
+            test_backoff_no_budget;
+          Alcotest.test_case "yield threshold" `Quick test_backoff_yields;
           Alcotest.test_case "invalid args" `Quick test_backoff_invalid_args;
         ] );
       ( "spinlock",
@@ -151,6 +216,8 @@ let () =
             test_spinlock_with_lock_exception;
           Alcotest.test_case "acquire_until" `Quick
             test_spinlock_acquire_until_ready;
+          Alcotest.test_case "try_acquire_for" `Quick
+            test_spinlock_try_acquire_for;
           Alcotest.test_case "mutual exclusion (4 domains)" `Slow
             test_spinlock_mutual_exclusion;
         ] );

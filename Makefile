@@ -15,6 +15,13 @@ bench-quick:
 bench-full:
 	dune exec bench/main.exe -- all --ops 20000 --repeats 3
 
+# Machine-readable benchmark records (ops/s, CAS/op, minor words/op)
+# under results/, stamped with the git revision.
+bench-json:
+	mkdir -p results
+	dune exec bench/main.exe -- micro --json results/BENCH_micro.json
+	dune exec bench/main.exe -- fig4 --quick --json results/BENCH_fig4.json
+
 # Chaos suite: the whole test tree under seeded schedule perturbation
 # (FLDS_FAULTS arms every injection point with delays/yields — never
 # kills — so the suite must still be green), then the chaos benchmark
@@ -30,4 +37,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test test-force bench-quick bench-full chaos doc clean
+.PHONY: all test test-force bench-quick bench-full bench-json chaos doc clean

@@ -40,6 +40,77 @@ let default_config =
     csv = false;
   }
 
+(* --------------------------- JSON output ----------------------------- *)
+
+(* Machine-readable sink for CI and results/: every measurement taken
+   while [--json PATH] is set is also appended here and written as one
+   JSON document at exit. Hand-rolled: the records are flat and the repo
+   deliberately has no JSON dependency. *)
+
+let json_path : string option ref = ref None
+let json_records : string list ref = ref []
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_num x =
+  if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+let record ~bench ~impl ~slack ~domains fields =
+  if !json_path <> None then begin
+    let extras =
+      List.map (fun (k, v) -> Printf.sprintf ",%S:%s" k (json_num v)) fields
+    in
+    json_records :=
+      Printf.sprintf "{\"bench\":\"%s\",\"impl\":\"%s\",\"slack\":%d,\"domains\":%d%s}"
+        (json_escape bench) (json_escape impl) slack domains
+        (String.concat "" extras)
+      :: !json_records
+  end
+
+let record_measurement ~bench ~impl ~slack (m : Workload.Runner.measurement) =
+  record ~bench ~impl ~slack ~domains:m.Workload.Runner.threads
+    [
+      ("seconds", m.Workload.Runner.seconds);
+      ("ops_per_s", m.Workload.Runner.throughput);
+      ("cas_per_op", m.Workload.Runner.cas_per_op);
+      ("minor_words_per_op", m.Workload.Runner.minor_words_per_op);
+    ]
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let rev = try input_line ic with End_of_file -> "unknown" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> rev
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let write_json () =
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n  \"generated_by\": \"bench/main.exe\",\n  \"git_rev\": \"%s\",\n\
+        \  \"records\": [\n    %s\n  ]\n}\n"
+        (json_escape (git_rev ()))
+        (String.concat ",\n    " (List.rev !json_records));
+      close_out oc;
+      Printf.eprintf "wrote %s (%d records)\n%!" path
+        (List.length !json_records)
+
 let quick_config =
   { default_config with threads = [ 1; 2; 4 ]; ops = 2_000; repeats = 1 }
 
@@ -165,7 +236,7 @@ let set_column ?order ?label cfg (impl : R.set_impl) =
 (* Run one panel (fixed slack): rows = thread counts, columns = impls.
    Cells show completion time, with speedup vs the first (baseline)
    column in parentheses. *)
-let run_panel cfg ~title columns ~slack =
+let run_panel ?bench cfg ~title columns ~slack =
   let table =
     Workload.Report.create ~title
       ~columns:(List.map (fun c -> c.name) columns)
@@ -173,6 +244,12 @@ let run_panel cfg ~title columns ~slack =
   List.iter
     (fun threads ->
       let ms = List.map (fun c -> c.measure ~slack ~threads) columns in
+      (match bench with
+      | Some bench ->
+          List.iter2
+            (fun c m -> record_measurement ~bench ~impl:c.name ~slack m)
+            columns ms
+      | None -> ());
       let baseline =
         match ms with m :: _ -> m.Workload.Runner.seconds | [] -> nan
       in
@@ -195,23 +272,25 @@ let run_panel cfg ~title columns ~slack =
   else Workload.Report.print ppf table;
   Format.pp_print_newline ppf ()
 
-let run_figure cfg ~figure ~what columns =
+let run_figure ?bench cfg ~figure ~what columns =
   Format.printf "== %s: %s — %d ops/thread, %d repeat(s) ==@.@." figure what
     cfg.ops cfg.repeats;
   List.iter
     (fun slack ->
-      run_panel cfg
+      run_panel ?bench cfg
         ~title:(Printf.sprintf "%s, slack=%d (time; x = speedup vs lockfree)"
                   figure slack)
         columns ~slack)
     cfg.slacks
 
 let fig4 cfg =
-  run_figure cfg ~figure:"Figure 4" ~what:"stacks, 50% push / 50% pop"
+  run_figure ~bench:"fig4" cfg ~figure:"Figure 4"
+    ~what:"stacks, 50% push / 50% pop"
     (List.map (stack_column cfg) R.stack_impls)
 
 let fig5 cfg =
-  run_figure cfg ~figure:"Figure 5" ~what:"queues, 50% enq / 50% deq"
+  run_figure ~bench:"fig5" cfg ~figure:"Figure 5"
+    ~what:"queues, 50% enq / 50% deq"
     (List.map (queue_column cfg) R.queue_impls)
 
 let fig6 cfg =
@@ -220,7 +299,7 @@ let fig6 cfg =
      relative shape is unaffected (every implementation pays the same
      scale). Use --ops to override. *)
   let cfg = { cfg with ops = max 500 (cfg.ops / 10) } in
-  run_figure cfg ~figure:"Figure 6"
+  run_figure ~bench:"fig6" cfg ~figure:"Figure 6"
     ~what:
       "linked lists, 20% ins / 20% rem / 60% ctn, 10K keys, half full \
        (ops scaled /10)"
@@ -238,7 +317,7 @@ let ablation cfg =
       stack_column cfg (R.find_stack "weak");
       stack_column cfg
         { s_name = "weak-noelim";
-          s_make = (fun () -> R.weak_stack_with ~elimination:false);
+          s_make = (fun () -> R.weak_stack_with ~elimination:false ());
         };
     ]
   in
@@ -450,6 +529,79 @@ let extra cfg =
 
 (* --------------------------- micro (§5.1) --------------------------- *)
 
+(* Minor-allocation probe: words allocated per operation on the
+   weak/medium stack & queue flush paths — a window of [alloc_window]
+   pending operations, then one flush. This is the metric the
+   ring-buffer pending windows target: the per-op cost must cover only
+   the future and the spliced shared-structure node, not any transient
+   window bookkeeping. *)
+let alloc_window = 64
+let alloc_iters = 2_000
+
+let micro_alloc () =
+  Format.printf
+    "== Micro: minor words/op, window=%d pending ops then flush ==@.@."
+    alloc_window;
+  let measure name f =
+    for _ = 1 to 10 do f () done;
+    Gc.full_major ();
+    let before = Gc.minor_words () in
+    for _ = 1 to alloc_iters do f () done;
+    let words = Gc.minor_words () -. before in
+    let per_op = words /. float_of_int (alloc_iters * alloc_window) in
+    Format.printf "  %-28s %8.1f minor words/op@." name per_op;
+    record ~bench:"micro-alloc" ~impl:name ~slack:alloc_window ~domains:1
+      [ ("minor_words_per_op", per_op) ]
+  in
+  let weak_stack () =
+    let s = Fl.Weak_stack.create ~elimination:false () in
+    let h = Fl.Weak_stack.handle s in
+    measure "weak-stack push+flush" (fun () ->
+        for i = 1 to alloc_window do ignore (Fl.Weak_stack.push h i) done;
+        Fl.Weak_stack.flush h);
+    measure "weak-stack pop+flush" (fun () ->
+        for _ = 1 to alloc_window do ignore (Fl.Weak_stack.pop h) done;
+        Fl.Weak_stack.flush h)
+  in
+  let weak_queue () =
+    let q = Fl.Weak_queue.create () in
+    let h = Fl.Weak_queue.handle q in
+    measure "weak-queue enq+flush" (fun () ->
+        for i = 1 to alloc_window do ignore (Fl.Weak_queue.enqueue h i) done;
+        Fl.Weak_queue.flush h);
+    measure "weak-queue deq+flush" (fun () ->
+        for _ = 1 to alloc_window do ignore (Fl.Weak_queue.dequeue h) done;
+        Fl.Weak_queue.flush h)
+  in
+  let medium_stack () =
+    let s = Fl.Medium_stack.create () in
+    let h = Fl.Medium_stack.handle s in
+    measure "medium-stack push+flush" (fun () ->
+        for i = 1 to alloc_window do ignore (Fl.Medium_stack.push h i) done;
+        Fl.Medium_stack.flush h);
+    measure "medium-stack mixed+flush" (fun () ->
+        for i = 1 to alloc_window / 2 do
+          ignore (Fl.Medium_stack.push h i);
+          ignore (Fl.Medium_stack.pop h)
+        done;
+        Fl.Medium_stack.flush h)
+  in
+  let medium_queue () =
+    let q = Fl.Medium_queue.create () in
+    let h = Fl.Medium_queue.handle q in
+    measure "medium-queue enq+flush" (fun () ->
+        for i = 1 to alloc_window do ignore (Fl.Medium_queue.enqueue h i) done;
+        Fl.Medium_queue.flush h);
+    measure "medium-queue deq+flush" (fun () ->
+        for _ = 1 to alloc_window do ignore (Fl.Medium_queue.dequeue h) done;
+        Fl.Medium_queue.flush h)
+  in
+  weak_stack ();
+  weak_queue ();
+  medium_stack ();
+  medium_queue ();
+  Format.print_newline ()
+
 (* Single-thread per-operation cost with slack 1 — the paper's direct
    overhead comparison of futures-based vs lock-free versions. *)
 let micro () =
@@ -500,10 +652,14 @@ let micro () =
   List.iter
     (fun (name, est) ->
       match Analyze.OLS.estimates est with
-      | Some (ns :: _) -> Format.printf "  %-24s %10.1f ns/op@." name ns
+      | Some (ns :: _) ->
+          Format.printf "  %-24s %10.1f ns/op@." name ns;
+          record ~bench:"micro" ~impl:name ~slack:1 ~domains:1
+            [ ("ns_per_op", ns) ]
       | Some [] | None -> Format.printf "  %-24s (no estimate)@." name)
     (List.sort compare rows);
-  Format.print_newline ()
+  Format.print_newline ();
+  micro_alloc ()
 
 (* ----------------------------- chaos -------------------------------- *)
 
@@ -606,7 +762,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [fig4|fig5|fig6|ablation|micro|cas|extra|chaos|all]... \
      [--quick|--full] [--ops N] [--repeats N] [--threads a,b,c] [--slacks \
-     a,b,c] [--seed N] [--csv]";
+     a,b,c] [--seed N] [--csv] [--json PATH]";
   exit 2
 
 let () =
@@ -625,6 +781,9 @@ let () =
         parse { cfg with slacks = parse_int_list l } cmds rest
     | "--seed" :: n :: rest ->
         chaos_seed := int_of_string n;
+        parse cfg cmds rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
         parse cfg cmds rest
     | cmd :: rest
       when List.mem cmd
@@ -666,4 +825,5 @@ let () =
         micro ()
     | _ -> usage ()
   in
-  List.iter run cmds
+  List.iter run cmds;
+  write_json ()

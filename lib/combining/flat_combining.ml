@@ -39,19 +39,32 @@ let default_takeover_budget = 64
 let create ?(takeover_budget = default_takeover_budget) ~apply () =
   if takeover_budget <= 0 then
     invalid_arg "Flat_combining.create: takeover_budget must be positive";
+  (* [term] and [progress] are polled by every waiter on every spin while
+     the combiner stores to them at every record boundary; [publication]
+     is CASed by every joining thread. Each gets its own cache line so
+     the pollers' read traffic and the combiner's writes don't collide. *)
   {
     apply_op = apply;
-    term = Atomic.make 0;
-    publication = Atomic.make None;
-    passes = Atomic.make 0;
-    progress = Atomic.make 0;
-    takeovers = Atomic.make 0;
+    term = Sync.Padded.atomic 0;
+    publication = Sync.Padded.atomic None;
+    passes = Sync.Padded.atomic 0;
+    progress = Sync.Padded.atomic 0;
+    takeovers = Sync.Padded.atomic 0;
     takeover_budget;
   }
 
 let handle owner =
+  (* A record's [request] is written by its owner and consumed by the
+     combiner while [response] flows the other way; padding both keeps
+     the two parties' cache lines disjoint (and keeps one thread's
+     publication record from false-sharing with its neighbour's in the
+     list). *)
   let record =
-    { request = Atomic.make None; response = Atomic.make None; next = None }
+    {
+      request = Sync.Padded.atomic None;
+      response = Sync.Padded.atomic None;
+      next = None;
+    }
   in
   let rec link () =
     let head = Atomic.get owner.publication in

@@ -6,74 +6,58 @@ type 'a t = { queue : 'a Lockfree.Ms_queue.t }
 
 type 'a handle = {
   owner : 'a t;
-  mutable ops : 'a op list; (* newest first *)
-  mutable n_ops : int;
+  ops : 'a op Opbuf.t; (* oldest first *)
 }
 
 let create () = { queue = Lockfree.Ms_queue.create () }
 let shared t = t.queue
 
-let handle owner = { owner; ops = []; n_ops = 0 }
+let handle owner = { owner; ops = Opbuf.create () }
 
-let pending_count h = h.n_ops
+let pending_count h = Opbuf.length h.ops
 
 let same_kind a b =
   match (a, b) with
   | Enq _, Enq _ | Deq _, Deq _ -> true
   | Enq _, Deq _ | Deq _, Enq _ -> false
 
-(* Split the maximal prefix run of same-type operations. *)
-let split_run = function
-  | [] -> ([], [])
-  | first :: _ as ops ->
-      let rec loop acc = function
-        | op :: rest when same_kind op first -> loop (op :: acc) rest
-        | rest -> (List.rev acc, rest)
-      in
-      loop [] ops
+let enq_value = function Enq (x, _) -> x | Deq _ -> assert false
+let enq_future = function Enq (_, f) -> f | Deq _ -> assert false
+let deq_future = function Deq f -> f | Enq _ -> assert false
 
-let apply_run owner run =
-  match run with
-  | [] -> ()
-  | Enq _ :: _ ->
-      let pairs =
-        List.map (function Enq (x, f) -> (x, f) | Deq _ -> assert false) run
-      in
-      Lockfree.Ms_queue.enqueue_list owner.queue (List.map fst pairs);
-      List.iter (fun (_, f) -> Future.fulfil f ()) pairs
-  | Deq _ :: _ ->
-      let futures =
-        List.map (function Deq f -> f | Enq _ -> assert false) run
-      in
-      let values =
-        Lockfree.Ms_queue.dequeue_many owner.queue (List.length futures)
-      in
-      let rec assign fs vs =
-        match (fs, vs) with
-        | [], _ -> ()
-        | f :: fs', v :: vs' ->
-            Future.fulfil f (Some v);
-            assign fs' vs'
-        | f :: fs', [] ->
-            Future.fulfil f None;
-            assign fs' []
-      in
-      assign futures values
-
-(* Apply prefix runs until [stop] (checked between runs) or exhaustion. *)
+(* Apply maximal prefix runs of same-type operations until [stop]
+   (checked between runs) or exhaustion. Each run is spliced straight out
+   of the ring — one combined enqueue or dequeue per run — and dropped
+   from the front only once fully applied, so operations appended by
+   reentrant invocations simply extend the tail of the window. *)
 let flush_until h stop =
-  let rec go ops =
-    if stop () then ops
-    else
-      match split_run ops with
-      | [], _ -> []
-      | run, rest ->
-          apply_run h.owner run;
-          go rest
+  let rec go () =
+    let len = Opbuf.length h.ops in
+    if len > 0 && not (stop ()) then begin
+      let first = Opbuf.get h.ops 0 in
+      let n = ref 1 in
+      while !n < len && same_kind (Opbuf.get h.ops !n) first do incr n done;
+      let n = !n in
+      (match first with
+      | Enq _ ->
+          Lockfree.Ms_queue.enqueue_seg h.owner.queue ~n ~get:(fun i ->
+              enq_value (Opbuf.get h.ops i));
+          for i = 0 to n - 1 do
+            Future.fulfil (enq_future (Opbuf.get h.ops i)) ()
+          done
+      | Deq _ ->
+          let k =
+            Lockfree.Ms_queue.dequeue_seg h.owner.queue ~n ~f:(fun i v ->
+                Future.fulfil (deq_future (Opbuf.get h.ops i)) (Some v))
+          in
+          for i = k to n - 1 do
+            Future.fulfil (deq_future (Opbuf.get h.ops i)) None
+          done);
+      Opbuf.drop_front h.ops n;
+      go ()
+    end
   in
-  let remaining = go (List.rev h.ops) in
-  h.ops <- List.rev remaining;
-  h.n_ops <- List.length remaining
+  go ()
 
 let flush h = flush_until h (fun () -> false)
 
@@ -81,14 +65,12 @@ let enqueue h x =
   let f = Future.create () in
   Future.set_evaluator f (fun () ->
       flush_until h (fun () -> Future.is_ready f));
-  h.ops <- Enq (x, f) :: h.ops;
-  h.n_ops <- h.n_ops + 1;
+  Opbuf.push h.ops (Enq (x, f));
   f
 
 let dequeue h =
   let f = Future.create () in
   Future.set_evaluator f (fun () ->
       flush_until h (fun () -> Future.is_ready f));
-  h.ops <- Deq f :: h.ops;
-  h.n_ops <- h.n_ops + 1;
+  Opbuf.push h.ops (Deq f);
   f

@@ -16,79 +16,89 @@ type 'a t = { stack : 'a Lockfree.Treiber_stack.t }
    until all of the thread's earlier operations have taken effect. *)
 type 'a handle = {
   owner : 'a t;
-  mutable ops : 'a op list; (* newest first *)
-  mutable n_ops : int;
+  ops : 'a op Opbuf.t; (* oldest first *)
+  (* Flush-time working state: [ops] is swapped into [work] before any
+     future is fulfilled, so reentrant operations land in a fresh window;
+     [buf_*] holds unmatched pushes (a LIFO via push/pop_back) and
+     [shared_pops] the pops that must read the shared stack. *)
+  work : 'a op Opbuf.t;
+  buf_vals : 'a Opbuf.t;
+  buf_futs : unit Future.t Opbuf.t;
+  shared_pops : 'a option Future.t Opbuf.t;
 }
 
 let create () = { stack = Lockfree.Treiber_stack.create () }
 let shared t = t.stack
 
-let handle owner = { owner; ops = []; n_ops = 0 }
+let handle owner =
+  {
+    owner;
+    ops = Opbuf.create ();
+    work = Opbuf.create ();
+    buf_vals = Opbuf.create ();
+    buf_futs = Opbuf.create ();
+    shared_pops = Opbuf.create ();
+  }
 
-let pending_count h = h.n_ops
+let pending_count h = Opbuf.length h.ops
 
-(* Replay the pending list against a buffer of not-yet-applied pushes:
+(* Replay the pending window against a buffer of not-yet-applied pushes:
    a pop cancels the newest buffered push (the adjacent push/pop pair is
    a no-op on the stack); a pop with no buffered push must read the
    shared stack — and since its buffer was empty, every surviving push is
    younger than it, so all shared pops precede all surviving pushes in
    invocation order. One combined pop and one combined push suffice. *)
 let flush h =
-  match h.ops with
-  | [] -> ()
-  | newest_first ->
-      let ops = List.rev newest_first in
-      h.ops <- [];
-      h.n_ops <- 0;
-      let buffer = ref [] (* unmatched pushes, newest first *) in
-      let shared_pops = ref [] (* newest first *) in
-      List.iter
-        (fun op ->
-          match op with
-          | Push (v, f) -> buffer := (v, f) :: !buffer
-          | Pop f -> (
-              match !buffer with
-              | (v, fp) :: rest ->
-                  buffer := rest;
-                  Future.fulfil fp ();
-                  Future.fulfil f (Some v)
-              | [] -> shared_pops := f :: !shared_pops))
-        ops;
-      (match List.rev !shared_pops with
-      | [] -> ()
-      | oldest_first ->
-          let values =
-            Lockfree.Treiber_stack.pop_many h.owner.stack
-              (List.length oldest_first)
-          in
-          let rec assign pops values =
-            match (pops, values) with
-            | [], _ -> ()
-            | f :: pops', v :: values' ->
-                Future.fulfil f (Some v);
-                assign pops' values'
-            | f :: pops', [] ->
-                Future.fulfil f None;
-                assign pops' []
-          in
-          assign oldest_first values);
-      match List.rev !buffer with
-      | [] -> ()
-      | oldest_first ->
-          Lockfree.Treiber_stack.push_list h.owner.stack
-            (List.map fst oldest_first);
-          List.iter (fun (_, f) -> Future.fulfil f ()) oldest_first
+  let n = Opbuf.length h.ops in
+  if n > 0 then begin
+    Opbuf.swap h.ops h.work;
+    for i = 0 to n - 1 do
+      match Opbuf.get h.work i with
+      | Push (v, f) ->
+          Opbuf.push h.buf_vals v;
+          Opbuf.push h.buf_futs f
+      | Pop f ->
+          if Opbuf.length h.buf_vals > 0 then begin
+            let v = Opbuf.pop_back h.buf_vals in
+            Future.fulfil (Opbuf.pop_back h.buf_futs) ();
+            Future.fulfil f (Some v)
+          end
+          else Opbuf.push h.shared_pops f
+    done;
+    Opbuf.clear h.work;
+    let np = Opbuf.length h.shared_pops in
+    if np > 0 then begin
+      (* Oldest surviving pop receives the value that was on top. *)
+      let k =
+        Lockfree.Treiber_stack.pop_seg h.owner.stack ~n:np ~f:(fun i v ->
+            Future.fulfil (Opbuf.get h.shared_pops i) (Some v))
+      in
+      for i = k to np - 1 do
+        Future.fulfil (Opbuf.get h.shared_pops i) None
+      done;
+      Opbuf.clear h.shared_pops
+    end;
+    let nb = Opbuf.length h.buf_vals in
+    if nb > 0 then begin
+      (* Oldest surviving push deepest: one CAS splices the window. *)
+      Lockfree.Treiber_stack.push_seg h.owner.stack ~n:nb ~get:(fun i ->
+          Opbuf.get h.buf_vals i);
+      for i = 0 to nb - 1 do
+        Future.fulfil (Opbuf.get h.buf_futs i) ()
+      done;
+      Opbuf.clear h.buf_vals;
+      Opbuf.clear h.buf_futs
+    end
+  end
 
 let push h x =
   let f = Future.create () in
   Future.set_evaluator f (fun () -> flush h);
-  h.ops <- Push (x, f) :: h.ops;
-  h.n_ops <- h.n_ops + 1;
+  Opbuf.push h.ops (Push (x, f));
   f
 
 let pop h =
   let f = Future.create () in
   Future.set_evaluator f (fun () -> flush h);
-  h.ops <- Pop f :: h.ops;
-  h.n_ops <- h.n_ops + 1;
+  Opbuf.push h.ops (Pop f);
   f

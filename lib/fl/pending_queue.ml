@@ -18,8 +18,8 @@ let make_node v = { value = v; next = Atomic.make None }
 let create () =
   let dummy = make_node None in
   {
-    head = Atomic.make dummy;
-    tail = Atomic.make dummy;
+    head = Sync.Padded.atomic dummy;
+    tail = Sync.Padded.atomic dummy;
     casc = Sync.Cas_counter.create ();
   }
 

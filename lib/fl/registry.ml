@@ -49,8 +49,8 @@ let lockfree_stack () =
     s_contents = (fun () -> Lockfree.Treiber_stack.to_list s);
   }
 
-let weak_stack_with ~elimination =
-  let s = Weak_stack.create ~elimination () in
+let weak_stack_with ?(exchange = false) ~elimination () =
+  let s = Weak_stack.create ~elimination ~exchange () in
   {
     s_handle =
       (fun () ->
@@ -67,7 +67,9 @@ let weak_stack_with ~elimination =
       (fun () -> Lockfree.Treiber_stack.to_list (Weak_stack.shared s));
   }
 
-let weak_stack () = weak_stack_with ~elimination:true
+let weak_stack () = weak_stack_with ~elimination:true ()
+
+let weak_exchange_stack () = weak_stack_with ~exchange:true ~elimination:true ()
 
 let medium_stack () =
   let s = Medium_stack.create () in
@@ -148,6 +150,7 @@ let stack_impls =
     { s_name = "elim"; s_make = elim_stack };
     { s_name = "flatcomb"; s_make = fc_stack };
     { s_name = "weak"; s_make = weak_stack };
+    { s_name = "weak-x"; s_make = weak_exchange_stack };
     { s_name = "medium"; s_make = medium_stack };
     { s_name = "strong"; s_make = strong_stack };
   ]

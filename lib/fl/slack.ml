@@ -3,16 +3,27 @@ type order = Newest_first | Oldest_first
 type t = {
   slack : int;
   order : order;
-  mutable thunks : (unit -> unit) list; (* newest first *)
-  mutable count : int;
+  window : (unit -> unit) Opbuf.t; (* oldest first *)
+  (* Spare ring the window is detached into before any thunk runs: a
+     force thunk may reentrantly [note] (an evaluator issuing follow-up
+     operations), and those registrations must land in the fresh window,
+     not in the half-iterated one. *)
+  free : (unit -> unit) Opbuf.t;
+  mutable draining : bool;
 }
 
 let create ?(order = Newest_first) slack =
   if slack < 1 then invalid_arg "Slack.create: slack must be >= 1";
-  { slack; order; thunks = []; count = 0 }
+  {
+    slack;
+    order;
+    window = Opbuf.create ();
+    free = Opbuf.create ();
+    draining = false;
+  }
 
 let slack t = t.slack
-let pending t = t.count
+let pending t = Opbuf.length t.window
 
 (* Forcing newest first, the first force reaches the deepest pending
    operation, so implementations that evaluate "until F is ready" (the
@@ -21,16 +32,23 @@ let pending t = t.count
    Forcing oldest-first degrades every evaluation to a single operation
    and disables the intra-evaluation optimizations of §4 (ablation D). *)
 let drain t =
-  let thunks =
-    match t.order with
-    | Newest_first -> t.thunks
-    | Oldest_first -> List.rev t.thunks
-  in
-  t.thunks <- [];
-  t.count <- 0;
-  List.iter (fun force -> force ()) thunks
+  if not t.draining then begin
+    t.draining <- true;
+    (* Loop: thunks registered reentrantly while draining fill the live
+       window and are drained too before we return. *)
+    Fun.protect
+      ~finally:(fun () -> t.draining <- false)
+      (fun () ->
+        while not (Opbuf.is_empty t.window) do
+          Opbuf.swap t.window t.free;
+          let run force = force () in
+          (match t.order with
+          | Newest_first -> Opbuf.rev_iter run t.free
+          | Oldest_first -> Opbuf.iter run t.free);
+          Opbuf.clear t.free
+        done)
+  end
 
 let note t force =
-  t.thunks <- force :: t.thunks;
-  t.count <- t.count + 1;
-  if t.count >= t.slack then drain t
+  Opbuf.push t.window force;
+  if Opbuf.length t.window >= t.slack then drain t

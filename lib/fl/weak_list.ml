@@ -2,84 +2,95 @@ module Future = Futures.Future
 
 module Make (K : Lockfree.Harris_list.KEY) = struct
   module L = Lockfree.Harris_list.Make (K)
-  module KMap = Map.Make (K)
 
   type kind = Insert | Remove | Contains
 
-  type op = { kind : kind; future : bool Future.t }
+  type op = { key : K.t; kind : kind; future : bool Future.t }
 
   type t = { list : L.t }
 
   type handle = {
     owner : t;
-    mutable pending : op list KMap.t; (* per key, newest first *)
-    mutable count : int;
+    ops : op Opbuf.t; (* invocation order *)
+    (* Swapped in at flush time so reentrant operations land in a fresh
+       window. *)
+    work : op Opbuf.t;
   }
 
   let create () = { list = L.create () }
   let shared t = t.list
 
-  let handle owner = { owner; pending = KMap.empty; count = 0 }
+  let handle owner = { owner; ops = Opbuf.create (); work = Opbuf.create () }
 
-  let pending_count h = h.count
+  let pending_count h = Opbuf.length h.ops
 
-  (* Fulfil one key's pending operations given the presence [p] observed
-     at their common linearization instant, replaying them in invocation
-     order. *)
-  let simulate p ops =
-    let step s op =
-      match op.kind with
-      | Insert ->
-          Future.fulfil op.future (not s);
-          true
-      | Remove ->
-          Future.fulfil op.future s;
-          false
-      | Contains ->
-          Future.fulfil op.future s;
-          s
-    in
-    ignore (List.fold_left step p ops)
-
-  (* The last insert/remove in the sequence determines the net effect on
-     the shared list, independent of the initial presence. *)
-  let net_effect ops =
-    List.fold_left
-      (fun acc op ->
-        match op.kind with Insert | Remove -> Some op.kind | Contains -> acc)
-      None ops
-
+  (* The whole window is flushed with one list traversal: an index
+     permutation is stable-sorted by key, so each key's operations appear
+     consecutively and still in invocation order, and successive groups
+     have ascending keys — each physical operation resumes the traversal
+     from the previous group's position. *)
   let flush h =
-    let groups = KMap.bindings h.pending in
-    h.pending <- KMap.empty;
-    h.count <- 0;
-    let apply_group pos (key, newest_first) =
-      let ops = List.rev newest_first in
-      (* Perform the single physical operation (or probe) and deduce the
-         presence at its linearization point from its result. *)
-      let presence, pos' =
-        match net_effect ops with
-        | None -> L.contains_from h.owner.list pos key
-        | Some Insert ->
-            let changed, pos' = L.insert_from h.owner.list pos key in
-            (not changed, pos')
-        | Some Remove -> L.remove_from h.owner.list pos key
-        | Some Contains -> assert false
-      in
-      simulate presence ops;
-      pos'
-    in
-    ignore (List.fold_left apply_group (L.head_position h.owner.list) groups)
+    let n = Opbuf.length h.ops in
+    if n > 0 then begin
+      Opbuf.swap h.ops h.work;
+      let idx = Array.init n (fun i -> i) in
+      Array.stable_sort
+        (fun a b -> K.compare (Opbuf.get h.work a).key (Opbuf.get h.work b).key)
+        idx;
+      let pos = ref (L.head_position h.owner.list) in
+      let i = ref 0 in
+      while !i < n do
+        let j0 = !i in
+        let key = (Opbuf.get h.work idx.(j0)).key in
+        let j = ref (j0 + 1) in
+        while
+          !j < n && K.compare (Opbuf.get h.work idx.(!j)).key key = 0
+        do
+          incr j
+        done;
+        (* The last insert/remove in the group determines the net effect
+           on the shared list, independent of the initial presence. *)
+        let net = ref None in
+        for g = j0 to !j - 1 do
+          match (Opbuf.get h.work idx.(g)).kind with
+          | (Insert | Remove) as k -> net := Some k
+          | Contains -> ()
+        done;
+        (* Perform the single physical operation (or probe) and deduce
+           the presence at its linearization point from its result. *)
+        let presence, pos' =
+          match !net with
+          | None -> L.contains_from h.owner.list !pos key
+          | Some Insert ->
+              let changed, p = L.insert_from h.owner.list !pos key in
+              (not changed, p)
+          | Some Remove -> L.remove_from h.owner.list !pos key
+          | Some Contains -> assert false
+        in
+        (* Replay the group in invocation order from the presence
+           observed at its common linearization instant. *)
+        let s = ref presence in
+        for g = j0 to !j - 1 do
+          let op = Opbuf.get h.work idx.(g) in
+          match op.kind with
+          | Insert ->
+              Future.fulfil op.future (not !s);
+              s := true
+          | Remove ->
+              Future.fulfil op.future !s;
+              s := false
+          | Contains -> Future.fulfil op.future !s
+        done;
+        pos := pos';
+        i := !j
+      done;
+      Opbuf.clear h.work
+    end
 
   let add h key kind =
     let future = Future.create () in
     Future.set_evaluator future (fun () -> flush h);
-    let op = { kind; future } in
-    h.pending <-
-      KMap.update key
-        (function None -> Some [ op ] | Some ops -> Some (op :: ops))
-        h.pending;
-    h.count <- h.count + 1;
+    Opbuf.push h.ops { key; kind; future };
     future
 
   let insert h key = add h key Insert

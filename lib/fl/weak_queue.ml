@@ -4,48 +4,63 @@ type 'a t = { queue : 'a Lockfree.Ms_queue.t }
 
 type 'a handle = {
   owner : 'a t;
-  mutable enqs : ('a * unit Future.t) list; (* newest first *)
-  mutable n_enqs : int;
-  mutable deqs : 'a option Future.t list; (* newest first *)
-  mutable n_deqs : int;
+  (* Pending operations, oldest first. Enqueue values and futures live in
+     parallel rings so an enqueue allocates nothing beyond its future. *)
+  enq_vals : 'a Opbuf.t;
+  enq_futs : unit Future.t Opbuf.t;
+  deqs : 'a option Future.t Opbuf.t;
+  (* Scratch rings swapped in at flush time so reentrant operations land
+     in a fresh window. *)
+  scratch_vals : 'a Opbuf.t;
+  scratch_futs : unit Future.t Opbuf.t;
+  scratch_deqs : 'a option Future.t Opbuf.t;
 }
 
 let create () = { queue = Lockfree.Ms_queue.create () }
 let shared t = t.queue
 
-let handle owner = { owner; enqs = []; n_enqs = 0; deqs = []; n_deqs = 0 }
+let handle owner =
+  {
+    owner;
+    enq_vals = Opbuf.create ();
+    enq_futs = Opbuf.create ();
+    deqs = Opbuf.create ();
+    scratch_vals = Opbuf.create ();
+    scratch_futs = Opbuf.create ();
+    scratch_deqs = Opbuf.create ();
+  }
 
-let pending_count h = h.n_enqs + h.n_deqs
+let pending_count h = Opbuf.length h.enq_vals + Opbuf.length h.deqs
 
 let flush_enqueues h =
-  match h.enqs with
-  | [] -> ()
-  | newest_first ->
-      let oldest_first = List.rev newest_first in
-      Lockfree.Ms_queue.enqueue_list h.owner.queue (List.map fst oldest_first);
-      List.iter (fun (_, f) -> Future.fulfil f ()) oldest_first;
-      h.enqs <- [];
-      h.n_enqs <- 0
+  let n = Opbuf.length h.enq_vals in
+  if n > 0 then begin
+    Opbuf.swap h.enq_vals h.scratch_vals;
+    Opbuf.swap h.enq_futs h.scratch_futs;
+    Lockfree.Ms_queue.enqueue_seg h.owner.queue ~n ~get:(fun i ->
+        Opbuf.get h.scratch_vals i);
+    for i = 0 to n - 1 do
+      Future.fulfil (Opbuf.get h.scratch_futs i) ()
+    done;
+    Opbuf.clear h.scratch_vals;
+    Opbuf.clear h.scratch_futs
+  end
 
 let flush_dequeues h =
-  match h.deqs with
-  | [] -> ()
-  | newest_first ->
-      let oldest_first = List.rev newest_first in
-      let values = Lockfree.Ms_queue.dequeue_many h.owner.queue h.n_deqs in
-      let rec assign deqs values =
-        match (deqs, values) with
-        | [], _ -> ()
-        | f :: deqs', v :: values' ->
-            Future.fulfil f (Some v);
-            assign deqs' values'
-        | f :: deqs', [] ->
-            Future.fulfil f None;
-            assign deqs' []
-      in
-      assign oldest_first values;
-      h.deqs <- [];
-      h.n_deqs <- 0
+  let n = Opbuf.length h.deqs in
+  if n > 0 then begin
+    Opbuf.swap h.deqs h.scratch_deqs;
+    (* Oldest pending dequeue receives the oldest element; dequeues in
+       excess of the queue's size observe "empty". *)
+    let k =
+      Lockfree.Ms_queue.dequeue_seg h.owner.queue ~n ~f:(fun i v ->
+          Future.fulfil (Opbuf.get h.scratch_deqs i) (Some v))
+    in
+    for i = k to n - 1 do
+      Future.fulfil (Opbuf.get h.scratch_deqs i) None
+    done;
+    Opbuf.clear h.scratch_deqs
+  end
 
 let flush h =
   flush_enqueues h;
@@ -54,13 +69,12 @@ let flush h =
 let enqueue h x =
   let f = Future.create () in
   Future.set_evaluator f (fun () -> flush_enqueues h);
-  h.enqs <- (x, f) :: h.enqs;
-  h.n_enqs <- h.n_enqs + 1;
+  Opbuf.push h.enq_vals x;
+  Opbuf.push h.enq_futs f;
   f
 
 let dequeue h =
   let f = Future.create () in
   Future.set_evaluator f (fun () -> flush_dequeues h);
-  h.deqs <- f :: h.deqs;
-  h.n_deqs <- h.n_deqs + 1;
+  Opbuf.push h.deqs f;
   f

@@ -1,91 +1,144 @@
 module Future = Futures.Future
 
-type 'a t = { stack : 'a Lockfree.Treiber_stack.t; elimination : bool }
+type 'a t = {
+  stack : 'a Lockfree.Treiber_stack.t;
+  elimination : bool;
+  exchange : 'a Lockfree.Exchanger.t option;
+      (* cross-handle elimination array, shared by all handles *)
+}
 
 type 'a handle = {
   owner : 'a t;
-  (* Pending operations, newest first. With elimination enabled at most one
-     of the two lists is non-empty (a new operation of the opposite type
-     pairs off instead of accumulating). *)
-  mutable pushes : ('a * unit Future.t) list;
-  mutable n_pushes : int;
-  mutable pops : 'a option Future.t list;
-  mutable n_pops : int;
+  (* Pending operations, oldest first. With elimination enabled at most one
+     of the two windows is non-empty (a new operation of the opposite type
+     pairs off instead of accumulating). Push values and futures live in
+     parallel rings so a push allocates nothing beyond its future. *)
+  push_vals : 'a Opbuf.t;
+  push_futs : unit Future.t Opbuf.t;
+  pops : 'a option Future.t Opbuf.t;
+  (* Scratch rings the live windows are swapped into at flush time, so a
+     reentrant push/pop fired from a fulfilled future lands in a fresh
+     window instead of a half-processed one. *)
+  scratch_vals : 'a Opbuf.t;
+  scratch_futs : unit Future.t Opbuf.t;
+  scratch_pops : 'a option Future.t Opbuf.t;
 }
 
-let create ?(elimination = true) () =
-  { stack = Lockfree.Treiber_stack.create (); elimination }
+let create ?(elimination = true) ?(exchange = false) () =
+  {
+    stack = Lockfree.Treiber_stack.create ();
+    elimination;
+    exchange = (if exchange then Some (Lockfree.Exchanger.create ()) else None);
+  }
 
 let shared t = t.stack
 
-let handle owner = { owner; pushes = []; n_pushes = 0; pops = []; n_pops = 0 }
+let exchanged t =
+  match t.exchange with None -> 0 | Some ex -> Lockfree.Exchanger.exchanged ex
 
-let pending_count h = h.n_pushes + h.n_pops
+let handle owner =
+  {
+    owner;
+    push_vals = Opbuf.create ();
+    push_futs = Opbuf.create ();
+    pops = Opbuf.create ();
+    scratch_vals = Opbuf.create ();
+    scratch_futs = Opbuf.create ();
+    scratch_pops = Opbuf.create ();
+  }
+
+let pending_count h = Opbuf.length h.push_vals + Opbuf.length h.pops
+
+(* How long a leftover pop waits in the exchange array for a producer. *)
+let exchange_patience = 64
 
 let flush_pushes h =
-  match h.pushes with
-  | [] -> ()
-  | newest_first ->
-      let oldest_first = List.rev newest_first in
-      (* Oldest push deepest: one CAS splices the whole chain. *)
-      Lockfree.Treiber_stack.push_list h.owner.stack
-        (List.map fst oldest_first);
-      List.iter (fun (_, f) -> Future.fulfil f ()) oldest_first;
-      h.pushes <- [];
-      h.n_pushes <- 0
+  let n = Opbuf.length h.push_vals in
+  if n > 0 then begin
+    Opbuf.swap h.push_vals h.scratch_vals;
+    Opbuf.swap h.push_futs h.scratch_futs;
+    (* Cross-handle elimination: hand values to takers parked by other
+       handles' starving pops. Producers only ever [try_give] — they never
+       park — so the fast path costs one read-only scan when nobody
+       waits. Survivors are compacted in place and spliced below. *)
+    let n =
+      match h.owner.exchange with
+      | Some ex when Lockfree.Exchanger.takers_waiting ex ->
+          let kept = ref 0 in
+          for i = 0 to n - 1 do
+            let v = Opbuf.get h.scratch_vals i in
+            if Lockfree.Exchanger.try_give ex v then
+              Future.fulfil (Opbuf.get h.scratch_futs i) ()
+            else begin
+              Opbuf.set h.scratch_vals !kept v;
+              Opbuf.set h.scratch_futs !kept (Opbuf.get h.scratch_futs i);
+              incr kept
+            end
+          done;
+          !kept
+      | _ -> n
+    in
+    (* Oldest push deepest: one CAS splices the whole window. *)
+    Lockfree.Treiber_stack.push_seg h.owner.stack ~n ~get:(fun i ->
+        Opbuf.get h.scratch_vals i);
+    for i = 0 to n - 1 do
+      Future.fulfil (Opbuf.get h.scratch_futs i) ()
+    done;
+    Opbuf.clear h.scratch_vals;
+    Opbuf.clear h.scratch_futs
+  end
 
 let flush_pops h =
-  match h.pops with
-  | [] -> ()
-  | newest_first ->
-      let oldest_first = List.rev newest_first in
-      let values = Lockfree.Treiber_stack.pop_many h.owner.stack h.n_pops in
-      (* Oldest pending pop receives the value that was on top; pops in
-         excess of the stack's size observe "empty". *)
-      let rec assign pops values =
-        match (pops, values) with
-        | [], _ -> ()
-        | f :: pops', v :: values' ->
-            Future.fulfil f (Some v);
-            assign pops' values'
-        | f :: pops', [] ->
-            Future.fulfil f None;
-            assign pops' []
+  let n = Opbuf.length h.pops in
+  if n > 0 then begin
+    Opbuf.swap h.pops h.scratch_pops;
+    (* Oldest pending pop receives the value that was on top. *)
+    let k =
+      Lockfree.Treiber_stack.pop_seg h.owner.stack ~n ~f:(fun i v ->
+          Future.fulfil (Opbuf.get h.scratch_pops i) (Some v))
+    in
+    (* Pops in excess of the stack's size try the exchange array — some
+       other handle may be flushing pushes right now — and only then
+       observe "empty". *)
+    for i = k to n - 1 do
+      let fed =
+        match h.owner.exchange with
+        | Some ex -> Lockfree.Exchanger.take ~patience:exchange_patience ex
+        | None -> None
       in
-      assign oldest_first values;
-      h.pops <- [];
-      h.n_pops <- 0
+      Future.fulfil (Opbuf.get h.scratch_pops i) fed
+    done;
+    Opbuf.clear h.scratch_pops
+  end
 
 let flush h =
   flush_pops h;
   flush_pushes h
 
 let push h x =
-  match h.pops with
-  | f :: rest when h.owner.elimination ->
-      (* Elimination: this push hands its value to a pending pop; neither
-         operation ever reaches the shared stack. *)
-      Future.fulfil f (Some x);
-      h.pops <- rest;
-      h.n_pops <- h.n_pops - 1;
-      Future.of_value ()
-  | _ ->
-      let f = Future.create () in
-      Future.set_evaluator f (fun () -> flush h);
-      h.pushes <- (x, f) :: h.pushes;
-      h.n_pushes <- h.n_pushes + 1;
-      f
+  if h.owner.elimination && Opbuf.length h.pops > 0 then begin
+    (* Elimination: this push hands its value to the newest pending pop;
+       neither operation ever reaches the shared stack. *)
+    Future.fulfil (Opbuf.pop_back h.pops) (Some x);
+    Future.of_value ()
+  end
+  else begin
+    let f = Future.create () in
+    Future.set_evaluator f (fun () -> flush h);
+    Opbuf.push h.push_vals x;
+    Opbuf.push h.push_futs f;
+    f
+  end
 
 let pop h =
-  match h.pushes with
-  | (x, f) :: rest when h.owner.elimination ->
-      Future.fulfil f ();
-      h.pushes <- rest;
-      h.n_pushes <- h.n_pushes - 1;
-      Future.of_value (Some x)
-  | _ ->
-      let f = Future.create () in
-      Future.set_evaluator f (fun () -> flush h);
-      h.pops <- f :: h.pops;
-      h.n_pops <- h.n_pops + 1;
-      f
+  if h.owner.elimination && Opbuf.length h.push_vals > 0 then begin
+    let x = Opbuf.pop_back h.push_vals in
+    Future.fulfil (Opbuf.pop_back h.push_futs) ();
+    Future.of_value (Some x)
+  end
+  else begin
+    let f = Future.create () in
+    Future.set_evaluator f (fun () -> flush h);
+    Opbuf.push h.pops f;
+    f
+  end

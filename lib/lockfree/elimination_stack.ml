@@ -1,133 +1,25 @@
 type 'a node = { value : 'a; mutable next : 'a node option }
 
-(* An offer parked in the elimination array. Offers are fresh heap values,
-   never reused, so physical-equality CAS on slots is ABA-free. *)
-type 'a offer =
-  | Push_offer of { value : 'a; taken : bool Atomic.t }
-  | Pop_offer of { result : 'a option Atomic.t }
-      (* [result] is None while pending; elimination always delivers a
-         value, so Some v unambiguously means "matched with push of v". *)
-
-type 'a slot = 'a offer option Atomic.t
-
 type 'a t = {
   head : 'a node option Atomic.t;
-  slots : 'a slot array;
-  eliminated : int Atomic.t;
+  exchanger : 'a Exchanger.t;
   casc : Sync.Cas_counter.t;
-  seed : int Atomic.t; (* cheap per-call randomness for slot choice *)
 }
 
 let create ?(slots = 8) () =
   if slots <= 0 then invalid_arg "Elimination_stack.create: slots <= 0";
   {
-    head = Atomic.make None;
-    slots = Array.init slots (fun _ -> Atomic.make None);
-    eliminated = Atomic.make 0;
+    head = Sync.Padded.atomic None;
+    exchanger = Exchanger.create ~capacity:slots ();
     casc = Sync.Cas_counter.create ();
-    seed = Atomic.make 0x2545f49;
   }
 
 let head_cas t expected desired =
   Sync.Cas_counter.incr t.casc;
   Atomic.compare_and_set t.head expected desired
 
-let random_slot t =
-  let s = Atomic.fetch_and_add t.seed 0x61c88647 in
-  let s = s lxor (s lsr 16) in
-  t.slots.((s land max_int) mod Array.length t.slots)
-
 (* How long an offer waits in the array before withdrawing. *)
 let patience = 64
-
-(* Try to eliminate a push through the array. true = exchanged. *)
-let try_eliminate_push t v =
-  let slot = random_slot t in
-  (* CAS on slots compares the option box physically, so every
-     compare_and_set must use the exact value read (or installed) —
-     rebuilding [Some _] would never match. *)
-  match Atomic.get slot with
-  | Some (Pop_offer p) as stored ->
-      (* A pop is waiting: claim it and hand over our value. *)
-      if Atomic.compare_and_set slot stored None then begin
-        Atomic.set p.result (Some v);
-        Atomic.incr t.eliminated;
-        true
-      end
-      else false
-  | Some (Push_offer _) | None -> (
-      match Atomic.get slot with
-      | None ->
-          let taken = Atomic.make false in
-          let boxed = Some (Push_offer { value = v; taken }) in
-          if Atomic.compare_and_set slot None boxed then begin
-            (* Park and wait for a pop to take the value. *)
-            let rec wait n =
-              if Atomic.get taken then true
-              else if n = 0 then
-                if Atomic.compare_and_set slot boxed None then false
-                else begin
-                  (* Someone is claiming us right now; the exchange is
-                     guaranteed to complete. *)
-                  let b = Sync.Backoff.create () in
-                  while not (Atomic.get taken) do
-                    Sync.Backoff.once b
-                  done;
-                  true
-                end
-              else begin
-                Domain.cpu_relax ();
-                wait (n - 1)
-              end
-            in
-            wait patience
-          end
-          else false
-      | Some _ -> false)
-
-(* Try to eliminate a pop; Some v = exchanged with a push of v. *)
-let try_eliminate_pop t =
-  let slot = random_slot t in
-  match Atomic.get slot with
-  | Some (Push_offer p) as stored ->
-      if Atomic.compare_and_set slot stored None then begin
-        Atomic.set p.taken true;
-        Atomic.incr t.eliminated;
-        Some p.value
-      end
-      else None
-  | Some (Pop_offer _) | None -> (
-      match Atomic.get slot with
-      | None ->
-          let result = Atomic.make None in
-          let boxed = Some (Pop_offer { result }) in
-          if Atomic.compare_and_set slot None boxed then begin
-            let rec wait n =
-              match Atomic.get result with
-              | Some _ as r -> r
-              | None ->
-                  if n = 0 then
-                    if Atomic.compare_and_set slot boxed None then None
-                    else begin
-                      let b = Sync.Backoff.create () in
-                      let rec settle () =
-                        match Atomic.get result with
-                        | Some _ as r -> r
-                        | None ->
-                            Sync.Backoff.once b;
-                            settle ()
-                      in
-                      settle ()
-                    end
-                  else begin
-                    Domain.cpu_relax ();
-                    wait (n - 1)
-                  end
-            in
-            wait patience
-          end
-          else None
-      | Some _ -> None)
 
 let push t v =
   let node = { value = v; next = None } in
@@ -135,7 +27,7 @@ let push t v =
     let head = Atomic.get t.head in
     node.next <- head;
     if not (head_cas t head (Some node)) then
-      if not (try_eliminate_push t v) then loop ()
+      if not (Exchanger.give ~patience t.exchanger v) then loop ()
   in
   loop ()
 
@@ -146,7 +38,7 @@ let pop t =
     | Some node as head ->
         if head_cas t head node.next then Some node.value
         else
-          match try_eliminate_pop t with
+          match Exchanger.take ~patience t.exchanger with
           | Some _ as r -> r
           | None -> loop ()
   in
@@ -162,5 +54,6 @@ let to_list t =
   walk [] (Atomic.get t.head)
 
 let length t = List.length (to_list t)
-let eliminated_pairs t = Atomic.get t.eliminated
+let eliminated_pairs t = Exchanger.exchanged t.exchanger
+let elimination_width t = Exchanger.width t.exchanger
 let cas_count t = Sync.Cas_counter.total t.casc

@@ -1,14 +1,15 @@
 (** Elimination-backoff stack (Hendler, Shavit & Yerushalmi, JPDC 2010 —
     the paper's reference [8]).
 
-    A Treiber stack whose backoff path is an {e elimination array}: when a
+    A Treiber stack whose backoff path is a sharded {!Exchanger}: when a
     push or pop loses its CAS, instead of merely waiting it parks an offer
-    in a random slot of the array; a concurrent operation of the opposite
-    kind that finds the offer exchanges values with it directly, so the
-    colliding pair completes without ever touching the stack — the same
-    elimination idea the futures-based weak stack applies to a thread's
-    {e own} pending operations, here applied {e across} threads at
-    collision time.
+    in a random slot of the exchange array; a concurrent operation of the
+    opposite kind that finds the offer exchanges values with it directly,
+    so the colliding pair completes without ever touching the stack — the
+    same elimination idea the futures-based weak stack applies to a
+    thread's {e own} pending operations, here applied {e across} threads
+    at collision time. The array's active width adapts to the collision
+    rate (see {!Exchanger}).
 
     Linearizable; the matched pair linearizes at the moment of the
     exchange, which lies within both operations' intervals. Included as an
@@ -32,6 +33,9 @@ val to_list : 'a t -> 'a list
 
 val eliminated_pairs : 'a t -> int
 (** Number of push/pop pairs that exchanged through the array. *)
+
+val elimination_width : 'a t -> int
+(** Current adaptive width of the elimination array. *)
 
 val cas_count : 'a t -> int
 (** CAS attempts against the stack head (the array's CASes excluded, for

@@ -1,0 +1,215 @@
+(* An offer parked in a slot. Offers are fresh heap values, never
+   reused, so physical-equality CAS on slots is ABA-free. *)
+type 'a offer =
+  | Give of { value : 'a; taken : bool Atomic.t }
+  | Take of { result : 'a option Atomic.t }
+      (* [result] is None while pending; an exchange always delivers a
+         value, so [Some v] unambiguously means "fed by a give of v". *)
+
+type 'a t = {
+  slots : 'a offer option Atomic.t array; (* each on its own cache line *)
+  width : int Atomic.t; (* active prefix of [slots], in [1..capacity] *)
+  exchanged : int Atomic.t;
+  seeds : Sync.Padded.Int_array.t; (* per-domain-stripe PRNG states *)
+}
+
+let seed_stripes = 16
+
+let create ?(capacity = 8) () =
+  if capacity <= 0 then invalid_arg "Exchanger.create: capacity <= 0";
+  {
+    slots = Sync.Padded.atomic_array capacity None;
+    width = Sync.Padded.atomic (min 2 capacity);
+    exchanged = Sync.Padded.atomic 0;
+    seeds = Sync.Padded.Int_array.make seed_stripes;
+  }
+
+let capacity t = Array.length t.slots
+let width t = Atomic.get t.width
+let exchanged t = Atomic.get t.exchanged
+
+(* Cheap per-domain randomness: a striped splitmix-style counter, one
+   padded cell per domain stripe so slot choice never bounces a line
+   between domains (a lost race on a PRNG state is harmless). *)
+let random_slot t =
+  let stripe = (Domain.self () :> int) land (seed_stripes - 1) in
+  let s = Sync.Padded.Int_array.get t.seeds stripe + 0x9E3779B9 in
+  Sync.Padded.Int_array.set t.seeds stripe s;
+  let s = s lxor (s lsr 16) in
+  let s = s * 0x45d9f3b in
+  let s = s lxor (s lsr 16) in
+  t.slots.((s land max_int) mod Atomic.get t.width)
+
+(* Width policy: a collision (two offers racing for one slot) means the
+   active shard set is too narrow for the traffic — double it; a parked
+   offer that times out unmatched means it is too wide for partners to
+   find each other — step it back down. Plain CAS, losers just retry on
+   their next probe. *)
+let widen t =
+  let w = Atomic.get t.width in
+  if w < Array.length t.slots then
+    ignore (Atomic.compare_and_set t.width w (min (Array.length t.slots) (2 * w)))
+
+let narrow t =
+  let w = Atomic.get t.width in
+  if w > 1 then ignore (Atomic.compare_and_set t.width w (w - 1))
+
+let default_patience = 64
+
+(* CAS on slots compares the option box physically, so every
+   compare_and_set must use the exact value read (or installed) —
+   rebuilding [Some _] would never match. *)
+
+let try_give t v =
+  let slot = random_slot t in
+  match Atomic.get slot with
+  | Some (Take p) as stored ->
+      Faults.point "elim.exchange";
+      if Atomic.compare_and_set slot stored None then begin
+        Atomic.set p.result (Some v);
+        Atomic.incr t.exchanged;
+        true
+      end
+      else begin
+        widen t;
+        false
+      end
+  | Some (Give _) ->
+      widen t;
+      false
+  | None -> false
+
+let try_take t =
+  let slot = random_slot t in
+  match Atomic.get slot with
+  | Some (Give p) as stored ->
+      Faults.point "elim.exchange";
+      if Atomic.compare_and_set slot stored None then begin
+        Atomic.set p.taken true;
+        Atomic.incr t.exchanged;
+        Some p.value
+      end
+      else begin
+        widen t;
+        None
+      end
+  | Some (Take _) ->
+      widen t;
+      None
+  | None -> None
+
+let give ?(patience = default_patience) t v =
+  let slot = random_slot t in
+  match Atomic.get slot with
+  | Some (Take p) as stored ->
+      Faults.point "elim.exchange";
+      if Atomic.compare_and_set slot stored None then begin
+        Atomic.set p.result (Some v);
+        Atomic.incr t.exchanged;
+        true
+      end
+      else begin
+        widen t;
+        false
+      end
+  | Some (Give _) ->
+      widen t;
+      false
+  | None ->
+      let taken = Atomic.make false in
+      let boxed = Some (Give { value = v; taken }) in
+      Faults.point "elim.offer";
+      if Atomic.compare_and_set slot None boxed then begin
+        (* Park and wait for a taker. *)
+        let rec wait n =
+          if Atomic.get taken then true
+          else if n = 0 then
+            if Atomic.compare_and_set slot boxed None then begin
+              narrow t;
+              false
+            end
+            else begin
+              (* Someone is claiming us right now; the exchange is
+                 guaranteed to complete. *)
+              let b = Sync.Backoff.create () in
+              while not (Atomic.get taken) do
+                Sync.Backoff.once b
+              done;
+              true
+            end
+          else begin
+            Domain.cpu_relax ();
+            wait (n - 1)
+          end
+        in
+        wait patience
+      end
+      else begin
+        widen t;
+        false
+      end
+
+let take ?(patience = default_patience) t =
+  let slot = random_slot t in
+  match Atomic.get slot with
+  | Some (Give p) as stored ->
+      Faults.point "elim.exchange";
+      if Atomic.compare_and_set slot stored None then begin
+        Atomic.set p.taken true;
+        Atomic.incr t.exchanged;
+        Some p.value
+      end
+      else begin
+        widen t;
+        None
+      end
+  | Some (Take _) ->
+      widen t;
+      None
+  | None ->
+      let result = Atomic.make None in
+      let boxed = Some (Take { result }) in
+      Faults.point "elim.offer";
+      if Atomic.compare_and_set slot None boxed then begin
+        let rec wait n =
+          match Atomic.get result with
+          | Some _ as r -> r
+          | None ->
+              if n = 0 then
+                if Atomic.compare_and_set slot boxed None then begin
+                  narrow t;
+                  None
+                end
+                else begin
+                  let b = Sync.Backoff.create () in
+                  let rec settle () =
+                    match Atomic.get result with
+                    | Some _ as r -> r
+                    | None ->
+                        Sync.Backoff.once b;
+                        settle ()
+                  in
+                  settle ()
+                end
+              else begin
+                Domain.cpu_relax ();
+                wait (n - 1)
+              end
+        in
+        wait patience
+      end
+      else begin
+        widen t;
+        None
+      end
+
+let takers_waiting t =
+  let w = Atomic.get t.width in
+  let rec scan i =
+    i < w
+    &&
+    match Atomic.get t.slots.(i) with
+    | Some (Take _) -> true
+    | Some (Give _) | None -> scan (i + 1)
+  in
+  scan 0

@@ -22,7 +22,7 @@ module Make (K : KEY) = struct
   type position = place
 
   let create () =
-    { head = Atomic.make (Live None); casc = Sync.Cas_counter.create () }
+    { head = Sync.Padded.atomic (Live None); casc = Sync.Cas_counter.create () }
 
   let head_position _t = Root
 

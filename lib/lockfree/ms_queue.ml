@@ -13,9 +13,12 @@ let make_node v = { value = v; next = Atomic.make None }
 
 let create () =
   let dummy = make_node None in
+  (* Head and tail are attacked by disjoint parties (dequeuers vs
+     enqueuers); padding keeps either side's CAS traffic off the other's
+     line. *)
   {
-    head = Atomic.make dummy;
-    tail = Atomic.make dummy;
+    head = Sync.Padded.atomic dummy;
+    tail = Sync.Padded.atomic dummy;
     casc = Sync.Cas_counter.create ();
   }
 
@@ -63,6 +66,69 @@ let enqueue_list t xs =
           first rest
       in
       enqueue_chain t first last
+
+(* Indexed-segment variants of [enqueue_list]/[dequeue_many] for the FL
+   flush paths: the whole window is spliced from / delivered to a ring
+   buffer without building an intermediate list. *)
+
+let enqueue_seg t ~n ~get =
+  if n < 0 then invalid_arg "Ms_queue.enqueue_seg: negative count";
+  if n > 0 then begin
+    let first = make_node (Some (get 0)) in
+    let last = ref first in
+    for i = 1 to n - 1 do
+      let nd = make_node (Some (get i)) in
+      Atomic.set !last.next (Some nd);
+      last := nd
+    done;
+    enqueue_chain t first !last
+  end
+
+let dequeue_seg t ~n ~f =
+  if n < 0 then invalid_arg "Ms_queue.dequeue_seg: negative count";
+  if n = 0 then 0
+  else
+    let b = Sync.Backoff.create () in
+    let rec attempt () =
+      let hd = Atomic.get t.head in
+      (* Find the up-to-[n]-th node after the dummy (helping the tail
+         forward as in [dequeue_many]), CAS the head past it, then walk
+         the detached chain handing values to [f] in FIFO order. *)
+      let rec probe node count =
+        if count = n then (node, count)
+        else
+          match Atomic.get node.next with
+          | None -> (node, count)
+          | Some nxt ->
+              let tl = Atomic.get t.tail in
+              if tl == node then ignore (counted_cas t t.tail tl nxt);
+              probe nxt (count + 1)
+      in
+      let last, count = probe hd 0 in
+      if last == hd then 0
+      else if counted_cas t t.head hd last then begin
+        let rec deliver node i =
+          match Atomic.get node.next with
+          | None -> assert false
+          | Some nxt ->
+              (match nxt.value with
+              | Some v -> f i v
+              | None -> assert false);
+              (* Drop the reference: [last] is the new dummy and must not
+                 pin the value it handed out; the others are garbage
+                 anyway. *)
+              nxt.value <- None;
+              if nxt != last then deliver nxt (i + 1)
+        in
+        deliver hd 0;
+        count
+      end
+      else begin
+        Sync.Backoff.once b;
+        attempt ()
+      end
+    in
+    attempt ()
 
 let dequeue_many t n =
   if n < 0 then invalid_arg "Ms_queue.dequeue_many: negative count";

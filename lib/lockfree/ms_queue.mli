@@ -30,6 +30,19 @@ val dequeue_many : 'a t -> int -> 'a list
     oldest-first; fewer when the queue runs out.
     Raises [Invalid_argument] if [n < 0]. *)
 
+val enqueue_seg : 'a t -> n:int -> get:(int -> 'a) -> unit
+(** [enqueue_seg t ~n ~get] is [enqueue_list] over the indexed segment
+    [get 0 .. get (n-1)] ([get 0] becomes the oldest); allocates only
+    the [n] spliced nodes — the zero-copy path for ring-buffer flushes.
+    Raises [Invalid_argument] if [n < 0]. *)
+
+val dequeue_seg : 'a t -> n:int -> f:(int -> 'a -> unit) -> int
+(** [dequeue_seg t ~n ~f] is [dequeue_many] without the result list: up
+    to [n] elements are removed with one successful head CAS and handed
+    to [f i v] oldest-first (i = 0). Returns the count actually
+    dequeued. [f] runs after the CAS, on a detached chain.
+    Raises [Invalid_argument] if [n < 0]. *)
+
 val is_empty : 'a t -> bool
 
 val length : 'a t -> int

@@ -2,7 +2,8 @@ type 'a node = { value : 'a; mutable next : 'a node option }
 
 type 'a t = { head : 'a node option Atomic.t; casc : Sync.Cas_counter.t }
 
-let create () = { head = Atomic.make None; casc = Sync.Cas_counter.create () }
+let create () =
+  { head = Sync.Padded.atomic None; casc = Sync.Cas_counter.create () }
 
 let cas t expected desired =
   Sync.Cas_counter.incr t.casc;
@@ -62,6 +63,71 @@ let push_list t xs =
         end
       in
       loop ()
+
+(* Indexed-segment variants of [push_list]/[pop_many]: the FL flush
+   paths feed them straight from a ring buffer, so a whole pending
+   window is spliced with one CAS and no transient list. *)
+
+let push_seg t ~n ~get =
+  if n < 0 then invalid_arg "Treiber_stack.push_seg: negative count";
+  if n > 0 then begin
+    (* Index 0 is pushed deepest (the oldest pending push); only the
+       bottom link is patched on each retry. *)
+    let bottom = { value = get 0; next = None } in
+    let top = ref bottom in
+    for i = 1 to n - 1 do
+      top := { value = get i; next = Some !top }
+    done;
+    let top = !top in
+    let b = Sync.Backoff.create () in
+    let rec loop () =
+      let head = Atomic.get t.head in
+      bottom.next <- head;
+      if not (cas t head (Some top)) then begin
+        Sync.Backoff.once b;
+        loop ()
+      end
+    in
+    loop ()
+  end
+
+let pop_seg t ~n ~f =
+  if n < 0 then invalid_arg "Treiber_stack.pop_seg: negative count";
+  if n = 0 then 0
+  else
+    let b = Sync.Backoff.create () in
+    let rec loop () =
+      match Atomic.get t.head with
+      | None -> 0
+      | Some first as head ->
+          (* Find the split point, detach with one CAS, then hand out the
+             values of the now-private chain: [f i v] with i = 0 for the
+             value that was on top. *)
+          let rec walk node k =
+            if k = n then (k, node.next)
+            else
+              match node.next with
+              | None -> (k, None)
+              | Some nxt -> walk nxt (k + 1)
+          in
+          let k, rest = walk first 1 in
+          if cas t head rest then begin
+            let rec deliver node i =
+              f i node.value;
+              if i + 1 < k then
+                match node.next with
+                | Some nxt -> deliver nxt (i + 1)
+                | None -> assert false
+            in
+            deliver first 0;
+            k
+          end
+          else begin
+            Sync.Backoff.once b;
+            loop ()
+          end
+    in
+    loop ()
 
 let pop_many t n =
   if n < 0 then invalid_arg "Treiber_stack.pop_many: negative count";

@@ -27,6 +27,20 @@ val pop_many : 'a t -> int -> 'a list
     elements and returns them top-first; fewer when the stack runs out.
     Raises [Invalid_argument] if [n < 0]. *)
 
+val push_seg : 'a t -> n:int -> get:(int -> 'a) -> unit
+(** [push_seg t ~n ~get] is [push_list] over the indexed segment
+    [get 0 .. get (n-1)]: [get 0] is pushed deepest, [get (n-1)] ends on
+    top, one successful CAS for the whole segment. Allocates only the
+    [n] spliced nodes — the zero-copy path for ring-buffer flushes.
+    Raises [Invalid_argument] if [n < 0]. *)
+
+val pop_seg : 'a t -> n:int -> f:(int -> 'a -> unit) -> int
+(** [pop_seg t ~n ~f] is [pop_many] without the result list: up to [n]
+    elements are removed with one successful CAS and handed to [f i v]
+    in top-first order (i = 0 for the old top). Returns the number
+    actually popped. [f] runs after the CAS, on a detached chain.
+    Raises [Invalid_argument] if [n < 0]. *)
+
 val is_empty : 'a t -> bool
 
 val length : 'a t -> int

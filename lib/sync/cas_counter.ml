@@ -1,11 +1,14 @@
-(* One atomic per stripe. OCaml domain ids grow monotonically over the
-   program's lifetime, so we hash them into a fixed number of stripes. *)
+(* One atomic per stripe, each stripe on its own cache line: a CAS
+   counter is bumped on every attempt of every domain, so unpadded
+   stripes would false-share and the act of measuring contention would
+   create it. OCaml domain ids grow monotonically over the program's
+   lifetime, so we hash them into a fixed number of stripes. *)
 
-let stripes = 64
+let stripes = 16
 
 type t = { cells : int Atomic.t array }
 
-let create () = { cells = Array.init stripes (fun _ -> Atomic.make 0) }
+let create () = { cells = Padded.atomic_array stripes 0 }
 
 let stripe_of_self () = (Domain.self () :> int) land (stripes - 1)
 

@@ -1,0 +1,50 @@
+(* 128 bytes = 16 words on 64-bit: one destination line plus the adjacent
+   line pulled in by the spatial prefetcher. *)
+let word_count = 128 / (Sys.word_size / 8)
+
+(* The multicore-magic idiom: re-allocate the block with its size rounded
+   up to a whole cache line. [Obj.new_block] initialises every field to
+   the unit value, so the padding words are always valid for the GC; the
+   runtime never confuses logical size with block size for records,
+   atomics or arrays of pointers. Blocks with unboxed layouts
+   (custom/float/bytes) and immediates are returned unchanged — padding
+   them would change their meaning. *)
+let copy_as_padded (type a) (v : a) : a =
+  let r = Obj.repr v in
+  if
+    Obj.is_block r
+    && Obj.tag r < Obj.no_scan_tag
+    && Obj.tag r <> Obj.double_array_tag
+    && Obj.size r < word_count
+  then begin
+    let padded = Obj.new_block (Obj.tag r) word_count in
+    for i = 0 to Obj.size r - 1 do
+      Obj.set_field padded i (Obj.field r i)
+    done;
+    (Obj.magic padded : a)
+  end
+  else v
+
+let atomic v = copy_as_padded (Atomic.make v)
+
+let atomic_array n v = Array.init n (fun _ -> atomic v)
+
+module Int_array = struct
+  (* One logical slot per cache line of a flat int array (ints are
+     unboxed, so striding by [word_count] entries strides by exactly one
+     padded line). *)
+  type t = int array
+
+  let make n = Array.make (n * word_count) 0
+  let length a = Array.length a / word_count
+  let get a i = Array.unsafe_get a (i * word_count)
+  let set a i v = Array.unsafe_set a (i * word_count) v
+  let add a i d = Array.unsafe_set a (i * word_count) (get a i + d)
+
+  let sum a =
+    let acc = ref 0 in
+    for i = 0 to length a - 1 do
+      acc := !acc + get a i
+    done;
+    !acc
+end

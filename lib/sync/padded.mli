@@ -1,0 +1,50 @@
+(** Cache-line padding for contended atomics.
+
+    OCaml 5.1 allocates an ['a Atomic.t] as an ordinary one-word block, so
+    two atomics allocated close together routinely share a cache line and
+    every CAS on one invalidates the other on every core — classic false
+    sharing. The paper's C++ prototype pads its contended fields; this
+    module is the OCaml equivalent: a value is re-allocated into a block
+    whose size is rounded up to a full cache line, so no two padded blocks
+    ever share a line (the [multicore-magic] idiom; OCaml ≥ 5.2 has
+    [Atomic.make_contended] built in, which this emulates on 5.1).
+
+    Padding trades memory for isolation: a padded atomic occupies
+    {!word_count} words instead of 2. Use it for long-lived, contended
+    cells (structure heads, locks, counters, combiner state), not for
+    bulk data. *)
+
+val word_count : int
+(** Words per padded block: 128 bytes on 64-bit — one cache line plus the
+    adjacent line fetched by the spatial prefetcher on current x86. *)
+
+val copy_as_padded : 'a -> 'a
+(** [copy_as_padded v] returns a shallow copy of the heap block [v] whose
+    block size is rounded up to {!word_count} words; immediates and
+    already-large blocks are returned unchanged. The extra words are
+    invisible to pattern matching, equality and the GC (they hold unit). *)
+
+val atomic : 'a -> 'a Atomic.t
+(** [atomic v] is [Atomic.make v] in its own cache line. *)
+
+val atomic_array : int -> 'a -> 'a Atomic.t array
+(** [atomic_array n v]: [n] independent padded atomics — the striping
+    building block (the array itself is ordinary; the cells don't share
+    lines with each other or with it). *)
+
+(** A plain (non-atomic) int array whose logical slots each live on their
+    own cache line — for single-writer striping, e.g. per-domain
+    statistics or PRNG states, where a torn or lost update is benign but
+    false sharing is not. *)
+module Int_array : sig
+  type t
+
+  val make : int -> t
+  (** [make n] is [n] zero-initialised padded slots. *)
+
+  val length : t -> int
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+  val add : t -> int -> int -> unit
+  val sum : t -> int
+end

@@ -1,6 +1,8 @@
 type t = { locked : bool Atomic.t }
 
-let create () = { locked = Atomic.make false }
+(* The lock word is the definition of a contended cell: pad it so CAS
+   storms on one lock never invalidate a neighbouring allocation. *)
+let create () = { locked = Padded.atomic false }
 
 let try_acquire t =
   (* Test before test-and-set to avoid bouncing the cache line. *)

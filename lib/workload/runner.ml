@@ -4,6 +4,7 @@ type measurement = {
   std_dev : float;
   throughput : float;
   cas_per_op : float;
+  minor_words_per_op : float;
   killed : int;
   suppressed_failures : int;
 }
@@ -44,6 +45,7 @@ let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total ?teardown
   if repeats <= 0 then invalid_arg "Runner.run: repeats must be positive";
   let samples = Array.make repeats 0.0 in
   let cas_samples = Array.make repeats Float.nan in
+  let words_samples = Array.make repeats 0.0 in
   let killed = ref 0 in
   let suppressed = ref 0 in
   for rep = 0 to repeats - 1 do
@@ -51,22 +53,32 @@ let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total ?teardown
     let barrier = Sync.Barrier.create (threads + 1) in
     let cas_before = match cas_total with Some f -> f ctx | None -> 0 in
     let plans = plan_victims ~chaos ~threads ~ops_per_thread ~rep in
+    (* Per-domain minor-heap allocation, summed across workers.
+       [Gc.minor_words] counts the calling domain only, so each worker
+       measures its own delta and adds it here (words are integral). *)
+    let words_acc = Atomic.make 0 in
     let spawn i =
       Domain.spawn (fun () ->
           Sync.Barrier.wait barrier;
-          match plans.(i) with
-          | Healthy -> worker ctx ~thread:i ~ops:ops_per_thread
-          | Die cut ->
-              (* Simulated mid-run death: the worker performs a seeded
-                 prefix of its operations, then its domain is lost —
-                 pending futures unforced, handles never flushed. *)
-              worker ctx ~thread:i ~ops:(min cut ops_per_thread);
-              raise (Killed_worker i)
-          | Stall (cut, stall) ->
-              let cut = min cut ops_per_thread in
-              worker ctx ~thread:i ~ops:cut;
-              Unix.sleepf stall;
-              worker ctx ~thread:i ~ops:(ops_per_thread - cut))
+          let w0 = Gc.minor_words () in
+          Fun.protect
+            ~finally:(fun () ->
+              let dw = int_of_float (Gc.minor_words () -. w0) in
+              ignore (Atomic.fetch_and_add words_acc dw))
+            (fun () ->
+              match plans.(i) with
+              | Healthy -> worker ctx ~thread:i ~ops:ops_per_thread
+              | Die cut ->
+                  (* Simulated mid-run death: the worker performs a seeded
+                     prefix of its operations, then its domain is lost —
+                     pending futures unforced, handles never flushed. *)
+                  worker ctx ~thread:i ~ops:(min cut ops_per_thread);
+                  raise (Killed_worker i)
+              | Stall (cut, stall) ->
+                  let cut = min cut ops_per_thread in
+                  worker ctx ~thread:i ~ops:cut;
+                  Unix.sleepf stall;
+                  worker ctx ~thread:i ~ops:(ops_per_thread - cut)))
     in
     let domains = List.init threads spawn in
     (* Release all workers at once and time until the last finishes. Join
@@ -94,6 +106,9 @@ let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total ?teardown
             domains)
     in
     samples.(rep) <- seconds;
+    words_samples.(rep) <-
+      float_of_int (Atomic.get words_acc)
+      /. float_of_int (threads * ops_per_thread);
     (match cas_total with
     | Some f ->
         let total_ops = threads * ops_per_thread in
@@ -123,6 +138,7 @@ let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total ?teardown
     throughput = float_of_int (threads * ops_per_thread) /. mean;
     cas_per_op =
       (if cas_total = None then Float.nan else Stats.mean cas_samples);
+    minor_words_per_op = Stats.mean words_samples;
     killed = !killed;
     suppressed_failures = !suppressed;
   }

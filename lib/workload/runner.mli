@@ -24,6 +24,9 @@ type measurement = {
   cas_per_op : float;
       (** CAS attempts on the shared structure per high-level operation,
           when the workload reports them; [nan] otherwise *)
+  minor_words_per_op : float;
+      (** minor-heap words allocated per high-level operation, summed
+          over all worker domains (mean over repeats) *)
   killed : int;
       (** chaos-mode worker deaths over all repeats; 0 without [?chaos] *)
   suppressed_failures : int;

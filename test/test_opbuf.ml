@@ -1,0 +1,265 @@
+(* Tests for the preallocated ring buffer behind the FL pending windows:
+   model-based qcheck properties exercising wraparound and growth, unit
+   tests for the window operations, an allocation-budget check on the
+   weak-stack flush path, and the Slack drain reentrancy regression. *)
+
+module B = Fl.Opbuf
+
+(* ------------------------- unit: basics ----------------------------- *)
+
+let test_basics () =
+  let b = B.create () in
+  Alcotest.(check bool) "empty" true (B.is_empty b);
+  Alcotest.(check int) "len 0" 0 (B.length b);
+  for i = 1 to 5 do
+    B.push b i
+  done;
+  Alcotest.(check int) "len 5" 5 (B.length b);
+  Alcotest.(check int) "get 0 oldest" 1 (B.get b 0);
+  Alcotest.(check int) "get 4 newest" 5 (B.get b 4);
+  Alcotest.(check (list int)) "to_list oldest first" [ 1; 2; 3; 4; 5 ]
+    (B.to_list b);
+  Alcotest.(check int) "pop_back newest" 5 (B.pop_back b);
+  B.drop_front b 2;
+  Alcotest.(check (list int)) "after drop_front" [ 3; 4 ] (B.to_list b);
+  B.set b 0 30;
+  Alcotest.(check (list int)) "after set" [ 30; 4 ] (B.to_list b);
+  B.clear b;
+  Alcotest.(check bool) "cleared" true (B.is_empty b)
+
+let test_bounds () =
+  let b = B.create () in
+  B.push b 1;
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Opbuf.get: index out of range") (fun () ->
+      ignore (B.get b 1));
+  Alcotest.check_raises "pop_back empty"
+    (Invalid_argument "Opbuf.pop_back: empty") (fun () ->
+      ignore (B.pop_back (B.create () : int B.t)));
+  Alcotest.check_raises "drop_front beyond"
+    (Invalid_argument "Opbuf.drop_front: bad count") (fun () ->
+      B.drop_front b 2)
+
+(* Growth across the initial capacity, with a head offset so the unroll
+   path (wrapped ring -> rebased array) is exercised. *)
+let test_growth_wrapped () =
+  let b = B.create ~capacity:4 () in
+  (* Offset the head: push then drop so head <> 0. *)
+  for i = 0 to 2 do
+    B.push b i
+  done;
+  B.drop_front b 3;
+  (* Now fill past the physical end and through several doublings. *)
+  let n = 100 in
+  for i = 0 to n - 1 do
+    B.push b i
+  done;
+  Alcotest.(check int) "length" n (B.length b);
+  Alcotest.(check (list int)) "order preserved across growth"
+    (List.init n Fun.id) (B.to_list b);
+  Alcotest.(check bool) "capacity grew" true (B.capacity b >= n)
+
+let test_iter_orders () =
+  let b = B.create ~capacity:2 () in
+  for i = 1 to 6 do
+    B.push b i
+  done;
+  let fwd = ref [] and bwd = ref [] in
+  B.iter (fun x -> fwd := x :: !fwd) b;
+  B.rev_iter (fun x -> bwd := x :: !bwd) b;
+  Alcotest.(check (list int)) "iter oldest first" [ 1; 2; 3; 4; 5; 6 ]
+    (List.rev !fwd);
+  Alcotest.(check (list int)) "rev_iter newest first" [ 6; 5; 4; 3; 2; 1 ]
+    (List.rev !bwd)
+
+let test_truncate_swap () =
+  let a = B.create () and b = B.create () in
+  for i = 1 to 8 do
+    B.push a i
+  done;
+  B.truncate a 3;
+  Alcotest.(check (list int)) "truncate keeps oldest" [ 1; 2; 3 ]
+    (B.to_list a);
+  B.push b 99;
+  B.swap a b;
+  Alcotest.(check (list int)) "swap a" [ 99 ] (B.to_list a);
+  Alcotest.(check (list int)) "swap b" [ 1; 2; 3 ] (B.to_list b)
+
+(* -------------------- qcheck: list-model parity ---------------------- *)
+
+(* Script: true = push of the (fresh) counter value; false = one of the
+   removal operations, selected by the attached int. Model is a plain
+   list, oldest first. *)
+let prop_model =
+  QCheck.Test.make ~name:"opbuf matches list model (wraparound + growth)"
+    ~count:1000
+    QCheck.(list (pair bool (int_bound 2)))
+    (fun script ->
+      let b = B.create ~capacity:2 () in
+      let model = ref [] in
+      let counter = ref 0 in
+      List.iter
+        (fun (is_push, sel) ->
+          if is_push then begin
+            incr counter;
+            B.push b !counter;
+            model := !model @ [ !counter ]
+          end
+          else
+            match sel with
+            | 0 ->
+                (* pop_back: remove newest *)
+                if !model <> [] then begin
+                  let expected = List.nth !model (List.length !model - 1) in
+                  let got = B.pop_back b in
+                  if got <> expected then
+                    QCheck.Test.fail_reportf "pop_back: got %d, want %d" got
+                      expected;
+                  model :=
+                    List.filteri
+                      (fun i _ -> i < List.length !model - 1)
+                      !model
+                end
+            | 1 ->
+                (* drop_front: remove a prefix *)
+                if !model <> [] then begin
+                  let n = 1 + (!counter mod List.length !model) in
+                  let n = min n (List.length !model) in
+                  B.drop_front b n;
+                  model := List.filteri (fun i _ -> i >= n) !model
+                end
+            | _ ->
+                (* truncate to half *)
+                let n = List.length !model / 2 in
+                B.truncate b n;
+                model := List.filteri (fun i _ -> i < n) !model)
+        script;
+      B.to_list b = !model
+      && B.length b = List.length !model
+      && List.for_all2 ( = )
+           (List.init (B.length b) (B.get b))
+           !model)
+
+(* FIFO through the ring: interleaved push/drop_front at ring-wrapping
+   sizes preserves arrival order. *)
+let prop_fifo =
+  QCheck.Test.make ~name:"opbuf FIFO order under wraparound" ~count:500
+    QCheck.(int_bound 5)
+    (fun chunk ->
+      let chunk = chunk + 1 in
+      let b = B.create ~capacity:4 () in
+      let next_in = ref 0 and next_out = ref 0 and ok = ref true in
+      for _ = 1 to 50 do
+        for _ = 1 to chunk do
+          B.push b !next_in;
+          incr next_in
+        done;
+        let take = B.length b / 2 in
+        for i = 0 to take - 1 do
+          if B.get b i <> !next_out + i then ok := false
+        done;
+        B.drop_front b take;
+        next_out := !next_out + take
+      done;
+      !ok)
+
+(* ---------------- allocation budget: weak-stack flush ---------------- *)
+
+(* A full window's flush must allocate O(1) beyond the spliced nodes and
+   the futures themselves: the ring is reused, no transient lists. Budget:
+   push+flush ≤ 22 words/op (was ~30 with list windows; now ~18: future +
+   stack node + CAS-counter noise), pop+flush ≤ 19 (was ~27). Skipped
+   under FLDS_FAULTS: armed injection points allocate on the paths being
+   budgeted. *)
+let test_alloc_budget () =
+  if Faults.enabled () then Alcotest.skip ();
+  let window = 64 and iters = 500 in
+  let s = Fl.Weak_stack.create ~elimination:false () in
+  let h = Fl.Weak_stack.handle s in
+  let measure f =
+    for _ = 1 to 10 do
+      f ()
+    done;
+    Gc.full_major ();
+    let before = Gc.minor_words () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Gc.minor_words () -. before) /. float_of_int (iters * window)
+  in
+  let push_words =
+    measure (fun () ->
+        for i = 1 to window do
+          ignore (Fl.Weak_stack.push h i)
+        done;
+        Fl.Weak_stack.flush h)
+  in
+  let pop_words =
+    measure (fun () ->
+        for _ = 1 to window do
+          ignore (Fl.Weak_stack.pop h)
+        done;
+        Fl.Weak_stack.flush h)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "push+flush %.1f words/op within budget" push_words)
+    true (push_words <= 22.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "pop+flush %.1f words/op within budget" pop_words)
+    true (pop_words <= 19.0)
+
+(* ---------------- Slack drain reentrancy regression ------------------ *)
+
+(* A force thunk that reentrantly notes follow-up work must not corrupt
+   the half-drained window: the reentrant registrations land in a fresh
+   window and are drained before [drain] returns, each exactly once. *)
+let test_slack_reentrant_note () =
+  let sl = Fl.Slack.create ~order:Fl.Slack.Newest_first 4 in
+  let fired = ref [] in
+  let rec thunk ~respawn id () =
+    fired := id :: !fired;
+    if respawn then
+      (* A follow-up operation issued from inside the force, as a
+         medium-FL evaluator would: must be drained too, once. *)
+      Fl.Slack.note sl (thunk ~respawn:false (id + 100))
+  in
+  for id = 1 to 3 do
+    Fl.Slack.note sl (thunk ~respawn:true id)
+  done;
+  (* The 4th note fills the window and triggers the drain; its thunk
+     respawns as well. *)
+  Fl.Slack.note sl (thunk ~respawn:true 4);
+  let sorted = List.sort compare !fired in
+  Alcotest.(check (list int)) "each thunk fired exactly once"
+    [ 1; 2; 3; 4; 101; 102; 103; 104 ] sorted;
+  Alcotest.(check int) "window empty after drain" 0 (Fl.Slack.pending sl);
+  (* Explicit drain on a partially filled window with reentrant notes. *)
+  fired := [];
+  Fl.Slack.note sl (thunk ~respawn:true 10);
+  Fl.Slack.drain sl;
+  Alcotest.(check (list int)) "explicit drain settles follow-ups"
+    [ 10; 110 ] (List.sort compare !fired);
+  Alcotest.(check int) "empty again" 0 (Fl.Slack.pending sl)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "opbuf"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "growth wrapped" `Quick test_growth_wrapped;
+          Alcotest.test_case "iteration orders" `Quick test_iter_orders;
+          Alcotest.test_case "truncate + swap" `Quick test_truncate_swap;
+        ]
+        @ qsuite [ prop_model; prop_fifo ] );
+      ( "allocation",
+        [ Alcotest.test_case "weak-stack flush budget" `Quick test_alloc_budget ] );
+      ( "slack",
+        [
+          Alcotest.test_case "reentrant note during drain" `Quick
+            test_slack_reentrant_note;
+        ] );
+    ]

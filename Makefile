@@ -31,10 +31,19 @@ chaos:
 	FLDS_FAULTS=$(CHAOS_SEED) dune runtest --force --no-buffer
 	dune exec bench/main.exe -- chaos --quick --seed $(CHAOS_SEED)
 
+# Machine-readable chaos run: kill-enabled seeded faults, watchdog on,
+# recording killed / takeovers / retired / poisoned / recovered per
+# (impl, threads) cell under results/.
+bench-chaos-json:
+	mkdir -p results
+	dune exec bench/main.exe -- chaos --ops 2000 --repeats 4 \
+		--threads 1,2,4 --seed $(CHAOS_SEED) \
+		--json results/BENCH_chaos.json
+
 doc:
 	dune build @doc
 
 clean:
 	dune clean
 
-.PHONY: all test test-force bench-quick bench-full bench-json chaos doc clean
+.PHONY: all test test-force bench-quick bench-full bench-json chaos bench-chaos-json doc clean

@@ -677,7 +677,29 @@ let chaos_bench cfg =
     "== Chaos: flat combining under seeded faults (seed %d) — %d \
      ops/thread, %d repeat(s) ==@.@."
     seed cfg.ops cfg.repeats;
-  let cell ~insts ~takeovers ~run_measure =
+  (* Every cell runs with the watchdog on, so killed workers are also
+     recovered (abandon hooks fire where registered; the recovered
+     counter ticks either way) and the JSON sink gets the full lifecycle
+     story: killed / takeovers / retired / poisoned / recovered. *)
+  let watchdog = 0.002 in
+  let emit ~impl ~threads ~takeovers ~retired (m : Workload.Runner.measurement)
+      =
+    record ~bench:"chaos" ~impl ~slack:0 ~domains:threads
+      [
+        ("seconds", m.Workload.Runner.seconds);
+        ("killed", float_of_int m.Workload.Runner.killed);
+        ("takeovers", float_of_int takeovers);
+        ("retired", float_of_int retired);
+        ("poisoned", float_of_int m.Workload.Runner.poisoned);
+        ("recovered", float_of_int m.Workload.Runner.recovered);
+        ("stall_warnings", float_of_int m.Workload.Runner.stall_warnings);
+      ];
+    Printf.sprintf "%s (%dk %dt %dp %dr)"
+      (Workload.Report.seconds m.Workload.Runner.seconds)
+      m.Workload.Runner.killed takeovers m.Workload.Runner.poisoned
+      m.Workload.Runner.recovered
+  in
+  let cell ~impl ~threads ~insts ~takeovers ~retired ~run_measure =
     (* Seeded noise on every point, plus a scripted hard stall of the
        combiner every 1000th pass: 15 ms, comfortably past the ~6 ms a
        waiter needs to exhaust the default takeover budget of 64 backoff
@@ -690,10 +712,8 @@ let chaos_bench cfg =
       Fun.protect ~finally:Faults.clear_all (fun () ->
           run_measure ~chaos:(Workload.Runner.chaos ~seed ()))
     in
-    let usurped = List.fold_left (fun a i -> a + takeovers i) 0 !insts in
-    Printf.sprintf "%s (%d killed, %d takeovers)"
-      (Workload.Report.seconds m.Workload.Runner.seconds)
-      m.Workload.Runner.killed usurped
+    let sum f = List.fold_left (fun a i -> a + f i) 0 !insts in
+    emit ~impl ~threads ~takeovers:(sum takeovers) ~retired:(sum retired) m
   in
   let stack_cell ~threads =
     let insts = ref [] in
@@ -706,14 +726,17 @@ let chaos_bench cfg =
       let h = Combining.Fc_stack.handle s in
       let rng = Workload.Rng.create ~seed:(0xC0A5 + seed) ~stream:thread in
       for _ = 1 to ops do
+        Workload.Runner.heartbeat ();
         if Workload.Rng.bool rng then Combining.Fc_stack.push h 1
         else ignore (Combining.Fc_stack.pop h)
       done
     in
-    cell ~insts ~takeovers:Combining.Fc_stack.combiner_takeovers
+    cell ~impl:"fc-stack" ~threads ~insts
+      ~takeovers:Combining.Fc_stack.combiner_takeovers
+      ~retired:Combining.Fc_stack.retired_records
       ~run_measure:(fun ~chaos ->
         Workload.Runner.run ~threads ~repeats:cfg.repeats
-          ~ops_per_thread:cfg.ops ~setup ~worker ~chaos ())
+          ~ops_per_thread:cfg.ops ~setup ~worker ~chaos ~watchdog ())
   in
   let queue_cell ~threads =
     let insts = ref [] in
@@ -726,28 +749,69 @@ let chaos_bench cfg =
       let h = Combining.Fc_queue.handle q in
       let rng = Workload.Rng.create ~seed:(0xC0A5 + seed) ~stream:thread in
       for _ = 1 to ops do
+        Workload.Runner.heartbeat ();
         if Workload.Rng.bool rng then Combining.Fc_queue.enqueue h 1
         else ignore (Combining.Fc_queue.dequeue h)
       done
     in
-    cell ~insts ~takeovers:Combining.Fc_queue.combiner_takeovers
+    cell ~impl:"fc-queue" ~threads ~insts
+      ~takeovers:Combining.Fc_queue.combiner_takeovers
+      ~retired:Combining.Fc_queue.retired_records
       ~run_measure:(fun ~chaos ->
         Workload.Runner.run ~threads ~repeats:cfg.repeats
-          ~ops_per_thread:cfg.ops ~setup ~worker ~chaos ())
+          ~ops_per_thread:cfg.ops ~setup ~worker ~chaos ~watchdog ())
+  in
+  (* Weak-FL stack through the registry: the futures path. Each worker
+     registers its handle's abandon hook, so when a kill strikes the
+     watchdog poisons the orphaned window ([poisoned] > 0 whenever a
+     worker dies with pending futures) instead of leaving waiters stuck.
+     The runner's own [Die] plan is polite — the truncated worker still
+     runs its final flush — so the cell also scripts a hard mid-window
+     kill on a point the loop crosses between ops, the schedule that
+     actually orphans futures. *)
+  let weak_cell ~threads =
+    let impl = R.find_stack "weak" in
+    let setup () = impl.R.s_make () in
+    let worker (s : R.stack_instance) ~thread ~ops =
+      let o = s.R.s_handle () in
+      Workload.Runner.set_abandon_hook o.R.s_abandon;
+      let rng = Workload.Rng.create ~seed:(0xC0A5 + seed) ~stream:thread in
+      for i = 1 to ops do
+        Workload.Runner.heartbeat ();
+        Faults.point "bench.op";
+        if Workload.Rng.bool rng then ignore (o.R.s_push 1 : unit Future.t)
+        else ignore (o.R.s_pop () : int option Future.t);
+        if i mod 64 = 0 then o.R.s_flush ()
+      done;
+      o.R.s_flush ()
+    in
+    let no_insts = ref [] in
+    cell ~impl:"weak-stack" ~threads ~insts:no_insts
+      ~takeovers:(fun (_ : unit) -> 0)
+      ~retired:(fun (_ : unit) -> 0)
+      ~run_measure:(fun ~chaos ->
+        (* Modular, not absolute: hit counters are process-global, so an
+           absolute index would only ever fire in the first cell. *)
+        Faults.on "bench.op" (fun k ->
+            if k mod 1501 = 1500 then Faults.Kill else Faults.Nothing);
+        Workload.Runner.run ~threads ~repeats:cfg.repeats
+          ~ops_per_thread:cfg.ops ~setup ~worker ~chaos ~watchdog ())
   in
   let table =
     Workload.Report.create
       ~title:
         (Printf.sprintf
-           "chaos, seed=%d (time; workers killed; combiner-lease takeovers)"
+           "chaos, seed=%d (time; k=killed t=takeovers p=poisoned \
+            r=recovered)"
            seed)
-      ~columns:[ "fc-stack"; "fc-queue" ]
+      ~columns:[ "fc-stack"; "fc-queue"; "weak-stack" ]
   in
   List.iter
     (fun threads ->
       Workload.Report.add_row table
         ~label:(string_of_int threads)
-        ~cells:[ stack_cell ~threads; queue_cell ~threads ])
+        ~cells:
+          [ stack_cell ~threads; queue_cell ~threads; weak_cell ~threads ])
     cfg.threads;
   let ppf = Format.std_formatter in
   if cfg.csv then Workload.Report.csv ppf table

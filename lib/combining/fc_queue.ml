@@ -35,3 +35,4 @@ let length t = Seqds.Seq_queue.length t.seq
 let to_list t = Seqds.Seq_queue.to_list t.seq
 let combiner_passes t = Flat_combining.combiner_passes t.fc
 let combiner_takeovers t = Flat_combining.combiner_takeovers t.fc
+let retired_records t = Flat_combining.retired_records t.fc

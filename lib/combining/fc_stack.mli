@@ -21,3 +21,7 @@ val combiner_passes : 'a t -> int
 
 val combiner_takeovers : 'a t -> int
 (** Stalled-combiner lease takeovers (see {!Flat_combining}). *)
+
+val retired_records : 'a t -> int
+(** Records retired by the takeover protocol after their owner died
+    mid-publish (see {!Flat_combining.retired_records}). *)

@@ -29,6 +29,7 @@ type ('op, 'res) t = {
   passes : int Atomic.t;
   progress : int Atomic.t;
   takeovers : int Atomic.t;
+  retired : int Atomic.t;
   takeover_budget : int;
 }
 
@@ -50,6 +51,7 @@ let create ?(takeover_budget = default_takeover_budget) ~apply () =
     passes = Sync.Padded.atomic 0;
     progress = Sync.Padded.atomic 0;
     takeovers = Sync.Padded.atomic 0;
+    retired = Sync.Padded.atomic 0;
     takeover_budget;
   }
 
@@ -87,13 +89,18 @@ let combine t my_term =
         Faults.point "fc.record";
         if Atomic.get t.term = my_term then begin
           (match Atomic.get r.request with
-          | Some op ->
-              let result =
-                match t.apply_op op with v -> Ok v | exception e -> Error e
-              in
-              Atomic.set r.request None;
-              Atomic.set r.response (Some result);
-              Atomic.incr t.progress
+          | Some op as stored ->
+              (* Claim before applying: [retire] (the owner withdrawing a
+                 request it failed mid-publish) CASes the same cell, so
+                 exactly one side wins — a withdrawn op is never applied
+                 and an applied op is never withdrawn. *)
+              if Atomic.compare_and_set r.request stored None then begin
+                let result =
+                  match t.apply_op op with v -> Ok v | exception e -> Error e
+                in
+                Atomic.set r.response (Some result);
+                Atomic.incr t.progress
+              end
           | None -> ());
           scan r.next
         end
@@ -114,6 +121,39 @@ let run_as_combiner t my_term =
       (match e with Faults.Killed _ -> () | _ -> try_release t my_term);
       raise e
 
+(* Withdraw a record's in-flight request after its owner failed (e.g.
+   raised [Faults.Killed]) between publishing and consuming the
+   response. Either the request is still unclaimed — un-publish it, so
+   no combiner ever applies the dead owner's half-initialized op — or a
+   combiner claimed it first, in which case the response it is writing
+   is drained (bounded) so the record is clean for reuse instead of
+   answering some later op with a stale result. *)
+let retire h =
+  let t = h.owner in
+  let r = h.record in
+  let drain_stale_response () =
+    let b = Sync.Backoff.create () in
+    let rec loop rounds =
+      match Atomic.get r.response with
+      | Some _ -> Atomic.set r.response None
+      | None ->
+          (* If the claiming combiner itself died before answering, give
+             up: the record stays claimed-and-unanswered, which every
+             later pass skips. *)
+          if rounds > 0 then begin
+            Sync.Backoff.once b;
+            loop (rounds - 1)
+          end
+    in
+    loop 128
+  in
+  match Atomic.get r.request with
+  | Some _ as stored ->
+      if Atomic.compare_and_set r.request stored None then
+        Atomic.incr t.retired
+      else drain_stale_response ()
+  | None -> drain_stale_response ()
+
 let apply h op =
   let t = h.owner in
   Faults.point "fc.apply";
@@ -121,9 +161,9 @@ let apply h op =
   let b = Sync.Backoff.create ~budget:t.takeover_budget () in
   let rec wait last_term last_progress =
     match Atomic.get h.record.response with
-    | Some result -> (
+    | Some result ->
         Atomic.set h.record.response None;
-        match result with Ok v -> v | Error e -> raise e)
+        result
     | None ->
         let term = Atomic.get t.term in
         if term land 1 = 0 then
@@ -165,7 +205,18 @@ let apply h op =
           end
         end
   in
-  wait (Atomic.get t.term) (Atomic.get t.progress)
+  (* [wait] only raises on protocol failure (an injected kill while we
+     held the combiner lease, never an [apply_op] exception — those
+     travel through the response). Retire our published request on the
+     way out so no later combiner applies an op whose owner is gone. *)
+  let result =
+    try wait (Atomic.get t.term) (Atomic.get t.progress)
+    with e ->
+      retire h;
+      raise e
+  in
+  match result with Ok v -> v | Error e -> raise e
 
 let combiner_passes t = Atomic.get t.passes
 let combiner_takeovers t = Atomic.get t.takeovers
+let retired_records t = Atomic.get t.retired

@@ -55,7 +55,23 @@ val apply : ('op, 'res) handle -> 'op -> 'res
 (** Publish the request and wait: either some combiner answers it, or
     this thread wins (or usurps) the combiner term and combines
     everybody's requests itself. Re-raises the underlying operation's
-    exception if it raised for this request. *)
+    exception if it raised for this request.
+
+    Exception-safe against protocol failure: if the wait itself dies
+    (e.g. an injected [Faults.Killed] while this thread held the
+    combiner lease), the published request is {!retire}d on the way out,
+    so no later combiner applies an op whose owner is gone. *)
+
+val retire : ('op, 'res) handle -> unit
+(** Withdraw the handle's in-flight request, if any: the recovery hook
+    for a record whose owner died mid-publish. If no combiner has
+    claimed the request yet it is un-published (counted by
+    {!retired_records}) and will never be applied; if one has, the
+    stale response is drained (bounded wait) so a reused record cannot
+    answer a later op with it. Callers fulfil the op's future from
+    [apply]'s return value, so a retired op's future is simply never
+    fulfilled — the owner's recovery layer poisons it. Safe to call from
+    any thread once the owner is known dead, and idempotent. *)
 
 val combiner_passes : ('op, 'res) t -> int
 (** Number of combining passes executed (diagnostics). *)
@@ -63,3 +79,7 @@ val combiner_passes : ('op, 'res) t -> int
 val combiner_takeovers : ('op, 'res) t -> int
 (** Number of times a waiter usurped a stalled combiner's lease
     (diagnostics; 0 in fault-free runs). *)
+
+val retired_records : ('op, 'res) t -> int
+(** Number of requests withdrawn unapplied by {!retire} (diagnostics;
+    0 in fault-free runs). *)

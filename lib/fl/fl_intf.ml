@@ -6,7 +6,13 @@
     suite contains compile-time ascriptions ([module _ : ... = ...])
     keeping the implementations in sync with them. (The strong-FL
     versions differ: they are handle-free, since their per-invocation
-    state is the shared pending queue.) *)
+    state is the shared pending queue.)
+
+    [abandon] is the recovery hook: called (by any thread) when the
+    handle's owner is known to be dead, it detaches the pending windows
+    and poisons every un-applied future with [Future.Orphaned], returning
+    how many were poisoned, so waiters raise [Broken] instead of spinning
+    on an op that will never be applied. *)
 
 module type HANDLE_STACK = sig
   type 'a t
@@ -17,6 +23,7 @@ module type HANDLE_STACK = sig
   val push : 'a handle -> 'a -> unit Futures.Future.t
   val pop : 'a handle -> 'a option Futures.Future.t
   val flush : 'a handle -> unit
+  val abandon : 'a handle -> int
   val pending_count : 'a handle -> int
   val shared : 'a t -> 'a Lockfree.Treiber_stack.t
 end
@@ -30,6 +37,7 @@ module type HANDLE_QUEUE = sig
   val enqueue : 'a handle -> 'a -> unit Futures.Future.t
   val dequeue : 'a handle -> 'a option Futures.Future.t
   val flush : 'a handle -> unit
+  val abandon : 'a handle -> int
   val pending_count : 'a handle -> int
   val shared : 'a t -> 'a Lockfree.Ms_queue.t
 end
@@ -48,5 +56,6 @@ module type HANDLE_SET = sig
   val remove : handle -> Key.t -> bool Futures.Future.t
   val contains : handle -> Key.t -> bool Futures.Future.t
   val flush : handle -> unit
+  val abandon : handle -> int
   val pending_count : handle -> int
 end

@@ -43,6 +43,9 @@ module Make (K : Lockfree.Harris_list.KEY) = struct
       else
         match ops with
         | [] -> []
+        | op :: rest when not (Future.is_pending op.future) ->
+            (* Cancelled: the op is withdrawn without touching the list. *)
+            go pos last_key rest
         | op :: rest ->
             let start =
               match last_key with
@@ -59,6 +62,15 @@ module Make (K : Lockfree.Harris_list.KEY) = struct
     h.n_ops <- List.length remaining
 
   let flush h = flush_until h (fun () -> false)
+
+  let abandon h =
+    let n = ref 0 in
+    List.iter
+      (fun op -> if Future.poison op.future Future.Orphaned then incr n)
+      h.ops;
+    h.ops <- [];
+    h.n_ops <- 0;
+    !n
 
   let add h key kind =
     let future = Future.create () in

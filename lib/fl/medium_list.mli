@@ -27,6 +27,13 @@ module Make (K : Lockfree.Harris_list.KEY) : sig
   val flush : handle -> unit
   (** Apply {e all} pending operations, oldest first. *)
 
+  val abandon : handle -> int
+  (** Recovery hook: poison every un-applied future in this handle's
+      pending windows with [Future.Orphaned] and drop the windows. For use
+      (by any thread) only once the owner is known dead — waiters then
+      raise [Broken Orphaned] instead of spinning forever. Returns the
+      number of futures poisoned. *)
+
   val pending_count : handle -> int
   val shared : t -> Lockfree.Harris_list.Make(K).t
 end

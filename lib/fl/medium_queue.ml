@@ -25,12 +25,31 @@ let enq_value = function Enq (x, _) -> x | Deq _ -> assert false
 let enq_future = function Enq (_, f) -> f | Deq _ -> assert false
 let deq_future = function Deq f -> f | Enq _ -> assert false
 
+let op_pending = function
+  | Enq (_, f) -> Future.is_pending f
+  | Deq f -> Future.is_pending f
+
+(* Tombstone cancelled ops and compact, so the prefix runs below only
+   ever see live operations. Cancellation is owner-only, so no new
+   tombstones can appear while a flush is in progress. *)
+let withdraw_cancelled h =
+  let len = Opbuf.length h.ops in
+  let any = ref false in
+  for i = 0 to len - 1 do
+    if not (op_pending (Opbuf.get h.ops i)) then begin
+      Opbuf.delete h.ops i;
+      any := true
+    end
+  done;
+  if !any then ignore (Opbuf.compact h.ops : int)
+
 (* Apply maximal prefix runs of same-type operations until [stop]
    (checked between runs) or exhaustion. Each run is spliced straight out
    of the ring — one combined enqueue or dequeue per run — and dropped
    from the front only once fully applied, so operations appended by
    reentrant invocations simply extend the tail of the window. *)
 let flush_until h stop =
+  withdraw_cancelled h;
   let rec go () =
     let len = Opbuf.length h.ops in
     if len > 0 && not (stop ()) then begin
@@ -60,6 +79,16 @@ let flush_until h stop =
   go ()
 
 let flush h = flush_until h (fun () -> false)
+
+let abandon h =
+  let n = ref 0 in
+  let poison : type x. x Future.t -> unit =
+   fun f -> if Future.poison f Future.Orphaned then incr n
+  in
+  let op_poison = function Enq (_, f) -> poison f | Deq f -> poison f in
+  Opbuf.iter op_poison h.ops;
+  Opbuf.clear h.ops;
+  !n
 
 let enqueue h x =
   let f = Future.create () in

@@ -20,5 +20,12 @@ val dequeue : 'a handle -> 'a option Futures.Future.t
 val flush : 'a handle -> unit
 (** Apply {e all} pending operations (not just up to one future). *)
 
+val abandon : 'a handle -> int
+(** Recovery hook: poison every un-applied future in this handle's
+    pending windows with [Future.Orphaned] and drop the windows. For use
+    (by any thread) only once the owner is known dead — waiters then
+    raise [Broken Orphaned] instead of spinning forever. Returns the
+    number of futures poisoned. *)
+
 val pending_count : 'a handle -> int
 val shared : 'a t -> 'a Lockfree.Ms_queue.t

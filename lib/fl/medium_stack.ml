@@ -42,6 +42,10 @@ let handle owner =
 
 let pending_count h = Opbuf.length h.ops
 
+let op_pending = function
+  | Push (_, f) -> Future.is_pending f
+  | Pop f -> Future.is_pending f
+
 (* Replay the pending window against a buffer of not-yet-applied pushes:
    a pop cancels the newest buffered push (the adjacent push/pop pair is
    a no-op on the stack); a pop with no buffered push must read the
@@ -53,17 +57,21 @@ let flush h =
   if n > 0 then begin
     Opbuf.swap h.ops h.work;
     for i = 0 to n - 1 do
-      match Opbuf.get h.work i with
-      | Push (v, f) ->
-          Opbuf.push h.buf_vals v;
-          Opbuf.push h.buf_futs f
-      | Pop f ->
-          if Opbuf.length h.buf_vals > 0 then begin
-            let v = Opbuf.pop_back h.buf_vals in
-            Future.fulfil (Opbuf.pop_back h.buf_futs) ();
-            Future.fulfil f (Some v)
-          end
-          else Opbuf.push h.shared_pops f
+      let op = Opbuf.get h.work i in
+      (* A cancelled op is a no-op: a withdrawn push contributes no value
+         and a withdrawn pop consumes none. *)
+      if op_pending op then
+        match op with
+        | Push (v, f) ->
+            Opbuf.push h.buf_vals v;
+            Opbuf.push h.buf_futs f
+        | Pop f ->
+            if Opbuf.length h.buf_vals > 0 then begin
+              let v = Opbuf.pop_back h.buf_vals in
+              Future.fulfil (Opbuf.pop_back h.buf_futs) ();
+              Future.fulfil f (Some v)
+            end
+            else Opbuf.push h.shared_pops f
     done;
     Opbuf.clear h.work;
     let np = Opbuf.length h.shared_pops in
@@ -90,6 +98,23 @@ let flush h =
       Opbuf.clear h.buf_futs
     end
   end
+
+let abandon h =
+  let n = ref 0 in
+  let poison : type x. x Future.t -> unit =
+   fun f -> if Future.poison f Future.Orphaned then incr n
+  in
+  let op_poison = function Push (_, f) -> poison f | Pop f -> poison f in
+  Opbuf.iter op_poison h.ops;
+  Opbuf.iter op_poison h.work;
+  Opbuf.iter poison h.buf_futs;
+  Opbuf.iter poison h.shared_pops;
+  Opbuf.clear h.ops;
+  Opbuf.clear h.work;
+  Opbuf.clear h.buf_vals;
+  Opbuf.clear h.buf_futs;
+  Opbuf.clear h.shared_pops;
+  !n
 
 let push h x =
   let f = Future.create () in

@@ -16,7 +16,14 @@
     no operation synchronizes.
 
     Vacated slots are overwritten with a dummy so the buffer never
-    retains references to flushed elements. *)
+    retains references to flushed elements.
+
+    {b Tombstones.} A slot can be {!delete}d in place — e.g. when the op
+    it holds was cancelled. The tombstone keeps its logical index (so
+    parallel rings — values in one, futures in another — stay aligned)
+    but is invisible to {!iter}/{!rev_iter}/{!to_list}, discarded by
+    {!pop_back}, and removed by {!compact} before a window is spliced
+    into the shared structure with the [*_seg] operations. *)
 
 type 'a t
 
@@ -37,15 +44,33 @@ val push : 'a t -> 'a -> unit
 
 val get : 'a t -> int -> 'a
 (** [get t i] is the [i]-th oldest element, [0 <= i < length t]. Raises
-    [Invalid_argument] out of range. *)
+    [Invalid_argument] out of range or if the slot is tombstoned. *)
 
 val set : 'a t -> int -> 'a -> unit
 (** Replace the [i]-th oldest element (used to compact a window in
-    place). Raises [Invalid_argument] out of range. *)
+    place); overwriting a tombstone revives the slot. Raises
+    [Invalid_argument] out of range. *)
+
+val delete : 'a t -> int -> unit
+(** Tombstone the [i]-th slot in place: the cancelled-op case. [length]
+    is unchanged — the slot still counts — but the element is gone.
+    Raises [Invalid_argument] out of range. *)
+
+val deleted : 'a t -> int -> bool
+(** Is the [i]-th slot tombstoned? Raises [Invalid_argument] out of
+    range. *)
+
+val live : 'a t -> int
+(** Number of non-tombstoned slots ([length t] minus tombstones). *)
+
+val compact : 'a t -> int
+(** Remove tombstoned slots, preserving the order of the survivors, and
+    return the new length. Applying [compact] to index-aligned parallel
+    rings with identical tombstone positions keeps them aligned. *)
 
 val pop_back : 'a t -> 'a
-(** Remove and return the newest element. Raises [Invalid_argument] if
-    empty. *)
+(** Remove and return the newest element, discarding any tombstoned
+    slots in the way. Raises [Invalid_argument] if no element remains. *)
 
 val drop_front : 'a t -> int -> unit
 (** Retire the [n] oldest elements. Raises [Invalid_argument] if

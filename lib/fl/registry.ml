@@ -20,6 +20,7 @@ type stack_ops = {
   s_push : int -> unit Future.t;
   s_pop : unit -> int option Future.t;
   s_flush : unit -> unit;
+  s_abandon : unit -> int;
 }
 
 type stack_instance = {
@@ -43,6 +44,7 @@ let lockfree_stack () =
               Future.of_value ());
           s_pop = (fun () -> Future.of_value (Lockfree.Treiber_stack.pop s));
           s_flush = ignore;
+          s_abandon = (fun () -> 0);
         });
     s_drain = ignore;
     s_cas_count = (fun () -> Lockfree.Treiber_stack.cas_count s);
@@ -59,6 +61,7 @@ let weak_stack_with ?(exchange = false) ~elimination () =
           s_push = (fun x -> Weak_stack.push h x);
           s_pop = (fun () -> Weak_stack.pop h);
           s_flush = (fun () -> Weak_stack.flush h);
+          s_abandon = (fun () -> Weak_stack.abandon h);
         });
     s_drain = ignore;
     s_cas_count =
@@ -81,6 +84,7 @@ let medium_stack () =
           s_push = (fun x -> Medium_stack.push h x);
           s_pop = (fun () -> Medium_stack.pop h);
           s_flush = (fun () -> Medium_stack.flush h);
+          s_abandon = (fun () -> Medium_stack.abandon h);
         });
     s_drain = ignore;
     s_cas_count =
@@ -98,6 +102,7 @@ let strong_stack () =
           s_push = (fun x -> Strong_stack.push s x);
           s_pop = (fun () -> Strong_stack.pop s);
           s_flush = ignore;
+          s_abandon = (fun () -> 0);
         });
     s_drain = (fun () -> Strong_stack.drain s);
     s_cas_count = (fun () -> Strong_stack.pending_cas_count s);
@@ -117,6 +122,7 @@ let fc_stack () =
               Future.of_value ());
           s_pop = (fun () -> Future.of_value (Combining.Fc_stack.pop h));
           s_flush = ignore;
+          s_abandon = (fun () -> 0);
         });
     s_drain = ignore;
     (* Flat combining synchronizes through its lock and publication list,
@@ -138,6 +144,7 @@ let elim_stack () =
           s_pop =
             (fun () -> Future.of_value (Lockfree.Elimination_stack.pop s));
           s_flush = ignore;
+          s_abandon = (fun () -> 0);
         });
     s_drain = ignore;
     s_cas_count = (fun () -> Lockfree.Elimination_stack.cas_count s);
@@ -162,6 +169,7 @@ type queue_ops = {
   q_enq : int -> unit Future.t;
   q_deq : unit -> int option Future.t;
   q_flush : unit -> unit;
+  q_abandon : unit -> int;
 }
 
 type queue_instance = {
@@ -185,6 +193,7 @@ let lockfree_queue () =
               Future.of_value ());
           q_deq = (fun () -> Future.of_value (Lockfree.Ms_queue.dequeue q));
           q_flush = ignore;
+          q_abandon = (fun () -> 0);
         });
     q_drain = ignore;
     q_cas_count = (fun () -> Lockfree.Ms_queue.cas_count q);
@@ -201,6 +210,7 @@ let weak_queue () =
           q_enq = (fun x -> Weak_queue.enqueue h x);
           q_deq = (fun () -> Weak_queue.dequeue h);
           q_flush = (fun () -> Weak_queue.flush h);
+          q_abandon = (fun () -> Weak_queue.abandon h);
         });
     q_drain = ignore;
     q_cas_count =
@@ -218,6 +228,7 @@ let medium_queue () =
           q_enq = (fun x -> Medium_queue.enqueue h x);
           q_deq = (fun () -> Medium_queue.dequeue h);
           q_flush = (fun () -> Medium_queue.flush h);
+          q_abandon = (fun () -> Medium_queue.abandon h);
         });
     q_drain = ignore;
     q_cas_count =
@@ -235,6 +246,7 @@ let strong_queue () =
           q_enq = (fun x -> Strong_queue.enqueue q x);
           q_deq = (fun () -> Strong_queue.dequeue q);
           q_flush = ignore;
+          q_abandon = (fun () -> 0);
         });
     q_drain = (fun () -> Strong_queue.drain q);
     q_cas_count = (fun () -> Strong_queue.pending_cas_count q);
@@ -254,6 +266,7 @@ let fc_queue () =
               Future.of_value ());
           q_deq = (fun () -> Future.of_value (Combining.Fc_queue.dequeue h));
           q_flush = ignore;
+          q_abandon = (fun () -> 0);
         });
     q_drain = ignore;
     q_cas_count = (fun () -> 0);
@@ -277,6 +290,7 @@ type set_ops = {
   l_remove : int -> bool Future.t;
   l_contains : int -> bool Future.t;
   l_flush : unit -> unit;
+  l_abandon : unit -> int;
 }
 
 type set_instance = {
@@ -298,6 +312,7 @@ let lockfree_set () =
           l_remove = (fun k -> Future.of_value (Harris.remove l k));
           l_contains = (fun k -> Future.of_value (Harris.contains l k));
           l_flush = ignore;
+          l_abandon = (fun () -> 0);
         });
     l_drain = ignore;
     l_cas_count = (fun () -> Harris.cas_count l);
@@ -315,6 +330,7 @@ let weak_set () =
           l_remove = (fun k -> WL.remove h k);
           l_contains = (fun k -> WL.contains h k);
           l_flush = (fun () -> WL.flush h);
+          l_abandon = (fun () -> WL.abandon h);
         });
     l_drain = ignore;
     l_cas_count = (fun () -> Harris.cas_count (WL.shared l));
@@ -332,6 +348,7 @@ let medium_set_with ~resume_hint =
           l_remove = (fun k -> ML.remove h k);
           l_contains = (fun k -> ML.contains h k);
           l_flush = (fun () -> ML.flush h);
+          l_abandon = (fun () -> ML.abandon h);
         });
     l_drain = ignore;
     l_cas_count = (fun () -> Harris.cas_count (ML.shared l));
@@ -350,6 +367,7 @@ let strong_set_with ~sort_batch =
           l_remove = (fun k -> SL.remove l k);
           l_contains = (fun k -> SL.contains l k);
           l_flush = ignore;
+          l_abandon = (fun () -> 0);
         });
     l_drain = (fun () -> SL.drain l);
     l_cas_count = (fun () -> SL.pending_cas_count l);
@@ -369,6 +387,7 @@ let txn_set () =
           l_remove = (fun k -> TL.remove h k);
           l_contains = (fun k -> TL.contains h k);
           l_flush = (fun () -> TL.flush h);
+          l_abandon = (fun () -> TL.abandon h);
         });
     l_drain = ignore;
     l_cas_count = (fun () -> Harris.cas_count (TL.shared l));
@@ -386,6 +405,7 @@ let fc_set () =
           l_remove = (fun k -> Future.of_value (FCSet.remove h k));
           l_contains = (fun k -> Future.of_value (FCSet.contains h k));
           l_flush = ignore;
+          l_abandon = (fun () -> 0);
         });
     l_drain = ignore;
     l_cas_count = (fun () -> 0);

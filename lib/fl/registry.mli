@@ -11,12 +11,19 @@
     Per-thread protocol: call [*_handle] once in each domain, use the
     returned operations record there, and call its [flush] before the
     domain finishes so no futures are left pending. [*_drain] settles
-    whole-structure state (strong-FL pending queues) at quiescence. *)
+    whole-structure state (strong-FL pending queues) at quiescence.
+
+    [*_abandon] is the recovery hook ({!Fl_intf}): when the handle's
+    owner dies, it poisons every un-applied future with
+    [Future.Orphaned] and returns the count. Handle-free implementations
+    (baselines and strong-FL, whose pending state is shared and settled
+    by [drain]) report 0. *)
 
 type stack_ops = {
   s_push : int -> unit Futures.Future.t;
   s_pop : unit -> int option Futures.Future.t;
   s_flush : unit -> unit;
+  s_abandon : unit -> int;
 }
 
 type stack_instance = {
@@ -39,6 +46,7 @@ type queue_ops = {
   q_enq : int -> unit Futures.Future.t;
   q_deq : unit -> int option Futures.Future.t;
   q_flush : unit -> unit;
+  q_abandon : unit -> int;
 }
 
 type queue_instance = {
@@ -57,6 +65,7 @@ type set_ops = {
   l_remove : int -> bool Futures.Future.t;
   l_contains : int -> bool Futures.Future.t;
   l_flush : unit -> unit;
+  l_abandon : unit -> int;
 }
 
 type set_instance = {

@@ -49,6 +49,16 @@ let drain t =
         done)
   end
 
+let abandon t =
+  (* Recovery path: the owner is dead, so the registered force thunks
+     must never run (each would re-enter the dead owner's handle). The
+     futures they would have forced are poisoned by the handle's own
+     [abandon]; here we just drop the thunks. *)
+  let n = Opbuf.length t.window + Opbuf.length t.free in
+  Opbuf.clear t.window;
+  Opbuf.clear t.free;
+  n
+
 let note t force =
   Opbuf.push t.window force;
   if Opbuf.length t.window >= t.slack then drain t

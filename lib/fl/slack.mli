@@ -39,3 +39,9 @@ val pending : t -> int
 
 val drain : t -> unit
 (** Force all outstanding futures now (newest first, see {!note}). *)
+
+val abandon : t -> int
+(** Recovery hook: drop every registered force thunk without running it
+    and return how many were dropped. For use (by any thread) only once
+    the owner is known dead — the thunks would re-enter the dead owner's
+    handle, whose futures are poisoned by the handle's own [abandon]. *)

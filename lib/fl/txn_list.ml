@@ -54,7 +54,14 @@ module Make (K : Lockfree.Harris_list.KEY) = struct
         h.pending <- KMap.empty;
         h.count <- 0;
         let apply_group pos (key, newest_first) =
-          let ops = List.rev newest_first in
+          (* Cancelled ops are withdrawn from the batch before it takes
+             effect; a group left empty performs no physical op. *)
+          let ops =
+            List.rev
+              (List.filter (fun op -> Future.is_pending op.future) newest_first)
+          in
+          if ops = [] then pos
+          else
           let presence, pos' =
             match net_effect ops with
             | None -> L.contains_from h.owner.list pos key
@@ -75,6 +82,18 @@ module Make (K : Lockfree.Harris_list.KEY) = struct
               (List.fold_left apply_group
                  (L.head_position h.owner.list)
                  groups))
+
+  let abandon h =
+    let n = ref 0 in
+    KMap.iter
+      (fun _ ops ->
+        List.iter
+          (fun op -> if Future.poison op.future Future.Orphaned then incr n)
+          ops)
+      h.pending;
+    h.pending <- KMap.empty;
+    h.count <- 0;
+    !n
 
   let add h key kind =
     let future = Future.create () in

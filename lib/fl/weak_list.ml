@@ -33,6 +33,18 @@ module Make (K : Lockfree.Harris_list.KEY) = struct
     let n = Opbuf.length h.ops in
     if n > 0 then begin
       Opbuf.swap h.ops h.work;
+      (* Withdraw cancelled ops before sorting: they contribute neither a
+         physical operation nor a replay step. *)
+      let n =
+        let any = ref false in
+        for i = 0 to n - 1 do
+          if not (Future.is_pending (Opbuf.get h.work i).future) then begin
+            Opbuf.delete h.work i;
+            any := true
+          end
+        done;
+        if !any then Opbuf.compact h.work else n
+      in
       let idx = Array.init n (fun i -> i) in
       Array.stable_sort
         (fun a b -> K.compare (Opbuf.get h.work a).key (Opbuf.get h.work b).key)
@@ -86,6 +98,17 @@ module Make (K : Lockfree.Harris_list.KEY) = struct
       done;
       Opbuf.clear h.work
     end
+
+  let abandon h =
+    let n = ref 0 in
+    let poison op =
+      if Future.poison op.future Future.Orphaned then incr n
+    in
+    Opbuf.iter poison h.ops;
+    Opbuf.iter poison h.work;
+    Opbuf.clear h.ops;
+    Opbuf.clear h.work;
+    !n
 
   let add h key kind =
     let future = Future.create () in

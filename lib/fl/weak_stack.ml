@@ -52,11 +52,40 @@ let pending_count h = Opbuf.length h.push_vals + Opbuf.length h.pops
 (* How long a leftover pop waits in the exchange array for a producer. *)
 let exchange_patience = 64
 
+(* Withdraw cancelled ops from a detached window before it is spliced:
+   tombstone their slots — both rings at the same index, so the parallel
+   rings stay aligned — then compact. Returns the live size. *)
+let drop_cancelled_pairs vals futs n =
+  let any = ref false in
+  for i = 0 to n - 1 do
+    if not (Future.is_pending (Opbuf.get futs i)) then begin
+      Opbuf.delete futs i;
+      Opbuf.delete vals i;
+      any := true
+    end
+  done;
+  if !any then begin
+    ignore (Opbuf.compact vals : int);
+    Opbuf.compact futs
+  end
+  else n
+
+let drop_cancelled futs n =
+  let any = ref false in
+  for i = 0 to n - 1 do
+    if not (Future.is_pending (Opbuf.get futs i)) then begin
+      Opbuf.delete futs i;
+      any := true
+    end
+  done;
+  if !any then Opbuf.compact futs else n
+
 let flush_pushes h =
   let n = Opbuf.length h.push_vals in
   if n > 0 then begin
     Opbuf.swap h.push_vals h.scratch_vals;
     Opbuf.swap h.push_futs h.scratch_futs;
+    let n = drop_cancelled_pairs h.scratch_vals h.scratch_futs n in
     (* Cross-handle elimination: hand values to takers parked by other
        handles' starving pops. Producers only ever [try_give] — they never
        park — so the fast path costs one read-only scan when nobody
@@ -92,6 +121,7 @@ let flush_pops h =
   let n = Opbuf.length h.pops in
   if n > 0 then begin
     Opbuf.swap h.pops h.scratch_pops;
+    let n = drop_cancelled h.scratch_pops n in
     (* Oldest pending pop receives the value that was on top. *)
     let k =
       Lockfree.Treiber_stack.pop_seg h.owner.stack ~n ~f:(fun i v ->
@@ -115,30 +145,65 @@ let flush h =
   flush_pops h;
   flush_pushes h
 
+let abandon h =
+  let n = ref 0 in
+  let poison : type x. x Future.t -> unit =
+   fun f -> if Future.poison f Future.Orphaned then incr n
+  in
+  Opbuf.iter poison h.push_futs;
+  Opbuf.iter poison h.scratch_futs;
+  Opbuf.iter poison h.pops;
+  Opbuf.iter poison h.scratch_pops;
+  Opbuf.clear h.push_vals;
+  Opbuf.clear h.push_futs;
+  Opbuf.clear h.pops;
+  Opbuf.clear h.scratch_vals;
+  Opbuf.clear h.scratch_futs;
+  Opbuf.clear h.scratch_pops;
+  !n
+
+(* Elimination: a push hands its value to the newest pending pop (and
+   vice versa); neither operation ever reaches the shared stack. A
+   partner whose future was cancelled no longer wants the pairing: drop
+   it and pair with the next. Top-level (not closures) so the window
+   fast path below allocates nothing beyond the future. *)
+let rec eliminate_push h x =
+  if Opbuf.length h.pops > 0 then
+    if Future.try_fulfil (Opbuf.pop_back h.pops) (Some x) then
+      Some (Future.of_value ())
+    else eliminate_push h x
+  else None
+
+let rec eliminate_pop h =
+  if Opbuf.length h.push_vals > 0 then begin
+    let x = Opbuf.pop_back h.push_vals in
+    if Future.try_fulfil (Opbuf.pop_back h.push_futs) () then
+      Some (Future.of_value (Some x))
+    else
+      (* Cancelled push: its value was withdrawn, not transferred. *)
+      eliminate_pop h
+  end
+  else None
+
+let window_push h x =
+  let f = Future.create () in
+  Future.set_evaluator f (fun () -> flush h);
+  Opbuf.push h.push_vals x;
+  Opbuf.push h.push_futs f;
+  f
+
+let window_pop h =
+  let f = Future.create () in
+  Future.set_evaluator f (fun () -> flush h);
+  Opbuf.push h.pops f;
+  f
+
 let push h x =
-  if h.owner.elimination && Opbuf.length h.pops > 0 then begin
-    (* Elimination: this push hands its value to the newest pending pop;
-       neither operation ever reaches the shared stack. *)
-    Future.fulfil (Opbuf.pop_back h.pops) (Some x);
-    Future.of_value ()
-  end
-  else begin
-    let f = Future.create () in
-    Future.set_evaluator f (fun () -> flush h);
-    Opbuf.push h.push_vals x;
-    Opbuf.push h.push_futs f;
-    f
-  end
+  if h.owner.elimination && Opbuf.length h.pops > 0 then
+    match eliminate_push h x with Some f -> f | None -> window_push h x
+  else window_push h x
 
 let pop h =
-  if h.owner.elimination && Opbuf.length h.push_vals > 0 then begin
-    let x = Opbuf.pop_back h.push_vals in
-    Future.fulfil (Opbuf.pop_back h.push_futs) ();
-    Future.of_value (Some x)
-  end
-  else begin
-    let f = Future.create () in
-    Future.set_evaluator f (fun () -> flush h);
-    Opbuf.push h.pops f;
-    f
-  end
+  if h.owner.elimination && Opbuf.length h.push_vals > 0 then
+    match eliminate_pop h with Some f -> f | None -> window_pop h
+  else window_pop h

@@ -1,4 +1,10 @@
-type 'a state = Pending | Ready of 'a
+type 'a state =
+  | Pending
+  | Ready of 'a
+  | Terminated of exn
+      (* Terminal failure: the exception every wait on this future raises.
+         [Cancelled] when the owner withdrew the pending op, [Broken e]
+         when another thread poisoned an orphan. *)
 
 type 'a t = {
   state : 'a state Atomic.t;
@@ -10,6 +16,9 @@ type 'a t = {
 exception Already_fulfilled
 exception Stuck
 exception Timeout
+exception Cancelled
+exception Broken of exn
+exception Orphaned
 
 let create () = { state = Atomic.make Pending; evaluator = None }
 
@@ -24,10 +33,27 @@ let try_fulfil t v =
 
 let fulfil t v = if not (try_fulfil t v) then raise Already_fulfilled
 
-let is_ready t =
-  match Atomic.get t.state with Ready _ -> true | Pending -> false
+let cancel t = Atomic.compare_and_set t.state Pending (Terminated Cancelled)
+let poison t e = Atomic.compare_and_set t.state Pending (Terminated (Broken e))
 
-let peek t = match Atomic.get t.state with Ready v -> Some v | Pending -> None
+let is_ready t =
+  match Atomic.get t.state with Ready _ -> true | Pending | Terminated _ -> false
+
+let is_pending t =
+  match Atomic.get t.state with Pending -> true | Ready _ | Terminated _ -> false
+
+let is_cancelled t =
+  match Atomic.get t.state with
+  | Terminated Cancelled -> true
+  | Pending | Ready _ | Terminated _ -> false
+
+let is_poisoned t =
+  match Atomic.get t.state with
+  | Terminated (Broken _) -> true
+  | Pending | Ready _ | Terminated _ -> false
+
+let peek t =
+  match Atomic.get t.state with Ready v -> Some v | Pending | Terminated _ -> None
 
 let set_evaluator t f = t.evaluator <- Some f
 
@@ -42,6 +68,7 @@ let await t =
   let rec loop () =
     match Atomic.get t.state with
     | Ready v -> v
+    | Terminated e -> raise e
     | Pending ->
         Sync.Backoff.once b;
         loop ()
@@ -52,14 +79,16 @@ let await_for t ~seconds =
   Faults.point "future.await";
   match Atomic.get t.state with
   | Ready v -> v
+  | Terminated e -> raise e
   | Pending ->
-      let deadline = Unix.gettimeofday () +. seconds in
+      let deadline = Sync.Mono.now () +. seconds in
       let b = Sync.Backoff.create () in
       let rec loop () =
         match Atomic.get t.state with
         | Ready v -> v
+        | Terminated e -> raise e
         | Pending ->
-            if Unix.gettimeofday () >= deadline then raise Timeout;
+            if Sync.Mono.now () >= deadline then raise Timeout;
             Sync.Backoff.once b;
             loop ()
       in
@@ -69,12 +98,14 @@ let force t =
   Faults.point "future.force";
   match Atomic.get t.state with
   | Ready v -> v
+  | Terminated e -> raise e
   | Pending -> (
       match t.evaluator with
       | Some eval -> (
           eval ();
           match Atomic.get t.state with
           | Ready v -> v
+          | Terminated e -> raise e
           | Pending -> raise Stuck)
       | None ->
           (* No evaluator: give concurrent fulfillers a bounded chance. *)
@@ -82,6 +113,7 @@ let force t =
           let rec wait rounds =
             match Atomic.get t.state with
             | Ready v -> v
+            | Terminated e -> raise e
             | Pending ->
                 if rounds = 0 then raise Stuck;
                 Sync.Backoff.once b;
@@ -93,6 +125,7 @@ let force_until t ~deadline =
   Faults.point "future.force";
   match Atomic.get t.state with
   | Ready v -> v
+  | Terminated e -> raise e
   | Pending -> (
       match t.evaluator with
       | Some eval -> (
@@ -103,33 +136,56 @@ let force_until t ~deadline =
           eval ();
           match Atomic.get t.state with
           | Ready v -> v
+          | Terminated e -> raise e
           | Pending -> raise Stuck)
       | None ->
           let b = Sync.Backoff.create () in
           let rec wait () =
             match Atomic.get t.state with
             | Ready v -> v
+            | Terminated e -> raise e
             | Pending ->
-                if Unix.gettimeofday () >= deadline then raise Timeout;
+                if Sync.Mono.now () >= deadline then raise Timeout;
                 Sync.Backoff.once b;
                 wait ()
           in
           wait ())
 
+(* A derived future inherits its parent's terminal state: forcing it
+   raises the parent's [Cancelled]/[Broken] rather than [Stuck], and the
+   derived future itself terminates so later forces short-circuit. *)
+let terminate t e = ignore (Atomic.compare_and_set t.state Pending (Terminated e))
+
 let map f fut =
   let t = create () in
-  set_evaluator t (fun () -> fulfil t (f (force fut)));
+  set_evaluator t (fun () ->
+      match force fut with
+      | v -> fulfil t (f v)
+      | exception ((Cancelled | Broken _) as e) ->
+          terminate t e;
+          raise e);
   t
 
 let both a b =
   let t = create () in
   set_evaluator t (fun () ->
-      let va = force a in
-      let vb = force b in
-      fulfil t (va, vb));
+      match
+        let va = force a in
+        let vb = force b in
+        (va, vb)
+      with
+      | pair -> fulfil t pair
+      | exception ((Cancelled | Broken _) as e) ->
+          terminate t e;
+          raise e);
   t
 
 let all fs =
   let t = create () in
-  set_evaluator t (fun () -> fulfil t (List.map force fs));
+  set_evaluator t (fun () ->
+      match List.map force fs with
+      | vs -> fulfil t vs
+      | exception ((Cancelled | Broken _) as e) ->
+          terminate t e;
+          raise e);
   t

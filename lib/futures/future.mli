@@ -14,7 +14,22 @@
     by one owner thread, but may be {e fulfilled} by any thread (e.g. a
     strong-FL evaluator draining the shared pending queue, or elimination
     pairing a pop with another pending push). [fulfil] vs [is_ready]/[get]
-    synchronize through an atomic cell. *)
+    synchronize through an atomic cell.
+
+    {b Lifecycle.} A future has exactly one of four terminal fates, decided
+    by a single atomic transition out of the pending state:
+
+    {v
+              +----------- fulfil ----------> applied   (Ready v)
+      pending +----------- cancel ----------> cancelled (raises Cancelled)
+              +----------- poison ----------> poisoned  (raises Broken e)
+    v}
+
+    [fulfil], [cancel] and [poison] race cleanly: exactly one wins, the
+    losers observe [false]. Every wait ([force]/[await]/[await_for]/
+    [force_until]) on a cancelled or poisoned future raises its terminal
+    exception instead of spinning, so no waiter ever hangs on an op that
+    will never be applied. *)
 
 type 'a t
 
@@ -35,13 +50,48 @@ exception Already_fulfilled
 
 val fulfil : 'a t -> 'a -> unit
 (** Write the result and set it ready. Any thread may call this, once.
-    @raise Already_fulfilled on a second fulfilment. *)
+    @raise Already_fulfilled on a second fulfilment, or if the future was
+    cancelled or poisoned first. *)
 
 val try_fulfil : 'a t -> 'a -> bool
 (** Like [fulfil] but returns [false] instead of raising. *)
 
+exception Cancelled
+(** Terminal state of a future whose owner withdrew the pending op with
+    [cancel] before it was applied. Raised by every wait on it. *)
+
+exception Broken of exn
+(** Terminal state of a future marked unfulfillable by [poison]; carries
+    the poisoner's reason. Raised by every wait on it. *)
+
+exception Orphaned
+(** The canonical [Broken] payload used by the recovery layer: the op's
+    owner died before the op could be applied, and a recovery hook
+    ([abandon] on the owner's handle) poisoned the future. *)
+
+val cancel : 'a t -> bool
+(** [cancel t] withdraws the pending operation: CAS pending → cancelled.
+    Returns [false] if the future was already applied, cancelled or
+    poisoned — losing the race to a concurrent [fulfil] is clean, the
+    fulfilled value stands. Owner thread only (the owner is the only
+    thread entitled to withdraw its own op); the data structure skips
+    cancelled ops at flush time via their tombstoned window slots. *)
+
+val poison : 'a t -> exn -> bool
+(** [poison t e] marks an orphan: CAS pending → [Broken e]. Any thread
+    may call it (unlike [cancel] it does not withdraw a live owner's op —
+    it marks an op whose owner is gone so waiters stop spinning).
+    Returns [false] if the future already reached a terminal state. *)
+
 val is_ready : 'a t -> bool
-(** The paper's [resultReady] test: does a result exist yet? *)
+(** The paper's [resultReady] test: does a result exist yet? Cancelled
+    and poisoned futures are not ready. *)
+
+val is_pending : 'a t -> bool
+(** Still awaiting its fate: not applied, cancelled or poisoned. *)
+
+val is_cancelled : 'a t -> bool
+val is_poisoned : 'a t -> bool
 
 val peek : 'a t -> 'a option
 (** The result if ready, without forcing. *)
@@ -55,12 +105,16 @@ val force : 'a t -> 'a
     return the result. Idempotent; subsequent calls return the cached
     result. Must only be called by the owner thread.
     @raise Stuck if no evaluator is installed and the result does not
-    become ready after a bounded wait. *)
+    become ready after a bounded wait.
+    @raise Cancelled / [Broken _] if the future reached that terminal
+    state (the evaluator is not run). *)
 
 val await : 'a t -> 'a
 (** Spin (with backoff) until some other thread fulfils the future, then
     return the result. Unlike [force], never runs the evaluator — for
-    consumers that know a producer will fulfil. *)
+    consumers that know a producer will fulfil.
+    @raise Cancelled / [Broken _] if the future is terminated instead of
+    fulfilled — e.g. the producer died and recovery poisoned the op. *)
 
 exception Timeout
 (** Raised by the bounded waits below when their deadline passes while
@@ -71,15 +125,16 @@ exception Timeout
 val force_until : 'a t -> deadline:float -> 'a
 (** [force_until t ~deadline] is [force t], except that the
     no-evaluator wait for a concurrent fulfiller is bounded by the
-    absolute wall-clock time [deadline] (as returned by
-    [Unix.gettimeofday]) instead of a fixed round count.
+    absolute monotonic time [deadline] (as returned by [Sync.Mono.now];
+    immune to wall-clock jumps) instead of a fixed round count.
     @raise Timeout if the deadline passes first — the graceful
     alternative to spinning on a fulfiller that died.
     @raise Stuck if an installed evaluator returns without fulfilling
     (evaluators run to completion; the deadline does not abort them). *)
 
 val await_for : 'a t -> seconds:float -> 'a
-(** [await_for t ~seconds] is [await t] bounded by a relative timeout.
+(** [await_for t ~seconds] is [await t] bounded by a relative timeout
+    measured on the monotonic clock.
     @raise Timeout if no thread fulfils the future within [seconds]. *)
 
 val set_evaluator : 'a t -> (unit -> unit) -> unit
@@ -89,7 +144,10 @@ val set_evaluator : 'a t -> (unit -> unit) -> unit
 
     Derived futures for composing pending operations; forcing the derived
     future forces its parents. They share the owner's thread, so the
-    at-most-once / owner-only discipline extends to them. *)
+    at-most-once / owner-only discipline extends to them. Terminal states
+    propagate: forcing a derived future whose parent was cancelled or
+    poisoned raises the parent's exception (not [Stuck]) and terminates
+    the derived future the same way, so later forces short-circuit. *)
 
 val map : ('a -> 'b) -> 'a t -> 'b t
 (** [map f fut] is a future for [f] applied to [fut]'s result; forcing it

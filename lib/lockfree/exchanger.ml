@@ -1,15 +1,26 @@
 (* An offer parked in a slot. Offers are fresh heap values, never
-   reused, so physical-equality CAS on slots is ABA-free. *)
+   reused, so physical-equality CAS on slots is ABA-free.
+
+   Each offer carries a three-state cell deciding its fate exactly once:
+   waiting -> taken/fed (a partner claimed it) or waiting -> cancelled
+   (its owner withdrew — timeout, or an exception such as an injected
+   kill unwinding through the park loop). A claimant first removes the
+   offer from its slot, then CASes the state cell; the owner's cancel
+   CASes the same cell, so the claim/cancel race has exactly one winner
+   and a dead partner can never capture a live one's value. *)
+type give_state = Gwaiting | Gtaken | Gcancelled
+type 'a take_state = Tempty | Tfed of 'a | Tcancelled
+
 type 'a offer =
-  | Give of { value : 'a; taken : bool Atomic.t }
-  | Take of { result : 'a option Atomic.t }
-      (* [result] is None while pending; an exchange always delivers a
-         value, so [Some v] unambiguously means "fed by a give of v". *)
+  | Give of { value : 'a; state : give_state Atomic.t }
+  | Take of { state : 'a take_state Atomic.t }
 
 type 'a t = {
   slots : 'a offer option Atomic.t array; (* each on its own cache line *)
   width : int Atomic.t; (* active prefix of [slots], in [1..capacity] *)
   exchanged : int Atomic.t;
+  cancels : int Atomic.t; (* offers withdrawn by their owner *)
+  reclaimed : int Atomic.t; (* cancelled offers removed from slots *)
   seeds : Sync.Padded.Int_array.t; (* per-domain-stripe PRNG states *)
 }
 
@@ -21,12 +32,16 @@ let create ?(capacity = 8) () =
     slots = Sync.Padded.atomic_array capacity None;
     width = Sync.Padded.atomic (min 2 capacity);
     exchanged = Sync.Padded.atomic 0;
+    cancels = Sync.Padded.atomic 0;
+    reclaimed = Sync.Padded.atomic 0;
     seeds = Sync.Padded.Int_array.make seed_stripes;
   }
 
 let capacity t = Array.length t.slots
 let width t = Atomic.get t.width
 let exchanged t = Atomic.get t.exchanged
+let cancelled t = Atomic.get t.cancels
+let reclaimed t = Atomic.get t.reclaimed
 
 (* Cheap per-domain randomness: a striped splitmix-style counter, one
    padded cell per domain stripe so slot choice never bounces a line
@@ -60,20 +75,59 @@ let default_patience = 64
    compare_and_set must use the exact value read (or installed) —
    rebuilding [Some _] would never match. *)
 
-let try_give t v =
-  let slot = random_slot t in
-  match Atomic.get slot with
-  | Some (Take p) as stored ->
-      Faults.point "elim.exchange";
-      if Atomic.compare_and_set slot stored None then begin
-        Atomic.set p.result (Some v);
-        Atomic.incr t.exchanged;
-        true
-      end
+(* Claim a parked take offer for value [v]: remove it from its slot,
+   then win its state cell. [false] means the value is still ours —
+   either somebody else got the slot first, or the taker cancelled. *)
+let claim_take t slot stored state v =
+  Faults.point "elim.exchange";
+  match Atomic.get state with
+  | Tcancelled ->
+      (* Dead partner still parked: reclaim the slot so it cannot sit in
+         the way (or capture anyone) forever. *)
+      if Atomic.compare_and_set slot stored None then Atomic.incr t.reclaimed;
+      false
+  | Tfed _ | Tempty ->
+      if Atomic.compare_and_set slot stored None then
+        if Atomic.compare_and_set state Tempty (Tfed v) then begin
+          Atomic.incr t.exchanged;
+          true
+        end
+        else begin
+          (* Cancelled as we claimed: we removed the corpse, keep [v]. *)
+          Atomic.incr t.reclaimed;
+          false
+        end
       else begin
         widen t;
         false
       end
+
+(* Claim a parked give offer: symmetric to [claim_take]. *)
+let claim_give t slot stored (value : 'a) state =
+  Faults.point "elim.exchange";
+  match Atomic.get state with
+  | Gcancelled ->
+      if Atomic.compare_and_set slot stored None then Atomic.incr t.reclaimed;
+      None
+  | Gtaken | Gwaiting ->
+      if Atomic.compare_and_set slot stored None then
+        if Atomic.compare_and_set state Gwaiting Gtaken then begin
+          Atomic.incr t.exchanged;
+          Some value
+        end
+        else begin
+          Atomic.incr t.reclaimed;
+          None
+        end
+      else begin
+        widen t;
+        None
+      end
+
+let try_give t v =
+  let slot = random_slot t in
+  match Atomic.get slot with
+  | Some (Take p) as stored -> claim_take t slot stored p.state v
   | Some (Give _) ->
       widen t;
       false
@@ -82,17 +136,7 @@ let try_give t v =
 let try_take t =
   let slot = random_slot t in
   match Atomic.get slot with
-  | Some (Give p) as stored ->
-      Faults.point "elim.exchange";
-      if Atomic.compare_and_set slot stored None then begin
-        Atomic.set p.taken true;
-        Atomic.incr t.exchanged;
-        Some p.value
-      end
-      else begin
-        widen t;
-        None
-      end
+  | Some (Give p) as stored -> claim_give t slot stored p.value p.state
   | Some (Take _) ->
       widen t;
       None
@@ -101,48 +145,47 @@ let try_take t =
 let give ?(patience = default_patience) t v =
   let slot = random_slot t in
   match Atomic.get slot with
-  | Some (Take p) as stored ->
-      Faults.point "elim.exchange";
-      if Atomic.compare_and_set slot stored None then begin
-        Atomic.set p.result (Some v);
-        Atomic.incr t.exchanged;
-        true
-      end
-      else begin
-        widen t;
-        false
-      end
+  | Some (Take p) as stored -> claim_take t slot stored p.state v
   | Some (Give _) ->
       widen t;
       false
   | None ->
-      let taken = Atomic.make false in
-      let boxed = Some (Give { value = v; taken }) in
+      let state = Atomic.make Gwaiting in
+      let boxed = Some (Give { value = v; state }) in
       Faults.point "elim.offer";
       if Atomic.compare_and_set slot None boxed then begin
-        (* Park and wait for a taker. *)
-        let rec wait n =
-          if Atomic.get taken then true
-          else if n = 0 then
-            if Atomic.compare_and_set slot boxed None then begin
-              narrow t;
-              false
-            end
-            else begin
-              (* Someone is claiming us right now; the exchange is
-                 guaranteed to complete. *)
-              let b = Sync.Backoff.create () in
-              while not (Atomic.get taken) do
-                Sync.Backoff.once b
-              done;
-              true
-            end
-          else begin
-            Domain.cpu_relax ();
-            wait (n - 1)
+        (* Park and wait for a taker. [cancel] decides the race against a
+           claimant on the state cell: if it wins, the value was never
+           handed over (and the slot is cleared best-effort — a failed
+           slot CAS means a claimant already removed us and its state CAS
+           will now fail); if it loses, the exchange completed. *)
+        let cancel () =
+          if Atomic.compare_and_set state Gwaiting Gcancelled then begin
+            Atomic.incr t.cancels;
+            ignore (Atomic.compare_and_set slot boxed None);
+            narrow t;
+            false
           end
+          else true
         in
-        wait patience
+        let rec wait n =
+          Faults.point "elim.park";
+          match Atomic.get state with
+          | Gtaken -> true
+          | Gcancelled -> false
+          | Gwaiting ->
+              if n = 0 then cancel ()
+              else begin
+                Domain.cpu_relax ();
+                wait (n - 1)
+              end
+        in
+        (* A kill injected while parked must not leave a live offer for a
+           partner to capture: withdraw it, then let the exception go. *)
+        try wait patience
+        with e ->
+          ignore (cancel () : bool);
+          raise e
       end
       else begin
         widen t;
@@ -152,51 +195,43 @@ let give ?(patience = default_patience) t v =
 let take ?(patience = default_patience) t =
   let slot = random_slot t in
   match Atomic.get slot with
-  | Some (Give p) as stored ->
-      Faults.point "elim.exchange";
-      if Atomic.compare_and_set slot stored None then begin
-        Atomic.set p.taken true;
-        Atomic.incr t.exchanged;
-        Some p.value
-      end
-      else begin
-        widen t;
-        None
-      end
+  | Some (Give p) as stored -> claim_give t slot stored p.value p.state
   | Some (Take _) ->
       widen t;
       None
   | None ->
-      let result = Atomic.make None in
-      let boxed = Some (Take { result }) in
+      let state = Atomic.make Tempty in
+      let boxed = Some (Take { state }) in
       Faults.point "elim.offer";
       if Atomic.compare_and_set slot None boxed then begin
+        let cancel () =
+          if Atomic.compare_and_set state Tempty Tcancelled then begin
+            Atomic.incr t.cancels;
+            ignore (Atomic.compare_and_set slot boxed None);
+            narrow t;
+            None
+          end
+          else
+            (* Fed just as we gave up: the claim's state CAS already
+               published the value. *)
+            match Atomic.get state with Tfed v -> Some v | _ -> None
+        in
         let rec wait n =
-          match Atomic.get result with
-          | Some _ as r -> r
-          | None ->
-              if n = 0 then
-                if Atomic.compare_and_set slot boxed None then begin
-                  narrow t;
-                  None
-                end
-                else begin
-                  let b = Sync.Backoff.create () in
-                  let rec settle () =
-                    match Atomic.get result with
-                    | Some _ as r -> r
-                    | None ->
-                        Sync.Backoff.once b;
-                        settle ()
-                  in
-                  settle ()
-                end
+          Faults.point "elim.park";
+          match Atomic.get state with
+          | Tfed v -> Some v
+          | Tcancelled -> None
+          | Tempty ->
+              if n = 0 then cancel ()
               else begin
                 Domain.cpu_relax ();
                 wait (n - 1)
               end
         in
-        wait patience
+        try wait patience
+        with e ->
+          ignore (cancel () : 'a option);
+          raise e
       end
       else begin
         widen t;
@@ -209,7 +244,10 @@ let takers_waiting t =
     i < w
     &&
     match Atomic.get t.slots.(i) with
-    | Some (Take _) -> true
+    | Some (Take p) -> (
+        match Atomic.get p.state with
+        | Tempty -> true
+        | Tfed _ | Tcancelled -> scan (i + 1))
     | Some (Give _) | None -> scan (i + 1)
   in
   scan 0

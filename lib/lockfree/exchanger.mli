@@ -14,9 +14,17 @@
 
     Offers are fresh heap values, never reused, so physical-equality CAS
     on slots is ABA-free. An exchange delivers the given value to
-    exactly one taker. Fault-injection points: ["elim.offer"] before an
-    offer is parked, ["elim.exchange"] before a parked offer is
-    claimed. *)
+    exactly one taker.
+
+    Every offer carries a three-state cell — waiting, taken/fed,
+    cancelled — and claiming races against cancellation on that cell, so
+    an offer whose owner withdrew (timed out, or died: an exception
+    unwinding through the park loop cancels the offer on the way out)
+    can never capture a live partner's value, and a cancelled offer
+    found parked in a slot is reclaimed by the next prober.
+    Fault-injection points: ["elim.offer"] before an offer is parked,
+    ["elim.exchange"] before a parked offer is claimed, ["elim.park"]
+    on every round of a parked wait. *)
 
 type 'a t
 
@@ -32,6 +40,16 @@ val width : 'a t -> int
 
 val exchanged : 'a t -> int
 (** Number of completed give/take pairs. *)
+
+val cancelled : 'a t -> int
+(** Number of offers withdrawn by their owner — parked waits that timed
+    out plus offers cancelled by an exception (e.g. an injected kill)
+    unwinding through the park loop. *)
+
+val reclaimed : 'a t -> int
+(** Number of cancelled offers removed from slots by a later prober (or
+    by a claimant that lost the state race) — dead partners cleaned out
+    of the array. *)
 
 val try_give : 'a t -> 'a -> bool
 (** One probe: if the chosen slot holds a waiting taker, hand it the

@@ -1,0 +1,20 @@
+(** Monotonic time for deadlines and measurement.
+
+    Bounded waits ([Future.await_for], [Spinlock.try_acquire_for], …)
+    used to compute deadlines from [Unix.gettimeofday]; a wall-clock
+    step (NTP slew, manual adjustment, suspend/resume) could then fire a
+    timeout instantly or postpone it for hours. This module reads
+    [CLOCK_MONOTONIC], which only ever moves forward at one second per
+    second, so [now () +. seconds] is a deadline that means what it
+    says. The absolute value is meaningless (typically time since boot);
+    only differences are. *)
+
+val now_ns : unit -> int64
+(** Monotonic time in nanoseconds. Allocation-free. *)
+
+val now : unit -> float
+(** Monotonic time in seconds, for deadline arithmetic alongside
+    fractional-second timeouts. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [now () -. t0]. *)

@@ -1,0 +1,22 @@
+/* Monotonic clock for bounded waits: CLOCK_MONOTONIC via clock_gettime,
+   returned as nanoseconds in an int64. Exposed unboxed + noalloc so a
+   deadline check inside a spin loop costs a C call and nothing else. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t flds_mono_now_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return 0; /* cannot happen on a supported kernel; 0 keeps waits finite */
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+value flds_mono_now_byte(value unit)
+{
+  return caml_copy_int64(flds_mono_now_unboxed(unit));
+}

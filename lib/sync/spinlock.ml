@@ -36,11 +36,11 @@ let try_acquire_for t ~seconds =
   Faults.point "spinlock.acquire";
   if try_acquire t then true
   else begin
-    let deadline = Unix.gettimeofday () +. seconds in
+    let deadline = Mono.now () +. seconds in
     let b = Backoff.create () in
     let rec loop () =
       if try_acquire t then true
-      else if Unix.gettimeofday () >= deadline then false
+      else if Mono.now () >= deadline then false
       else begin
         Backoff.once b;
         loop ()

@@ -24,7 +24,7 @@ val acquire_until : t -> (unit -> bool) -> bool
 
 val try_acquire_for : t -> seconds:float -> bool
 (** [try_acquire_for l ~seconds] spins to take the lock for at most
-    [seconds] of wall-clock time, then gives up. Returns [true] iff the
+    [seconds] of monotonic time ([Mono.now]), then gives up. Returns [true] iff the
     lock was acquired (in which case the caller must release it). The
     bounded-wait counterpart of [acquire] for callers that must degrade
     gracefully when the holder has stalled. *)

@@ -7,6 +7,9 @@ type measurement = {
   minor_words_per_op : float;
   killed : int;
   suppressed_failures : int;
+  stall_warnings : int;
+  poisoned : int;
+  recovered : int;
 }
 
 type chaos = { c_seed : int; c_kill : bool; c_stall : float }
@@ -18,9 +21,38 @@ let chaos ?(kill = true) ?(stall = 0.005) ~seed () =
   { c_seed = seed; c_kill = kill; c_stall = stall }
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sync.Mono.now () in
   f ();
-  Unix.gettimeofday () -. t0
+  Sync.Mono.now () -. t0
+
+(* Per-worker lifecycle word, written once by the worker's own domain on
+   the way out and read by the watchdog and the main thread. *)
+let st_running = 0
+let st_done = 1
+let st_dead = 2
+
+(* What a worker domain can reach through [heartbeat] and
+   [set_abandon_hook]: its own beat counter and hook cell for the
+   current repeat, installed in domain-local storage by the spawn
+   wrapper. Outside a run the slot is empty and both calls are no-ops,
+   so workloads can call them unconditionally. *)
+type worker_slot = {
+  beat : int Atomic.t;
+  hook : (unit -> int) option Atomic.t;
+}
+
+let slot_key : worker_slot option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let heartbeat () =
+  match Domain.DLS.get slot_key with
+  | Some s -> Atomic.incr s.beat
+  | None -> ()
+
+let set_abandon_hook f =
+  match Domain.DLS.get slot_key with
+  | Some s -> Atomic.set s.hook (Some f)
+  | None -> ()
 
 (* The victim's plan for one repeat, drawn from the chaos seed: which
    thread misbehaves, after how many of its operations, and whether it
@@ -39,48 +71,143 @@ let plan_victims ~chaos ~threads ~ops_per_thread ~rep =
         (if c.c_kill && Rng.bool rng then Die cut else Stall (cut, c.c_stall));
       plans
 
+(* Shared recovery state for one repeat. [abandoned] is the once-flag
+   per worker: whoever wins its CAS (watchdog mid-run, or the main
+   thread's post-join sweep) runs the worker's abandon hook exactly
+   once. *)
+type recovery = {
+  states : int Atomic.t array;
+  beats : int Atomic.t array;
+  hooks : (unit -> int) option Atomic.t array;
+  abandoned : bool Atomic.t array;
+  poisoned : int Atomic.t;
+  recovered : int Atomic.t;
+  stall_warnings : int Atomic.t;
+}
+
+let make_recovery threads =
+  {
+    states = Array.init threads (fun _ -> Atomic.make st_running);
+    beats = Array.init threads (fun _ -> Atomic.make 0);
+    hooks = Array.init threads (fun _ -> Atomic.make None);
+    abandoned = Array.init threads (fun _ -> Atomic.make false);
+    poisoned = Atomic.make 0;
+    recovered = Atomic.make 0;
+    stall_warnings = Atomic.make 0;
+  }
+
+(* Recover worker [i] if nobody has yet: run its abandon hook (poisoning
+   its orphaned futures, detaching its windows) and count it. Only ever
+   called for workers whose state word says Dead — a stalled worker may
+   resume and must keep its live windows. *)
+let try_abandon r i =
+  if Atomic.compare_and_set r.abandoned.(i) false true then begin
+    (match Atomic.get r.hooks.(i) with
+    | Some hook -> ignore (Atomic.fetch_and_add r.poisoned (hook ()))
+    | None -> ());
+    Atomic.incr r.recovered
+  end
+
+(* One watchdog scan: recover dead workers, flag silent heartbeats. A
+   worker is warned about only when it opted into heartbeats (beat > 0)
+   and its beat did not advance over a whole interval while still
+   Running — and only once per repeat. *)
+let watchdog_scan r ~last_beats ~warned =
+  Array.iteri
+    (fun i st ->
+      let s = Atomic.get st in
+      if s = st_dead then try_abandon r i
+      else if s = st_running then begin
+        let b = Atomic.get r.beats.(i) in
+        if b > 0 && b = last_beats.(i) && not warned.(i) then begin
+          warned.(i) <- true;
+          Atomic.incr r.stall_warnings
+        end;
+        last_beats.(i) <- b
+      end)
+    r.states
+
+let watchdog_loop r ~interval ~stop =
+  let threads = Array.length r.states in
+  let last_beats = Array.make threads (-1) in
+  let warned = Array.make threads false in
+  while not (Atomic.get stop) do
+    Unix.sleepf interval;
+    watchdog_scan r ~last_beats ~warned
+  done
+
 let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total ?teardown
-    ?chaos () =
+    ?chaos ?watchdog () =
   if threads <= 0 then invalid_arg "Runner.run: threads must be positive";
   if repeats <= 0 then invalid_arg "Runner.run: repeats must be positive";
+  (match watchdog with
+  | Some dt when dt <= 0.0 ->
+      invalid_arg "Runner.run: watchdog interval must be positive"
+  | _ -> ());
   let samples = Array.make repeats 0.0 in
   let cas_samples = Array.make repeats Float.nan in
   let words_samples = Array.make repeats 0.0 in
   let killed = ref 0 in
   let suppressed = ref 0 in
+  let poisoned = ref 0 in
+  let recovered = ref 0 in
+  let stall_warnings = ref 0 in
   for rep = 0 to repeats - 1 do
     let ctx = setup () in
     let barrier = Sync.Barrier.create (threads + 1) in
     let cas_before = match cas_total with Some f -> f ctx | None -> 0 in
     let plans = plan_victims ~chaos ~threads ~ops_per_thread ~rep in
+    let recovery = make_recovery threads in
     (* Per-domain minor-heap allocation, summed across workers.
        [Gc.minor_words] counts the calling domain only, so each worker
        measures its own delta and adds it here (words are integral). *)
     let words_acc = Atomic.make 0 in
     let spawn i =
       Domain.spawn (fun () ->
+          Domain.DLS.set slot_key
+            (Some { beat = recovery.beats.(i); hook = recovery.hooks.(i) });
           Sync.Barrier.wait barrier;
           let w0 = Gc.minor_words () in
-          Fun.protect
-            ~finally:(fun () ->
-              let dw = int_of_float (Gc.minor_words () -. w0) in
-              ignore (Atomic.fetch_and_add words_acc dw))
-            (fun () ->
-              match plans.(i) with
-              | Healthy -> worker ctx ~thread:i ~ops:ops_per_thread
-              | Die cut ->
-                  (* Simulated mid-run death: the worker performs a seeded
-                     prefix of its operations, then its domain is lost —
-                     pending futures unforced, handles never flushed. *)
-                  worker ctx ~thread:i ~ops:(min cut ops_per_thread);
-                  raise (Killed_worker i)
-              | Stall (cut, stall) ->
-                  let cut = min cut ops_per_thread in
-                  worker ctx ~thread:i ~ops:cut;
-                  Unix.sleepf stall;
-                  worker ctx ~thread:i ~ops:(ops_per_thread - cut)))
+          let body () =
+            Fun.protect
+              ~finally:(fun () ->
+                let dw = int_of_float (Gc.minor_words () -. w0) in
+                ignore (Atomic.fetch_and_add words_acc dw))
+              (fun () ->
+                match plans.(i) with
+                | Healthy -> worker ctx ~thread:i ~ops:ops_per_thread
+                | Die cut ->
+                    (* Simulated mid-run death: the worker performs a
+                       seeded prefix of its operations, then its domain
+                       is lost — pending futures unforced, handles never
+                       flushed. *)
+                    worker ctx ~thread:i ~ops:(min cut ops_per_thread);
+                    raise (Killed_worker i)
+                | Stall (cut, stall) ->
+                    let cut = min cut ops_per_thread in
+                    worker ctx ~thread:i ~ops:cut;
+                    Unix.sleepf stall;
+                    worker ctx ~thread:i ~ops:(ops_per_thread - cut))
+          in
+          (* The state word is the watchdog's ground truth: Dead means
+             this domain is unwinding and will never touch its handles
+             again, so abandoning them is safe. *)
+          match body () with
+          | () -> Atomic.set recovery.states.(i) st_done
+          | exception e ->
+              Atomic.set recovery.states.(i) st_dead;
+              raise e)
     in
     let domains = List.init threads spawn in
+    let wd_stop = Atomic.make false in
+    let wd_domain =
+      match watchdog with
+      | Some interval ->
+          Some
+            (Domain.spawn (fun () ->
+                 watchdog_loop recovery ~interval ~stop:wd_stop))
+      | None -> None
+    in
     (* Release all workers at once and time until the last finishes. Join
        every domain before acting on failures; chaos kills are expected
        and counted, the first genuine failure is re-raised (after
@@ -105,6 +232,18 @@ let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total ?teardown
                   else incr suppressed)
             domains)
     in
+    Atomic.set wd_stop true;
+    (match wd_domain with Some d -> Domain.join d | None -> ());
+    (* Post-join sweep: recover any dead worker the watchdog did not get
+       to (or all of them, when no watchdog runs) before teardown reads
+       the context, so orphaned futures are poisoned rather than left
+       pending into the conformance checks. *)
+    Array.iteri
+      (fun i st -> if Atomic.get st = st_dead then try_abandon recovery i)
+      recovery.states;
+    poisoned := !poisoned + Atomic.get recovery.poisoned;
+    recovered := !recovered + Atomic.get recovery.recovered;
+    stall_warnings := !stall_warnings + Atomic.get recovery.stall_warnings;
     samples.(rep) <- seconds;
     words_samples.(rep) <-
       float_of_int (Atomic.get words_acc)
@@ -141,4 +280,7 @@ let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total ?teardown
     minor_words_per_op = Stats.mean words_samples;
     killed = !killed;
     suppressed_failures = !suppressed;
+    stall_warnings = !stall_warnings;
+    poisoned = !poisoned;
+    recovered = !recovered;
   }

@@ -14,7 +14,22 @@
     configured pause before resuming. Kills are expected failures: they
     are counted in [killed], not re-raised. Callers then re-check
     structure invariants — typically via [Conformance] — on the
-    torn-down context. *)
+    torn-down context.
+
+    {b Recovery.} A worker may register an {e abandon hook} (typically
+    its handle's [abandon], which swap-detaches pending windows and
+    poisons un-applied futures) via {!set_abandon_hook}, and signal
+    liveness via {!heartbeat}. When [?watchdog] is given, a watchdog
+    domain polls every worker at that interval: a worker whose domain
+    died (its lifecycle word reads Dead — set by the worker's own
+    unwinding, never inferred) has its hook invoked exactly once, from
+    the watchdog, while the run is still in flight; workers that
+    heartbeat but go silent for a whole interval are counted in
+    [stall_warnings] but never abandoned, since a stalled worker may
+    resume and must keep its live windows. With or without a watchdog,
+    the main thread sweeps after all joins and abandons any dead worker
+    the watchdog did not get to, so teardown and conformance checks see
+    poisoned futures, never indefinitely-pending ones. *)
 
 type measurement = {
   threads : int;
@@ -31,6 +46,16 @@ type measurement = {
       (** chaos-mode worker deaths over all repeats; 0 without [?chaos] *)
   suppressed_failures : int;
       (** genuine worker failures beyond the first (re-raised) one *)
+  stall_warnings : int;
+      (** workers the watchdog saw heartbeat and then go silent for a
+          whole interval while still running (at most one per worker per
+          repeat); 0 without [?watchdog] *)
+  poisoned : int;
+      (** futures poisoned by abandon hooks over all repeats — the
+          orphaned operations of dead workers *)
+  recovered : int;
+      (** dead workers whose abandon ran (hook or no-op), over all
+          repeats; [recovered = killed] when every death was recovered *)
 }
 
 type chaos
@@ -46,6 +71,19 @@ exception Killed_worker of int
 (** Raised inside a chaos victim's domain to simulate its death; the
     argument is the thread index. Counted by [run], never re-raised. *)
 
+val heartbeat : unit -> unit
+(** Bump the calling worker's liveness beat. Call once per operation (or
+    batch); the watchdog flags a worker that beat at least once and then
+    went silent for a whole interval. A no-op outside a [run] worker. *)
+
+val set_abandon_hook : (unit -> int) -> unit
+(** Register the calling worker's recovery hook for the current repeat —
+    typically [fun () -> Handle.abandon h] for the handle the worker
+    just created. The hook is invoked at most once, by the watchdog or
+    the post-join sweep, and only after the worker's domain is known
+    dead; its return value (futures poisoned) is accumulated into
+    [poisoned]. A no-op outside a [run] worker. *)
+
 val run :
   threads:int ->
   repeats:int ->
@@ -55,6 +93,7 @@ val run :
   ?cas_total:('ctx -> int) ->
   ?teardown:('ctx -> unit) ->
   ?chaos:chaos ->
+  ?watchdog:float ->
   unit ->
   measurement
 (** [setup] builds a fresh shared context per repeat; [worker ctx ~thread
@@ -66,9 +105,12 @@ val run :
     only the first is re-raised, the rest are counted in
     [suppressed_failures] (and a note is printed to stderr). Chaos
     victims' {!Killed_worker} exceptions are counted in [killed] instead.
+    [watchdog] spawns a recovery domain polling worker liveness at that
+    interval (seconds; must be positive) — see the module preamble.
     Note that a stalling victim calls [worker] twice in its domain
     (prefix and remainder), so workers must tolerate re-entry per thread
     (fresh handle, fresh slack window). *)
 
 val time : (unit -> unit) -> float
-(** Wall-clock seconds of one call (monotonic). *)
+(** Seconds of one call, measured on the monotonic clock ([Sync.Mono]) —
+    immune to wall-clock jumps. *)

@@ -44,6 +44,7 @@ let broken_stack : R.stack_impl =
                 s_pop =
                   (fun () -> Future.of_value (Lockfree.Ms_queue.dequeue q));
                 s_flush = ignore;
+                s_abandon = (fun () -> 0);
               });
           s_drain = ignore;
           s_cas_count = (fun () -> 0);
@@ -83,6 +84,7 @@ let lossy_stack : R.stack_impl =
                 s_pop =
                   (fun () -> Future.of_value (Lockfree.Treiber_stack.pop s));
                 s_flush = ignore;
+                s_abandon = (fun () -> 0);
               });
           s_drain = ignore;
           s_cas_count = (fun () -> 0);

@@ -96,6 +96,97 @@ let test_pairing_conservation () =
   Alcotest.(check bool) "width stays in bounds" true
     (E.width x >= 1 && E.width x <= E.capacity x)
 
+(* ---------------------------- cancellation --------------------------- *)
+
+(* A parked offer that times out is withdrawn through the same
+   three-state protocol as a dead partner's: counted, slot cleared. *)
+let test_timeout_counts_as_cancel () =
+  let x : int E.t = E.create ~capacity:1 () in
+  Alcotest.(check bool) "give times out" false (E.give ~patience:2 x 1);
+  Alcotest.(check int) "give withdrawal counted" 1 (E.cancelled x);
+  Alcotest.(check (option int)) "take times out" None (E.take ~patience:2 x);
+  Alcotest.(check int) "take withdrawal counted" 2 (E.cancelled x);
+  (* Withdrawn cleanly: the slot is free for a live pair. *)
+  let d = Domain.spawn (fun () -> E.give ~patience:1_000_000 x 9) in
+  let rec take_until n =
+    if n = 0 then None
+    else
+      match E.take ~patience:10 x with
+      | Some _ as r -> r
+      | None -> take_until (n - 1)
+  in
+  Alcotest.(check (option int)) "slot still pairs" (Some 9)
+    (take_until 1_000_000);
+  Alcotest.(check bool) "give handed off" true (Domain.join d)
+
+(* A giver killed while parked (injected [Faults.Killed] in the park
+   loop) withdraws its offer on the way out: the value is never captured
+   and the slot is left clean for live partners. *)
+let test_kill_while_parked_withdraws () =
+  let x : int E.t = E.create ~capacity:1 () in
+  (* Unconditional: hit counters are global and process-wide, so under a
+     seeded FLDS_FAULTS run earlier parks have already consumed the low
+     hit indices. Only the victim parks while the script is installed. *)
+  Faults.on "elim.park" (fun _ -> Faults.Kill);
+  let victim =
+    Domain.spawn (fun () ->
+        match E.give ~patience:1_000_000 x 13 with
+        | (_ : bool) -> `Survived
+        | exception Faults.Killed _ -> `Killed)
+  in
+  let fate = Domain.join victim in
+  Faults.clear "elim.park";
+  Alcotest.(check bool) "giver died in the park loop" true (fate = `Killed);
+  Alcotest.(check int) "offer withdrawn" 1 (E.cancelled x);
+  Alcotest.(check bool) "dead value not capturable" true
+    (E.try_take x = None);
+  Alcotest.(check int) "nothing exchanged" 0 (E.exchanged x);
+  (* The dead partner left no residue: a live pair still meets. *)
+  let d = Domain.spawn (fun () -> E.give ~patience:1_000_000 x 21) in
+  let rec take_until n =
+    if n = 0 then None
+    else
+      match E.take ~patience:10 x with
+      | Some _ as r -> r
+      | None -> take_until (n - 1)
+  in
+  Alcotest.(check (option int)) "live pair unaffected" (Some 21)
+    (take_until 1_000_000);
+  Alcotest.(check bool) "live give handed off" true (Domain.join d)
+
+(* Storm of impatient offers: cancellation and reclamation race claims
+   constantly, yet values are conserved and every cancelled offer is
+   withdrawn at most once (reclaimed never exceeds cancelled). *)
+let test_cancel_reclaim_stress () =
+  let x : int E.t = E.create ~capacity:2 () in
+  let per = 5_000 in
+  let giver =
+    Domain.spawn (fun () ->
+        let given = ref 0 in
+        for i = 1 to per do
+          if E.give ~patience:(i mod 3) x i then incr given
+        done;
+        !given)
+  in
+  let taker =
+    Domain.spawn (fun () ->
+        let got = ref 0 in
+        for i = 1 to per do
+          match E.take ~patience:(i mod 3) x with
+          | Some _ -> incr got
+          | None -> ()
+        done;
+        !got)
+  in
+  let given = Domain.join giver and got = Domain.join taker in
+  Alcotest.(check int) "conservation" given got;
+  Alcotest.(check int) "exchanged agrees" got (E.exchanged x);
+  Alcotest.(check bool) "reclaimed bounded by cancelled" true
+    (E.reclaimed x <= E.cancelled x);
+  (* Drain: whatever the storm left parked is cancelled garbage at most;
+     nothing live remains to pair with. *)
+  Alcotest.(check (option int)) "no live residue" None (E.try_take x)
+
 (* Cross-handle elimination on the weak stack: handle A's starving pops
    are fed by handle B's push flush through the shared exchanger. *)
 let test_weak_stack_exchange () =
@@ -192,6 +283,15 @@ let () =
           Alcotest.test_case "parked take fed by try_give" `Quick
             test_parked_take_fed_by_try_give;
           Alcotest.test_case "conservation" `Quick test_pairing_conservation;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "timeout counts as cancel" `Quick
+            test_timeout_counts_as_cancel;
+          Alcotest.test_case "kill while parked withdraws" `Quick
+            test_kill_while_parked_withdraws;
+          Alcotest.test_case "cancel/reclaim stress" `Quick
+            test_cancel_reclaim_stress;
         ] );
       ( "integration",
         [

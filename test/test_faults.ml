@@ -128,8 +128,7 @@ let test_takeover seed () =
      forcing a future nobody will fulfil times out rather than spinning. *)
   let fut : int Future.t = Future.create () in
   Alcotest.check_raises "force_until times out" Future.Timeout (fun () ->
-      ignore
-        (Future.force_until fut ~deadline:(Unix.gettimeofday () +. 0.003)));
+      ignore (Future.force_until fut ~deadline:(Sync.Mono.now () +. 0.003)));
   (* Structure-level invariants after the provoked stall: the
      flat-combining implementations still pass their conformance
      condition. *)
@@ -160,14 +159,17 @@ let test_takeover_after_death () =
         | exception Faults.Killed _ -> ())
   in
   Domain.join victim;
-  (* The victim died as combiner, before answering anyone (including
-     itself). A later thread must take the orphaned lease over; its scan
-     starts at its own (newest) record, so it sees its own result first,
-     and also answers the victim's still-published request. *)
+  (* The victim died as combiner before applying anything; its own
+     published request was retired on the way out of [apply], so no
+     later combiner applies the dead owner's op with nobody to consume
+     the response. A later thread usurps the orphaned lease and is
+     answered normally. *)
   let h = FC.handle t in
   Alcotest.(check int) "applied past the dead combiner" 5 (FC.apply h 5);
-  Alcotest.(check int) "victim's orphaned op applied too" (5 + 7) !sum;
-  Alcotest.(check bool) "lease was usurped" true (FC.combiner_takeovers t >= 1)
+  Alcotest.(check int) "dead owner's op withdrawn, not applied" 5 !sum;
+  Alcotest.(check bool) "lease was usurped" true
+    (FC.combiner_takeovers t >= 1);
+  Alcotest.(check bool) "request retired" true (FC.retired_records t >= 1)
 
 (* Exceptions raised by the wrapped operation must answer every record:
    the raiser gets the exception re-raised, everyone else their result. *)
@@ -384,6 +386,251 @@ let test_queue_chaos name seed () =
   Alcotest.(check int) "conformance clean after chaos" 0
     outcome.Conformance.violations
 
+(* -------------------------- orphan recovery -------------------------- *)
+
+(* Recovery bugs present as hangs (a waiter spinning on a future nobody
+   will ever fulfil), so every kill schedule runs under a hard deadline
+   enforced from a monitor domain: a hang fails the test instead of
+   wedging the suite. *)
+let with_timeout ?(seconds = 60.0) label f =
+  let result = Atomic.make None in
+  let d =
+    Domain.spawn (fun () ->
+        let r = match f () with v -> Ok v | exception e -> Error e in
+        Atomic.set result (Some r))
+  in
+  let deadline = Sync.Mono.now () +. seconds in
+  let rec poll () =
+    match Atomic.get result with
+    | Some r -> (
+        Domain.join d;
+        match r with Ok v -> v | Error e -> raise e)
+    | None ->
+        if Sync.Mono.now () > deadline then
+          Alcotest.failf "%s: no recovery within %.0fs (orphan hang)" label
+            seconds
+        else begin
+          Unix.sleepf 0.002;
+          poll ()
+        end
+  in
+  poll ()
+
+let orphan_ops = 5
+
+(* The flagship schedule: thread 0 publishes [orphan_ops] operations
+   into its window, exposes their futures, registers its handle's
+   [abandon] as recovery hook, and is killed before flushing. The
+   watchdog (or the post-join sweep) must poison exactly those futures,
+   the window must be discarded un-spliced, and the structure must come
+   out clean. *)
+let run_orphan ~label ~handle_ops ~contents ~drain seed =
+  let victim_futs = Array.make orphan_ops None in
+  Faults.on "lifecycle.victim" (fun _ -> Faults.Kill);
+  let worker () ~thread ~ops =
+    let issue, force_tail, abandon = handle_ops () in
+    Workload.Runner.set_abandon_hook abandon;
+    if thread = 0 then begin
+      for j = 0 to orphan_ops - 1 do
+        victim_futs.(j) <- Some (issue (tag 0 j))
+      done;
+      Faults.point "lifecycle.victim";
+      Alcotest.fail "victim survived its kill"
+    end
+    else begin
+      let rng = Workload.Rng.create ~seed ~stream:thread in
+      let uid = ref 0 in
+      for _ = 1 to ops do
+        Workload.Runner.heartbeat ();
+        incr uid;
+        ignore (Workload.Rng.bool rng);
+        ignore (issue (tag thread !uid) : unit Future.t)
+      done;
+      force_tail ()
+    end
+  in
+  let m =
+    with_timeout label (fun () ->
+        Workload.Runner.run ~threads:3 ~repeats:1 ~ops_per_thread:50
+          ~setup:(fun () -> ())
+          ~worker
+          ~teardown:(fun () -> drain ())
+          ~watchdog:0.002 ())
+  in
+  Alcotest.(check int) (label ^ ": victim killed") 1 m.Workload.Runner.killed;
+  Alcotest.(check int)
+    (label ^ ": no unexplained failures")
+    0 m.Workload.Runner.suppressed_failures;
+  Alcotest.(check bool) (label ^ ": runner recovered the dead worker") true
+    (m.Workload.Runner.recovered >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: all %d orphans poisoned (got %d)" label orphan_ops
+       m.Workload.Runner.poisoned)
+    true
+    (m.Workload.Runner.poisoned >= orphan_ops);
+  (* Every future the victim left behind raises [Broken Orphaned] —
+     immediately, not after a timeout. *)
+  Array.iteri
+    (fun j f ->
+      match f with
+      | None -> Alcotest.failf "%s: victim future %d never published" label j
+      | Some f ->
+          (* Force first: a derived future (the set wrapper maps over
+             the handle's future) only learns its parent's terminal
+             state when forced. *)
+          Alcotest.check_raises
+            (Printf.sprintf "%s: orphan %d raises" label j)
+            (Future.Broken Future.Orphaned)
+            (fun () -> ignore (Future.force f : unit));
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: orphan %d poisoned" label j)
+            true (Future.is_poisoned f))
+    victim_futs;
+  (* The victim died before flushing: its window was tombstoned and
+     discarded, so none of its values may have reached the structure. *)
+  let cs = contents () in
+  check_contents ~threads:3 ~label cs;
+  List.iter
+    (fun v ->
+      if v / 1_000_000 = 0 then
+        Alcotest.failf "%s: dead worker's value %d was applied" label v)
+    cs
+
+let test_orphan_stack name seed () =
+  let impl = R.find_stack name in
+  let inst = impl.R.s_make () in
+  run_orphan
+    ~label:(Printf.sprintf "%s stack/%d" name seed)
+    ~handle_ops:(fun () ->
+      let o = inst.R.s_handle () in
+      ((fun v -> o.R.s_push v), o.R.s_flush, o.R.s_abandon))
+    ~contents:inst.R.s_contents ~drain:inst.R.s_drain seed;
+  let outcome = Conformance.check_stack ~rounds:2 (R.find_stack name) in
+  Alcotest.(check int) "conformance clean after orphan recovery" 0
+    outcome.Conformance.violations
+
+let test_orphan_queue name seed () =
+  let impl = R.find_queue name in
+  let inst = impl.R.q_make () in
+  run_orphan
+    ~label:(Printf.sprintf "%s queue/%d" name seed)
+    ~handle_ops:(fun () ->
+      let o = inst.R.q_handle () in
+      ((fun v -> o.R.q_enq v), o.R.q_flush, o.R.q_abandon))
+    ~contents:inst.R.q_contents ~drain:inst.R.q_drain seed;
+  let outcome = Conformance.check_queue ~rounds:2 (R.find_queue name) in
+  Alcotest.(check int) "conformance clean after orphan recovery" 0
+    outcome.Conformance.violations
+
+let test_orphan_set name seed () =
+  let impl = R.find_set name in
+  let inst = impl.R.l_make () in
+  run_orphan
+    ~label:(Printf.sprintf "%s set/%d" name seed)
+    ~handle_ops:(fun () ->
+      let o = inst.R.l_handle () in
+      ((fun v -> Future.map ignore (o.R.l_insert v)), o.R.l_flush,
+       o.R.l_abandon))
+    ~contents:inst.R.l_contents ~drain:inst.R.l_drain seed;
+  let outcome = Conformance.check_set ~rounds:2 (R.find_set name) in
+  Alcotest.(check int) "conformance clean after orphan recovery" 0
+    outcome.Conformance.violations
+
+(* A waiter blocked in an {e unbounded} [await] on the victim's future
+   can only be released by mid-run recovery: the post-join sweep never
+   runs while the waiter's own domain is still waiting. This is the
+   schedule that requires the watchdog, not just the sweep. *)
+let test_await_released_by_watchdog () =
+  let published : int Future.t option Atomic.t = Atomic.make None in
+  Faults.on "lifecycle.victim" (fun _ -> Faults.Kill);
+  let worker () ~thread ~ops:_ =
+    if thread = 0 then begin
+      let f : int Future.t = Future.create () in
+      Workload.Runner.set_abandon_hook (fun () ->
+          if Future.poison f Future.Orphaned then 1 else 0);
+      Atomic.set published (Some f);
+      Faults.point "lifecycle.victim"
+    end
+    else begin
+      let rec get () =
+        match Atomic.get published with
+        | Some f -> f
+        | None ->
+            Domain.cpu_relax ();
+            get ()
+      in
+      match Future.await (get ()) with
+      | _ -> Alcotest.fail "orphan was somehow fulfilled"
+      | exception Future.Broken Future.Orphaned -> ()
+    end
+  in
+  let m =
+    with_timeout "await released by watchdog" (fun () ->
+        Workload.Runner.run ~threads:2 ~repeats:1 ~ops_per_thread:1
+          ~setup:(fun () -> ())
+          ~worker ~watchdog:0.002 ())
+  in
+  Alcotest.(check int) "victim killed" 1 m.Workload.Runner.killed;
+  Alcotest.(check bool) "watchdog recovered it" true
+    (m.Workload.Runner.recovered >= 1);
+  Alcotest.(check bool) "orphan poisoned" true
+    (m.Workload.Runner.poisoned >= 1)
+
+(* ------------------------ cancellation windows ------------------------ *)
+
+let test_weak_stack_cancel_in_window () =
+  let s = Fl.Weak_stack.create ~elimination:false () in
+  let h = Fl.Weak_stack.handle s in
+  let f1 = Fl.Weak_stack.push h 1 in
+  let f2 = Fl.Weak_stack.push h 2 in
+  Alcotest.(check bool) "cancel wins" true (Future.cancel f2);
+  Fl.Weak_stack.flush h;
+  Alcotest.(check unit) "survivor applied" () (Future.force f1);
+  Alcotest.check_raises "cancelled op raises" Future.Cancelled (fun () ->
+      Future.force f2);
+  Alcotest.(check (list int)) "cancelled value never spliced" [ 1 ]
+    (Lockfree.Treiber_stack.to_list (Fl.Weak_stack.shared s))
+
+let test_weak_stack_cancelled_pop_not_eliminated () =
+  let s = Fl.Weak_stack.create ~elimination:true () in
+  let h = Fl.Weak_stack.handle s in
+  let fp = Fl.Weak_stack.pop h in
+  Alcotest.(check bool) "pop cancelled" true (Future.cancel fp);
+  (* The push must skip the cancelled pop's corpse, not hand it the
+     value: elimination pairs only live partners. *)
+  let fpush = Fl.Weak_stack.push h 5 in
+  Fl.Weak_stack.flush h;
+  Alcotest.(check unit) "push applied" () (Future.force fpush);
+  Alcotest.(check (list int)) "value reached the stack, not the corpse"
+    [ 5 ]
+    (Lockfree.Treiber_stack.to_list (Fl.Weak_stack.shared s));
+  Alcotest.check_raises "cancelled pop raises" Future.Cancelled (fun () ->
+      ignore (Future.force fp))
+
+let test_medium_queue_cancel_in_window () =
+  let q = Fl.Medium_queue.create () in
+  let h = Fl.Medium_queue.handle q in
+  let f1 = Fl.Medium_queue.enqueue h 1 in
+  let f2 = Fl.Medium_queue.enqueue h 2 in
+  let f3 = Fl.Medium_queue.enqueue h 3 in
+  Alcotest.(check bool) "cancel middle op" true (Future.cancel f2);
+  Fl.Medium_queue.flush h;
+  Alcotest.(check unit) "older survivor applied" () (Future.force f1);
+  Alcotest.(check unit) "younger survivor applied" () (Future.force f3);
+  Alcotest.(check (list int)) "cancelled op skipped by the replay"
+    [ 1; 3 ]
+    (Lockfree.Ms_queue.to_list (Fl.Medium_queue.shared q))
+
+let test_slack_abandon_drops_thunks () =
+  let sl = Fl.Slack.create 8 in
+  let ran = ref 0 in
+  for _ = 1 to 3 do
+    Fl.Slack.note sl (fun () -> incr ran)
+  done;
+  Alcotest.(check int) "all thunks dropped" 3 (Fl.Slack.abandon sl);
+  Alcotest.(check int) "none executed" 0 !ran;
+  Alcotest.(check int) "window empty" 0 (Fl.Slack.pending sl)
+
 (* ------------------------------ suite -------------------------------- *)
 
 let takeover_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
@@ -450,4 +697,33 @@ let () =
                 ])
               [ "strong"; "medium"; "weak" ])
           chaos_seeds );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "weak stack orphan, schedule 51" `Slow
+            (with_clean_faults (test_orphan_stack "weak" 51));
+          Alcotest.test_case "weak stack orphan, schedule 52" `Slow
+            (with_clean_faults (test_orphan_stack "weak" 52));
+          Alcotest.test_case "medium stack orphan, schedule 53" `Slow
+            (with_clean_faults (test_orphan_stack "medium" 53));
+          Alcotest.test_case "weak queue orphan, schedule 54" `Slow
+            (with_clean_faults (test_orphan_queue "weak" 54));
+          Alcotest.test_case "medium queue orphan, schedule 55" `Slow
+            (with_clean_faults (test_orphan_queue "medium" 55));
+          Alcotest.test_case "weak set orphan, schedule 56" `Slow
+            (with_clean_faults (test_orphan_set "weak" 56));
+          Alcotest.test_case "medium set orphan, schedule 57" `Slow
+            (with_clean_faults (test_orphan_set "medium" 57));
+          Alcotest.test_case "txn set orphan, schedule 58" `Slow
+            (with_clean_faults (test_orphan_set "txn" 58));
+          Alcotest.test_case "await released by watchdog" `Slow
+            (with_clean_faults test_await_released_by_watchdog);
+          Alcotest.test_case "weak stack cancel in window" `Quick
+            (with_clean_faults test_weak_stack_cancel_in_window);
+          Alcotest.test_case "cancelled pop not eliminated" `Quick
+            (with_clean_faults test_weak_stack_cancelled_pop_not_eliminated);
+          Alcotest.test_case "medium queue cancel in window" `Quick
+            (with_clean_faults test_medium_queue_cancel_in_window);
+          Alcotest.test_case "slack abandon drops thunks" `Quick
+            (with_clean_faults test_slack_abandon_drops_thunks);
+        ] );
     ]

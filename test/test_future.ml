@@ -122,7 +122,7 @@ let test_await_for_timeout () =
 let test_force_until_timeout_then_value () =
   let f : int Future.t = Future.create () in
   Alcotest.check_raises "deadline passes" Future.Timeout (fun () ->
-      ignore (Future.force_until f ~deadline:(Unix.gettimeofday () +. 0.002)));
+      ignore (Future.force_until f ~deadline:(Sync.Mono.now () +. 0.002)));
   Future.fulfil f 8;
   Alcotest.(check int) "ready future ignores deadline" 8
     (Future.force_until f ~deadline:0.0)
@@ -142,7 +142,7 @@ let test_force_until_broken_evaluator_stuck () =
   Future.set_evaluator f (fun () -> ());
   Alcotest.check_raises "stuck beats timeout for broken evaluators"
     Future.Stuck (fun () ->
-      ignore (Future.force_until f ~deadline:(Unix.gettimeofday () +. 1.0)))
+      ignore (Future.force_until f ~deadline:(Sync.Mono.now () +. 1.0)))
 
 let test_await_for_cross_domain () =
   let f = Future.create () in
@@ -183,6 +183,148 @@ let test_many_futures_one_producer () =
   Array.iteri (fun i f -> if Future.await f <> i then ok := false) futures;
   Domain.join producer;
   Alcotest.(check bool) "all values delivered" true !ok
+
+(* ----------------------------- lifecycle ---------------------------- *)
+
+let test_cancel_basic () =
+  let f : int Future.t = Future.create () in
+  Alcotest.(check bool) "pending before" true (Future.is_pending f);
+  Alcotest.(check bool) "cancel wins" true (Future.cancel f);
+  Alcotest.(check bool) "cancelled" true (Future.is_cancelled f);
+  Alcotest.(check bool) "not ready" false (Future.is_ready f);
+  Alcotest.(check bool) "not pending" false (Future.is_pending f);
+  Alcotest.(check (option int)) "peek empty" None (Future.peek f);
+  Alcotest.(check bool) "second cancel loses" false (Future.cancel f);
+  Alcotest.(check bool) "poison after cancel loses" false
+    (Future.poison f Future.Orphaned);
+  Alcotest.(check bool) "try_fulfil after cancel loses" false
+    (Future.try_fulfil f 1);
+  Alcotest.check_raises "force raises" Future.Cancelled (fun () ->
+      ignore (Future.force f));
+  Alcotest.check_raises "await raises" Future.Cancelled (fun () ->
+      ignore (Future.await f));
+  Alcotest.check_raises "await_for raises, not Timeout" Future.Cancelled
+    (fun () -> ignore (Future.await_for f ~seconds:10.0));
+  Alcotest.check_raises "fulfil raises" Future.Already_fulfilled (fun () ->
+      Future.fulfil f 2)
+
+let test_cancel_loses_to_fulfil () =
+  let f = Future.create () in
+  Future.fulfil f 5;
+  Alcotest.(check bool) "cancel after fulfil loses" false (Future.cancel f);
+  Alcotest.(check int) "value stands" 5 (Future.force f)
+
+let test_poison_basic () =
+  let f : int Future.t = Future.create () in
+  Alcotest.(check bool) "poison wins" true (Future.poison f Future.Orphaned);
+  Alcotest.(check bool) "poisoned" true (Future.is_poisoned f);
+  Alcotest.(check bool) "not cancelled" false (Future.is_cancelled f);
+  Alcotest.(check bool) "second poison loses" false
+    (Future.poison f Future.Orphaned);
+  Alcotest.check_raises "force raises Broken" (Future.Broken Future.Orphaned)
+    (fun () -> ignore (Future.force f));
+  Alcotest.check_raises "await_for raises immediately"
+    (Future.Broken Future.Orphaned) (fun () ->
+      ignore (Future.await_for f ~seconds:10.0))
+
+let test_poison_carries_reason () =
+  let f : int Future.t = Future.create () in
+  let reason = Failure "combiner died" in
+  Alcotest.(check bool) "poison wins" true (Future.poison f reason);
+  Alcotest.check_raises "reason travels" (Future.Broken reason) (fun () ->
+      ignore (Future.await f))
+
+let test_cancelled_evaluator_not_run () =
+  let ran = ref false in
+  let f : int Future.t = Future.create () in
+  Future.set_evaluator f (fun () ->
+      ran := true;
+      Future.fulfil f 1);
+  Alcotest.(check bool) "cancel wins" true (Future.cancel f);
+  Alcotest.check_raises "force raises" Future.Cancelled (fun () ->
+      ignore (Future.force f));
+  Alcotest.(check bool) "evaluator never ran" false !ran
+
+let test_cancel_fulfil_race () =
+  (* Exactly one of a concurrent cancel and fulfil wins, and the loser's
+     view is consistent with the winner's. *)
+  let races = 200 in
+  let inconsistent = ref 0 in
+  for _ = 1 to races do
+    let f = Future.create () in
+    let barrier = Sync.Barrier.create 2 in
+    let fulfiller =
+      Domain.spawn (fun () ->
+          Sync.Barrier.wait barrier;
+          Future.try_fulfil f 42)
+    in
+    Sync.Barrier.wait barrier;
+    let cancelled = Future.cancel f in
+    let fulfilled = Domain.join fulfiller in
+    (match (cancelled, fulfilled) with
+    | true, false ->
+        if not (Future.is_cancelled f) then incr inconsistent
+    | false, true -> if Future.force f <> 42 then incr inconsistent
+    | true, true | false, false -> incr inconsistent);
+    ()
+  done;
+  Alcotest.(check int) "one winner, consistent state" 0 !inconsistent
+
+let test_map_propagates_cancel () =
+  let f : int Future.t = Future.create () in
+  let g = Future.map (fun x -> x * 2) f in
+  Alcotest.(check bool) "parent cancelled" true (Future.cancel f);
+  Alcotest.check_raises "derived raises parent's exn, not Stuck"
+    Future.Cancelled (fun () -> ignore (Future.force g));
+  (* The derived future is itself terminated: later forces short-circuit
+     without re-forcing the parent. *)
+  Alcotest.(check bool) "derived cancelled" true (Future.is_cancelled g);
+  Alcotest.check_raises "cached terminal state" Future.Cancelled (fun () ->
+      ignore (Future.force g))
+
+let test_map_propagates_poison () =
+  let f : int Future.t = Future.create () in
+  let g = Future.map (fun x -> x * 2) f in
+  Alcotest.(check bool) "parent poisoned" true
+    (Future.poison f Future.Orphaned);
+  Alcotest.check_raises "derived raises Broken"
+    (Future.Broken Future.Orphaned) (fun () -> ignore (Future.force g));
+  Alcotest.(check bool) "derived poisoned" true (Future.is_poisoned g)
+
+let test_both_propagates_terminal () =
+  let a = Future.create () and b : string Future.t = Future.create () in
+  Future.fulfil a 1;
+  Alcotest.(check bool) "b poisoned" true (Future.poison b Future.Orphaned);
+  let c = Future.both a b in
+  Alcotest.check_raises "pair raises" (Future.Broken Future.Orphaned)
+    (fun () -> ignore (Future.force c));
+  Alcotest.(check bool) "pair poisoned" true (Future.is_poisoned c)
+
+let test_all_propagates_terminal () =
+  let fs = [ Future.of_value 0; Future.create (); Future.of_value 2 ] in
+  (match fs with
+  | [ _; p; _ ] -> Alcotest.(check bool) "cancelled" true (Future.cancel p)
+  | _ -> assert false);
+  let batch = Future.all fs in
+  Alcotest.check_raises "batch raises" Future.Cancelled (fun () ->
+      ignore (Future.force batch));
+  Alcotest.(check bool) "batch cancelled" true (Future.is_cancelled batch)
+
+let test_poison_wakes_waiter () =
+  (* A waiter spinning in await is released (with Broken) when another
+     thread poisons the orphan — the recovery path for a dead fulfiller. *)
+  let f : int Future.t = Future.create () in
+  let waiter =
+    Domain.spawn (fun () ->
+        match Future.await f with
+        | _ -> `Fulfilled
+        | exception Future.Broken Future.Orphaned -> `Poisoned
+        | exception _ -> `Other)
+  in
+  Unix.sleepf 0.005;
+  Alcotest.(check bool) "poison wins" true (Future.poison f Future.Orphaned);
+  Alcotest.(check bool) "waiter released with Broken" true
+    (Domain.join waiter = `Poisoned)
 
 (* ---------------------------- combinators --------------------------- *)
 
@@ -277,6 +419,29 @@ let () =
             test_force_until_broken_evaluator_stuck;
           Alcotest.test_case "await_for cross-domain" `Quick
             test_await_for_cross_domain;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "cancel matrix" `Quick test_cancel_basic;
+          Alcotest.test_case "cancel loses to fulfil" `Quick
+            test_cancel_loses_to_fulfil;
+          Alcotest.test_case "poison matrix" `Quick test_poison_basic;
+          Alcotest.test_case "poison carries reason" `Quick
+            test_poison_carries_reason;
+          Alcotest.test_case "cancelled evaluator not run" `Quick
+            test_cancelled_evaluator_not_run;
+          Alcotest.test_case "cancel vs fulfil race" `Quick
+            test_cancel_fulfil_race;
+          Alcotest.test_case "map propagates cancel" `Quick
+            test_map_propagates_cancel;
+          Alcotest.test_case "map propagates poison" `Quick
+            test_map_propagates_poison;
+          Alcotest.test_case "both propagates terminal" `Quick
+            test_both_propagates_terminal;
+          Alcotest.test_case "all propagates terminal" `Quick
+            test_all_propagates_terminal;
+          Alcotest.test_case "poison wakes waiter" `Quick
+            test_poison_wakes_waiter;
         ] );
       ( "combinators",
         [

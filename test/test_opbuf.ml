@@ -85,6 +85,91 @@ let test_truncate_swap () =
   Alcotest.(check (list int)) "swap a" [ 99 ] (B.to_list a);
   Alcotest.(check (list int)) "swap b" [ 1; 2; 3 ] (B.to_list b)
 
+(* ------------------------ unit: tombstones --------------------------- *)
+
+let test_tombstones_basic () =
+  let b = B.create () in
+  for i = 1 to 5 do
+    B.push b i
+  done;
+  B.delete b 1;
+  B.delete b 3;
+  Alcotest.(check bool) "deleted flagged" true (B.deleted b 1);
+  Alcotest.(check bool) "live slot not flagged" false (B.deleted b 0);
+  Alcotest.(check int) "length keeps logical indices" 5 (B.length b);
+  Alcotest.(check int) "live counts survivors" 3 (B.live b);
+  Alcotest.(check (list int)) "to_list skips tombstones" [ 1; 3; 5 ]
+    (B.to_list b);
+  Alcotest.check_raises "get on deleted slot"
+    (Invalid_argument "Opbuf.get: deleted slot") (fun () ->
+      ignore (B.get b 1));
+  Alcotest.(check int) "neighbours untouched" 3 (B.get b 2);
+  let fwd = ref [] in
+  B.iter (fun x -> fwd := x :: !fwd) b;
+  Alcotest.(check (list int)) "iter skips tombstones" [ 1; 3; 5 ]
+    (List.rev !fwd)
+
+let test_tombstones_compact () =
+  let b = B.create ~capacity:4 () in
+  (* Offset head so compaction crosses the ring's physical wrap. *)
+  for i = 0 to 2 do
+    B.push b i
+  done;
+  B.drop_front b 3;
+  for i = 1 to 7 do
+    B.push b i
+  done;
+  B.delete b 0;
+  B.delete b 2;
+  B.delete b 6;
+  Alcotest.(check int) "compact returns survivors" 4 (B.compact b);
+  Alcotest.(check int) "length shrank" 4 (B.length b);
+  Alcotest.(check (list int)) "order preserved" [ 2; 4; 5; 6 ] (B.to_list b);
+  (* Survivors are real elements again: indexable, poppable. *)
+  Alcotest.(check int) "get 0" 2 (B.get b 0);
+  Alcotest.(check int) "pop_back" 6 (B.pop_back b);
+  (* Compacting a clean buffer is the identity. *)
+  Alcotest.(check int) "idempotent" 3 (B.compact b);
+  Alcotest.(check (list int)) "unchanged" [ 2; 4; 5 ] (B.to_list b)
+
+let test_tombstones_pop_back_skips () =
+  let b = B.create () in
+  for i = 1 to 4 do
+    B.push b i
+  done;
+  B.delete b 3;
+  B.delete b 2;
+  Alcotest.(check int) "pop_back skips trailing tombstones" 2 (B.pop_back b);
+  Alcotest.(check int) "length consumed the tombstones" 1 (B.length b);
+  B.delete b 0;
+  Alcotest.check_raises "all-tombstone buffer pops empty"
+    (Invalid_argument "Opbuf.pop_back: empty") (fun () ->
+      ignore (B.pop_back b))
+
+let test_tombstones_parallel_rings () =
+  (* The weak-stack flush discipline: two index-aligned rings, a cancelled
+     op tombstoned at the same index in both, then both compacted — the
+     pairing of survivors must be preserved. *)
+  let vals = B.create () and tags = B.create () in
+  for i = 1 to 6 do
+    B.push vals (i * 10);
+    B.push tags (Printf.sprintf "t%d" i)
+  done;
+  List.iter
+    (fun i ->
+      B.delete vals i;
+      B.delete tags i)
+    [ 1; 4 ];
+  Alcotest.(check int) "vals compact" 4 (B.compact vals);
+  Alcotest.(check int) "tags compact" 4 (B.compact tags);
+  for i = 0 to B.length vals - 1 do
+    let v = B.get vals i and tag = B.get tags i in
+    Alcotest.(check string)
+      (Printf.sprintf "pair %d aligned" i)
+      (Printf.sprintf "t%d" (v / 10))
+      tag
+  done
+
 (* -------------------- qcheck: list-model parity ---------------------- *)
 
 (* Script: true = push of the (fresh) counter value; false = one of the
@@ -255,6 +340,17 @@ let () =
           Alcotest.test_case "truncate + swap" `Quick test_truncate_swap;
         ]
         @ qsuite [ prop_model; prop_fifo ] );
+      ( "tombstones",
+        [
+          Alcotest.test_case "delete/deleted/live" `Quick
+            test_tombstones_basic;
+          Alcotest.test_case "compact across wrap" `Quick
+            test_tombstones_compact;
+          Alcotest.test_case "pop_back skips" `Quick
+            test_tombstones_pop_back_skips;
+          Alcotest.test_case "parallel rings stay aligned" `Quick
+            test_tombstones_parallel_rings;
+        ] );
       ( "allocation",
         [ Alcotest.test_case "weak-stack flush budget" `Quick test_alloc_budget ] );
       ( "slack",

@@ -16,11 +16,23 @@ bench-full:
 	dune exec bench/main.exe -- all --ops 20000 --repeats 3
 
 # Machine-readable benchmark records (ops/s, CAS/op, minor words/op)
-# under results/, stamped with the git revision.
+# under results/, stamped with the git revision. micro runs with --obs
+# so the record gains the telemetry block (pendingness percentiles,
+# mean splice batch, elimination hit rate).
 bench-json:
 	mkdir -p results
-	dune exec bench/main.exe -- micro --json results/BENCH_micro.json
+	dune exec bench/main.exe -- micro --obs --json results/BENCH_micro.json
 	dune exec bench/main.exe -- fig4 --quick --json results/BENCH_fig4.json
+
+# Flight-recorder capture: run the trace probe with the recorder on and
+# export a Chrome trace_event file (load in ui.perfetto.dev), then
+# schema-check it.
+bench-trace:
+	mkdir -p results
+	dune exec bench/main.exe -- trace --trace results/TRACE_probe.json
+	dune exec bin/validate_trace.exe -- results/TRACE_probe.json \
+		--min-domains 2 --require future.created --require splice. \
+		--require elim. --require combiner.
 
 # Chaos suite: the whole test tree under seeded schedule perturbation
 # (FLDS_FAULTS arms every injection point with delays/yields — never
@@ -46,4 +58,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test test-force bench-quick bench-full bench-json chaos bench-chaos-json doc clean
+.PHONY: all test test-force bench-quick bench-full bench-json bench-trace chaos bench-chaos-json doc clean

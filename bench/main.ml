@@ -14,11 +14,17 @@
      micro                Bechamel single-op costs at slack 1 (paper §5.1)
      cas                  weak-queue CAS-per-op correlation (paper §5.2)
      extra                extension workloads (Zipf keys, asymmetric mix)
-     all                  everything above
+     chaos                seeded fault injection + recovery counters
+     trace                cross-domain probe for the flight recorder
+     all                  everything above (minus chaos and trace)
    Options:
      --quick              small sizes for a fast smoke run
      --full               the paper's 100K ops per thread
-     --ops N --repeats N --threads a,b,c --slacks a,b,c --csv *)
+     --ops N --repeats N --threads a,b,c --slacks a,b,c --csv
+     --obs                turn the observability subsystem on (same as
+                          FLDS_OBS=1); adds an "obs" block to --json
+     --trace PATH         implies --obs; at exit export the flight
+                          recorder to PATH as Chrome trace_event JSON *)
 
 module Future = Futures.Future
 module R = Fl.Registry
@@ -49,6 +55,11 @@ let default_config =
 
 let json_path : string option ref = ref None
 let json_records : string list ref = ref []
+
+(* Observability: [--obs] flips the runtime switch (equivalent to
+   FLDS_OBS=1); [--trace PATH] additionally exports the flight recorder
+   at exit. Both work with every subcommand, chaos included. *)
+let trace_path : string option ref = ref None
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -97,6 +108,47 @@ let git_rev () =
     | _ -> "unknown"
   with _ -> "unknown"
 
+(* When the recorder is on, the JSON document also carries an "obs"
+   block: the optimization-telemetry summary (pendingness and force
+   percentiles, splice batch size, elimination hit rate, lease and
+   recovery counters) accumulated over the whole process run. *)
+let obs_json_block () =
+  if not (Obs.enabled ()) then ""
+  else begin
+    let s = Obs.Metrics.snapshot () in
+    let i k v = Printf.sprintf "\"%s\": %d" k v in
+    let f k v = Printf.sprintf "\"%s\": %s" k (json_num v) in
+    let fields =
+      [
+        i "futures_created" s.Obs.Metrics.futures_created;
+        i "futures_fulfilled" s.Obs.Metrics.futures_fulfilled;
+        i "futures_forced" s.Obs.Metrics.futures_forced;
+        i "futures_cancelled" s.Obs.Metrics.futures_cancelled;
+        i "futures_poisoned" s.Obs.Metrics.futures_poisoned;
+        i "pendingness_p50_ns" (Obs.Metrics.pendingness_p50 s);
+        i "pendingness_p99_ns" (Obs.Metrics.pendingness_p99 s);
+        i "force_p50_ns" (Obs.Metrics.force_p50 s);
+        i "force_p99_ns" (Obs.Metrics.force_p99 s);
+        i "splices" s.Obs.Metrics.splices;
+        i "splice_ops" s.Obs.Metrics.splice_ops;
+        f "mean_splice_batch" (Obs.Metrics.mean_splice_batch s);
+        i "elim_hits" s.Obs.Metrics.elim_hits;
+        i "elim_misses" s.Obs.Metrics.elim_misses;
+        f "elim_hit_rate" (Obs.Metrics.elim_hit_rate s);
+        i "elim_wait_p99_ns" (Obs.Metrics.elim_wait_p99 s);
+        i "combiner_acquires" s.Obs.Metrics.combiner_acquires;
+        i "combiner_takeovers" s.Obs.Metrics.combiner_takeovers;
+        i "combiner_retires" s.Obs.Metrics.combiner_retires;
+        i "backoff_exhausted" s.Obs.Metrics.backoff_exhausted;
+        i "workers_killed" s.Obs.Metrics.workers_killed;
+        i "workers_recovered" s.Obs.Metrics.workers_recovered;
+        i "workers_stalled" s.Obs.Metrics.workers_stalled;
+      ]
+    in
+    Printf.sprintf ",\n  \"obs\": {\n    %s\n  }"
+      (String.concat ",\n    " fields)
+  end
+
 let write_json () =
   match !json_path with
   | None -> ()
@@ -104,12 +156,21 @@ let write_json () =
       let oc = open_out path in
       Printf.fprintf oc
         "{\n  \"generated_by\": \"bench/main.exe\",\n  \"git_rev\": \"%s\",\n\
-        \  \"records\": [\n    %s\n  ]\n}\n"
+        \  \"records\": [\n    %s\n  ]%s\n}\n"
         (json_escape (git_rev ()))
-        (String.concat ",\n    " (List.rev !json_records));
+        (String.concat ",\n    " (List.rev !json_records))
+        (obs_json_block ());
       close_out oc;
       Printf.eprintf "wrote %s (%d records)\n%!" path
         (List.length !json_records)
+
+let write_trace () =
+  match !trace_path with
+  | None -> ()
+  | Some path ->
+      let n = Obs.Trace.export_file path in
+      Printf.eprintf "wrote %s (%d events, %d dropped)\n%!" path n
+        (Obs.Trace.dropped ())
 
 let quick_config =
   { default_config with threads = [ 1; 2; 4 ]; ops = 2_000; repeats = 1 }
@@ -602,6 +663,119 @@ let micro_alloc () =
   medium_queue ();
   Format.print_newline ()
 
+(* Measured cost of the enabled recorder: a single-domain window workload
+   (push a window, flush, pop it back, flush — every op records lifecycle,
+   force and splice events) timed with the switch off and again with it
+   on. The budget in DESIGN.md §10 is < 10%. *)
+let obs_overhead () =
+  let was = Obs.enabled () in
+  let s = Fl.Weak_stack.create ~elimination:false () in
+  let h = Fl.Weak_stack.handle s in
+  let window = 64 and rounds = 4_000 in
+  let round () =
+    for i = 1 to window do
+      ignore (Fl.Weak_stack.push h i : unit Future.t)
+    done;
+    Fl.Weak_stack.flush h;
+    for _ = 1 to window do
+      ignore (Fl.Weak_stack.pop h : int option Future.t)
+    done;
+    Fl.Weak_stack.flush h
+  in
+  let time_rounds () =
+    for _ = 1 to 200 do round () done;
+    Gc.full_major ();
+    let t0 = Sync.Mono.now () in
+    for _ = 1 to rounds do round () done;
+    Sync.Mono.now () -. t0
+  in
+  Obs.set_enabled false;
+  let off = time_rounds () in
+  Obs.set_enabled true;
+  let on_ = time_rounds () in
+  Obs.set_enabled was;
+  let pct = (on_ -. off) /. off *. 100.0 in
+  Format.printf
+    "== Obs overhead: weak-stack window loop — recorder off %.3fs, on \
+     %.3fs (%+.1f%%) ==@.@."
+    off on_ pct;
+  record ~bench:"obs-overhead" ~impl:"weak-stack-window" ~slack:window
+    ~domains:1
+    [ ("off_seconds", off); ("on_seconds", on_); ("overhead_pct", pct) ]
+
+(* Cross-domain probe behind [trace] (and appended to [micro] when the
+   recorder is on, so a `micro --trace` run always carries multi-domain
+   events): two domains share one weak stack with the exchange array and
+   one flat-combining stack, emitting every event family — future
+   lifecycle including cancellations, window splices, elimination hits
+   and misses, combiner leases — from at least two domains. *)
+let obs_probe () =
+  let s = Fl.Weak_stack.create ~elimination:true ~exchange:true () in
+  let fc = Combining.Fc_stack.create () in
+  let ops = 2_000 in
+  let worker seed () =
+    let h = Fl.Weak_stack.handle s in
+    let hf = Combining.Fc_stack.handle fc in
+    let rng = Workload.Rng.create ~seed ~stream:0 in
+    let sl = Fl.Slack.create 16 in
+    for i = 1 to ops do
+      (if Workload.Rng.bool rng then begin
+         let f = Fl.Weak_stack.push h i in
+         Fl.Slack.note sl (fun () -> Future.force f)
+       end
+       else begin
+         let f = Fl.Weak_stack.pop h in
+         Fl.Slack.note sl (fun () -> ignore (Future.force f : int option))
+       end);
+      if i mod 3 = 0 then
+        if Workload.Rng.bool rng then Combining.Fc_stack.push hf i
+        else ignore (Combining.Fc_stack.pop hf : int option);
+      (* A few withdrawn ops, so terminal-state variety shows up. *)
+      if i mod 97 = 0 then
+        ignore (Future.cancel (Fl.Weak_stack.pop h) : bool)
+    done;
+    Fl.Slack.drain sl;
+    Fl.Weak_stack.flush h
+  in
+  let d1 = Domain.spawn (worker 11) and d2 = Domain.spawn (worker 22) in
+  Domain.join d1;
+  Domain.join d2;
+  (* Guaranteed elimination hits: one domain parks takes while this one
+     probes gives until each is claimed (bounded, in case a parked offer
+     times out against a descheduled partner). *)
+  let ex = Lockfree.Exchanger.create () in
+  let taker =
+    Domain.spawn (fun () ->
+        for _ = 1 to 16 do
+          ignore (Lockfree.Exchanger.take ~patience:10_000_000 ex : int option)
+        done)
+  in
+  for _ = 1 to 16 do
+    (* Probe only while a take is actually parked: a blind retry loop
+       would flood the ring with one miss event per empty probe. *)
+    let budget = ref 1_000_000 in
+    let gave = ref false in
+    while (not !gave) && !budget > 0 do
+      decr budget;
+      if Lockfree.Exchanger.takers_waiting ex then
+        gave := Lockfree.Exchanger.try_give ex 1
+      else Domain.cpu_relax ()
+    done
+  done;
+  Domain.join taker
+
+let trace_probe () =
+  Obs.set_enabled true;
+  Format.printf
+    "== Trace: cross-domain probe (future lifecycle + splices + \
+     elimination + combining) ==@.@.";
+  obs_probe ();
+  if !trace_path = None then begin
+    (try Unix.mkdir "results" 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    trace_path := Some "results/TRACE_probe.json"
+  end
+
 (* Single-thread per-operation cost with slack 1 — the paper's direct
    overhead comparison of futures-based vs lock-free versions. *)
 let micro () =
@@ -659,7 +833,11 @@ let micro () =
       | Some [] | None -> Format.printf "  %-24s (no estimate)@." name)
     (List.sort compare rows);
   Format.print_newline ();
-  micro_alloc ()
+  micro_alloc ();
+  if Obs.enabled () then begin
+    obs_overhead ();
+    obs_probe ()
+  end
 
 (* ----------------------------- chaos -------------------------------- *)
 
@@ -824,9 +1002,10 @@ let parse_int_list s = List.map int_of_string (String.split_on_char ',' s)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [fig4|fig5|fig6|ablation|micro|cas|extra|chaos|all]... \
+    "usage: main.exe \
+     [fig4|fig5|fig6|ablation|micro|cas|extra|chaos|trace|all]... \
      [--quick|--full] [--ops N] [--repeats N] [--threads a,b,c] [--slacks \
-     a,b,c] [--seed N] [--csv] [--json PATH]";
+     a,b,c] [--seed N] [--csv] [--json PATH] [--obs] [--trace PATH]";
   exit 2
 
 let () =
@@ -849,10 +1028,17 @@ let () =
     | "--json" :: path :: rest ->
         json_path := Some path;
         parse cfg cmds rest
+    | "--obs" :: rest ->
+        Obs.set_enabled true;
+        parse cfg cmds rest
+    | "--trace" :: path :: rest ->
+        Obs.set_enabled true;
+        trace_path := Some path;
+        parse cfg cmds rest
     | cmd :: rest
       when List.mem cmd
              [ "fig4"; "fig5"; "fig6"; "ablation"; "micro"; "cas"; "extra";
-               "chaos"; "all" ]
+               "chaos"; "trace"; "all" ]
       ->
         parse cfg (cmd :: cmds) rest
     | _ -> usage ()
@@ -877,6 +1063,7 @@ let () =
     | "cas" -> cas_experiment cfg
     | "extra" -> extra cfg
     | "chaos" -> chaos_bench cfg
+    | "trace" -> trace_probe ()
     | "all" ->
         (* chaos is deliberately not part of [all]: its injected delays
            would contaminate the figure timings run in the same process. *)
@@ -890,4 +1077,5 @@ let () =
     | _ -> usage ()
   in
   List.iter run cmds;
-  write_json ()
+  write_json ();
+  write_trace ()

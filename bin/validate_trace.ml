@@ -1,0 +1,272 @@
+(* validate_trace — schema check for the Chrome trace_event JSON the obs
+   flight recorder exports (CI's obs-smoke job runs this on a fresh
+   trace). Verifies:
+
+     - the file is well-formed JSON with a non-empty traceEvents array;
+     - every event carries name (non-empty string), ph = "i", a finite
+       non-negative ts, and integer pid/tid;
+     - events are sorted by ts (the exporter merges per-domain rings);
+     - [--min-domains N]: at least N distinct tids appear;
+     - [--require PREFIX] (repeatable): some event name starts with
+       PREFIX.
+
+   Exits 0 with a summary on success, 1 with a diagnostic on the first
+   violation. The parser is hand-rolled: the repo deliberately has no
+   JSON dependency. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "offset %d: %s" !pos msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        if !pos >= n then fail "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' -> (
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            match int_of_string_opt ("0x" ^ hex) with
+            | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
+            | Some _ ->
+                (* Non-ASCII code point: validity, not the exact text,
+                   is what matters here. *)
+                Buffer.add_char b '?'
+            | None -> fail "malformed \\u escape")
+        | _ -> fail "unknown escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected a value";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content after document";
+  v
+
+let () =
+  let file = ref None in
+  let min_domains = ref 1 in
+  let required = ref [] in
+  let usage () =
+    prerr_endline
+      "usage: validate_trace FILE [--min-domains N] [--require PREFIX]...";
+    exit 2
+  in
+  let rec parse_args = function
+    | [] -> ()
+    | "--min-domains" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some m -> min_domains := m
+        | None -> usage ());
+        parse_args rest
+    | "--require" :: p :: rest ->
+        required := p :: !required;
+        parse_args rest
+    | a :: rest when !file = None && String.length a > 0 && a.[0] <> '-' ->
+        file := Some a;
+        parse_args rest
+    | _ -> usage ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let file = match !file with Some f -> f | None -> usage () in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "%s: %s\n" file m;
+        exit 1)
+      fmt
+  in
+  let contents =
+    try In_channel.with_open_bin file In_channel.input_all
+    with Sys_error m -> fail "%s" m
+  in
+  let doc = try parse contents with Bad m -> fail "invalid JSON (%s)" m in
+  let top =
+    match doc with Obj kvs -> kvs | _ -> fail "top level is not an object"
+  in
+  let events =
+    match List.assoc_opt "traceEvents" top with
+    | Some (Arr evs) -> evs
+    | Some _ -> fail "traceEvents is not an array"
+    | None -> fail "missing traceEvents"
+  in
+  if events = [] then fail "traceEvents is empty";
+  let tids = Hashtbl.create 8 in
+  let last_ts = ref neg_infinity in
+  List.iteri
+    (fun idx ev ->
+      let obj =
+        match ev with
+        | Obj kvs -> kvs
+        | _ -> fail "event %d is not an object" idx
+      in
+      let str k =
+        match List.assoc_opt k obj with
+        | Some (Str v) -> v
+        | _ -> fail "event %d: missing or non-string %S" idx k
+      in
+      let num k =
+        match List.assoc_opt k obj with
+        | Some (Num v) -> v
+        | _ -> fail "event %d: missing or non-number %S" idx k
+      in
+      if str "name" = "" then fail "event %d: empty name" idx;
+      if str "ph" <> "i" then fail "event %d: ph is not \"i\"" idx;
+      let ts = num "ts" in
+      if not (Float.is_finite ts) || ts < 0.0 then
+        fail "event %d: ts is not a finite non-negative number" idx;
+      if ts < !last_ts then fail "event %d: not sorted by ts" idx;
+      last_ts := ts;
+      let integral k =
+        let v = num k in
+        if Float.rem v 1.0 <> 0.0 then fail "event %d: %S not an integer" idx k;
+        v
+      in
+      ignore (integral "pid" : float);
+      Hashtbl.replace tids (integral "tid") ())
+    events;
+  let domains = Hashtbl.length tids in
+  if domains < !min_domains then
+    fail "only %d distinct tid(s), need at least %d" domains !min_domains;
+  List.iter
+    (fun p ->
+      let found =
+        List.exists
+          (function
+            | Obj kvs -> (
+                match List.assoc_opt "name" kvs with
+                | Some (Str nm) -> String.starts_with ~prefix:p nm
+                | _ -> false)
+            | _ -> false)
+          events
+      in
+      if not found then fail "no event with name prefix %S" p)
+    (List.rev !required);
+  Printf.printf "%s: OK (%d events, %d domain(s))\n" file (List.length events)
+    domains

@@ -83,6 +83,7 @@ let handle owner =
 let combine t my_term =
   Atomic.incr t.passes;
   Faults.point "fc.pass";
+  let answered = ref 0 in
   let rec scan = function
     | None -> ()
     | Some r ->
@@ -99,13 +100,17 @@ let combine t my_term =
                   match t.apply_op op with v -> Ok v | exception e -> Error e
                 in
                 Atomic.set r.response (Some result);
-                Atomic.incr t.progress
+                Atomic.incr t.progress;
+                incr answered
               end
           | None -> ());
           scan r.next
         end
   in
-  scan (Atomic.get t.publication)
+  scan (Atomic.get t.publication);
+  (* One lease-guarded pass amortized [answered] ops — the combining
+     analogue of a window splice. *)
+  Obs.splice ~kind:Obs.Event.k_fc_pass ~n:!answered
 
 let try_release t my_term =
   ignore (Atomic.compare_and_set t.term my_term (my_term + 1))
@@ -149,8 +154,10 @@ let retire h =
   in
   match Atomic.get r.request with
   | Some _ as stored ->
-      if Atomic.compare_and_set r.request stored None then
-        Atomic.incr t.retired
+      if Atomic.compare_and_set r.request stored None then begin
+        Atomic.incr t.retired;
+        Obs.combiner_retire ()
+      end
       else drain_stale_response ()
   | None -> drain_stale_response ()
 
@@ -171,6 +178,7 @@ let apply h op =
             (* We are the combiner: everybody's requests, including our
                own (published above, before the lease attempt), are
                answered in this pass. *)
+            Obs.combiner_acquire ();
             run_as_combiner t (term + 1);
             Sync.Backoff.reset b;
             wait (Atomic.get t.term) (Atomic.get t.progress)
@@ -185,12 +193,16 @@ let apply h op =
             Sync.Backoff.once b;
             wait term progress
           end
-          else if Sync.Backoff.give_up b then
+          else if Sync.Backoff.give_up b then begin
             (* No record boundary crossed for a whole spin budget: the
                lease holder is stalled or dead. Usurp its term and
-               combine ourselves rather than spinning forever. *)
+               combine ourselves rather than spinning forever.
+               ([Backoff] lives below [Obs] in the dependency order, so
+               exhaustion is reported here, at the consumption site.) *)
+            Obs.backoff_exhausted ();
             if Atomic.compare_and_set t.term term (term + 2) then begin
               Atomic.incr t.takeovers;
+              Obs.combiner_takeover ();
               run_as_combiner t (term + 2);
               Sync.Backoff.reset b;
               wait (Atomic.get t.term) (Atomic.get t.progress)
@@ -199,6 +211,7 @@ let apply h op =
               Sync.Backoff.reset b;
               wait (Atomic.get t.term) (Atomic.get t.progress)
             end
+          end
           else begin
             Sync.Backoff.once b;
             wait term progress

@@ -61,6 +61,7 @@ let flush_until h stop =
       | Enq _ ->
           Lockfree.Ms_queue.enqueue_seg h.owner.queue ~n ~get:(fun i ->
               enq_value (Opbuf.get h.ops i));
+          Obs.splice ~kind:Obs.Event.k_medium_queue_enq ~n;
           for i = 0 to n - 1 do
             Future.fulfil (enq_future (Opbuf.get h.ops i)) ()
           done
@@ -69,6 +70,7 @@ let flush_until h stop =
             Lockfree.Ms_queue.dequeue_seg h.owner.queue ~n ~f:(fun i v ->
                 Future.fulfil (deq_future (Opbuf.get h.ops i)) (Some v))
           in
+          Obs.splice ~kind:Obs.Event.k_medium_queue_deq ~n:k;
           for i = k to n - 1 do
             Future.fulfil (deq_future (Opbuf.get h.ops i)) None
           done);

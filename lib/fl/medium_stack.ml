@@ -81,6 +81,7 @@ let flush h =
         Lockfree.Treiber_stack.pop_seg h.owner.stack ~n:np ~f:(fun i v ->
             Future.fulfil (Opbuf.get h.shared_pops i) (Some v))
       in
+      Obs.splice ~kind:Obs.Event.k_medium_stack_pop ~n:k;
       for i = k to np - 1 do
         Future.fulfil (Opbuf.get h.shared_pops i) None
       done;
@@ -91,6 +92,7 @@ let flush h =
       (* Oldest surviving push deepest: one CAS splices the window. *)
       Lockfree.Treiber_stack.push_seg h.owner.stack ~n:nb ~get:(fun i ->
           Opbuf.get h.buf_vals i);
+      Obs.splice ~kind:Obs.Event.k_medium_stack_push ~n:nb;
       for i = 0 to nb - 1 do
         Future.fulfil (Opbuf.get h.buf_futs i) ()
       done;

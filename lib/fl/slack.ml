@@ -41,6 +41,7 @@ let drain t =
       (fun () ->
         while not (Opbuf.is_empty t.window) do
           Opbuf.swap t.window t.free;
+          Obs.splice ~kind:Obs.Event.k_slack_drain ~n:(Opbuf.length t.free);
           let run force = force () in
           (match t.order with
           | Newest_first -> Opbuf.rev_iter run t.free

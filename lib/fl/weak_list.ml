@@ -96,6 +96,8 @@ module Make (K : Lockfree.Harris_list.KEY) = struct
         pos := pos';
         i := !j
       done;
+      (* One list traversal resolved the whole sorted window. *)
+      Obs.splice ~kind:Obs.Event.k_weak_list ~n;
       Opbuf.clear h.work
     end
 

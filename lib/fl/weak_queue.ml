@@ -68,6 +68,7 @@ let flush_enqueues h =
     let n = drop_cancelled_pairs h.scratch_vals h.scratch_futs n in
     Lockfree.Ms_queue.enqueue_seg h.owner.queue ~n ~get:(fun i ->
         Opbuf.get h.scratch_vals i);
+    Obs.splice ~kind:Obs.Event.k_weak_queue_enq ~n;
     for i = 0 to n - 1 do
       Future.fulfil (Opbuf.get h.scratch_futs i) ()
     done;
@@ -86,6 +87,7 @@ let flush_dequeues h =
       Lockfree.Ms_queue.dequeue_seg h.owner.queue ~n ~f:(fun i v ->
           Future.fulfil (Opbuf.get h.scratch_deqs i) (Some v))
     in
+    Obs.splice ~kind:Obs.Event.k_weak_queue_deq ~n:k;
     for i = k to n - 1 do
       Future.fulfil (Opbuf.get h.scratch_deqs i) None
     done;

@@ -110,6 +110,7 @@ let flush_pushes h =
     (* Oldest push deepest: one CAS splices the whole window. *)
     Lockfree.Treiber_stack.push_seg h.owner.stack ~n ~get:(fun i ->
         Opbuf.get h.scratch_vals i);
+    Obs.splice ~kind:Obs.Event.k_weak_stack_push ~n;
     for i = 0 to n - 1 do
       Future.fulfil (Opbuf.get h.scratch_futs i) ()
     done;
@@ -127,6 +128,7 @@ let flush_pops h =
       Lockfree.Treiber_stack.pop_seg h.owner.stack ~n ~f:(fun i v ->
           Future.fulfil (Opbuf.get h.scratch_pops i) (Some v))
     in
+    Obs.splice ~kind:Obs.Event.k_weak_stack_pop ~n:k;
     (* Pops in excess of the stack's size try the exchange array — some
        other handle may be flushing pushes right now — and only then
        observe "empty". *)

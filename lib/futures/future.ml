@@ -11,6 +11,9 @@ type 'a t = {
   (* Owner-private: written at creation / by set_evaluator, read by force,
      all on the owner thread, so no atomicity is needed. *)
   mutable evaluator : (unit -> unit) option;
+  (* Obs birth stamp (monotonic ns); 0 = created while obs was off, so
+     terminal transitions never report a garbage pendingness. *)
+  born : int;
 }
 
 exception Already_fulfilled
@@ -20,21 +23,36 @@ exception Cancelled
 exception Broken of exn
 exception Orphaned
 
-let create () = { state = Atomic.make Pending; evaluator = None }
+let create () =
+  { state = Atomic.make Pending; evaluator = None; born = Obs.future_created () }
 
 let create_with ~evaluator =
-  { state = Atomic.make Pending; evaluator = Some evaluator }
+  {
+    state = Atomic.make Pending;
+    evaluator = Some evaluator;
+    born = Obs.future_created ();
+  }
 
-let of_value v = { state = Atomic.make (Ready v); evaluator = None }
+(* Born fulfilled: no pending window, so nothing to observe. *)
+let of_value v = { state = Atomic.make (Ready v); evaluator = None; born = 0 }
 
 let try_fulfil t v =
   Faults.point "future.fulfil";
-  Atomic.compare_and_set t.state Pending (Ready v)
+  let won = Atomic.compare_and_set t.state Pending (Ready v) in
+  if won then Obs.future_fulfilled ~born:t.born;
+  won
 
 let fulfil t v = if not (try_fulfil t v) then raise Already_fulfilled
 
-let cancel t = Atomic.compare_and_set t.state Pending (Terminated Cancelled)
-let poison t e = Atomic.compare_and_set t.state Pending (Terminated (Broken e))
+let cancel t =
+  let won = Atomic.compare_and_set t.state Pending (Terminated Cancelled) in
+  if won then Obs.future_cancelled ~born:t.born;
+  won
+
+let poison t e =
+  let won = Atomic.compare_and_set t.state Pending (Terminated (Broken e)) in
+  if won then Obs.future_poisoned ~born:t.born;
+  won
 
 let is_ready t =
   match Atomic.get t.state with Ready _ -> true | Pending | Terminated _ -> false
@@ -94,8 +112,22 @@ let await_for t ~seconds =
       in
       loop ()
 
-let force t =
+let rec force t =
   Faults.point "future.force";
+  (* Only a force that finds the future unresolved is timed: the force
+     histogram then measures actual waiting/helping, and the common
+     force-after-flush of an already-fulfilled future costs no clock
+     reads. *)
+  match Atomic.get t.state with
+  | Ready v -> v
+  | Terminated e -> raise e
+  | Pending ->
+      let t0 = Obs.force_begin () in
+      let v = force_body t in
+      Obs.future_forced ~t0;
+      v
+
+and force_body t =
   match Atomic.get t.state with
   | Ready v -> v
   | Terminated e -> raise e
@@ -121,8 +153,18 @@ let force t =
           in
           wait stuck_rounds)
 
-let force_until t ~deadline =
+let rec force_until t ~deadline =
   Faults.point "future.force";
+  match Atomic.get t.state with
+  | Ready v -> v
+  | Terminated e -> raise e
+  | Pending ->
+      let t0 = Obs.force_begin () in
+      let v = force_until_body t ~deadline in
+      Obs.future_forced ~t0;
+      v
+
+and force_until_body t ~deadline =
   match Atomic.get t.state with
   | Ready v -> v
   | Terminated e -> raise e
@@ -154,7 +196,11 @@ let force_until t ~deadline =
 (* A derived future inherits its parent's terminal state: forcing it
    raises the parent's [Cancelled]/[Broken] rather than [Stuck], and the
    derived future itself terminates so later forces short-circuit. *)
-let terminate t e = ignore (Atomic.compare_and_set t.state Pending (Terminated e))
+let terminate t e =
+  if Atomic.compare_and_set t.state Pending (Terminated e) then
+    match e with
+    | Broken _ -> Obs.future_poisoned ~born:t.born
+    | _ -> Obs.future_cancelled ~born:t.born
 
 let map f fut =
   let t = create () in

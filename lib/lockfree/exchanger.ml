@@ -46,14 +46,14 @@ let reclaimed t = Atomic.get t.reclaimed
 (* Cheap per-domain randomness: a striped splitmix-style counter, one
    padded cell per domain stripe so slot choice never bounces a line
    between domains (a lost race on a PRNG state is harmless). *)
-let random_slot t =
+let random_index t =
   let stripe = (Domain.self () :> int) land (seed_stripes - 1) in
   let s = Sync.Padded.Int_array.get t.seeds stripe + 0x9E3779B9 in
   Sync.Padded.Int_array.set t.seeds stripe s;
   let s = s lxor (s lsr 16) in
   let s = s * 0x45d9f3b in
   let s = s lxor (s lsr 16) in
-  t.slots.((s land max_int) mod Atomic.get t.width)
+  (s land max_int) mod Atomic.get t.width
 
 (* Width policy: a collision (two offers racing for one slot) means the
    active shard set is too narrow for the traffic — double it; a parked
@@ -78,82 +78,102 @@ let default_patience = 64
 (* Claim a parked take offer for value [v]: remove it from its slot,
    then win its state cell. [false] means the value is still ours —
    either somebody else got the slot first, or the taker cancelled. *)
-let claim_take t slot stored state v =
+let claim_take t ~shard slot stored state v =
   Faults.point "elim.exchange";
   match Atomic.get state with
   | Tcancelled ->
       (* Dead partner still parked: reclaim the slot so it cannot sit in
          the way (or capture anyone) forever. *)
       if Atomic.compare_and_set slot stored None then Atomic.incr t.reclaimed;
+      Obs.elim_miss ~shard;
       false
   | Tfed _ | Tempty ->
       if Atomic.compare_and_set slot stored None then
         if Atomic.compare_and_set state Tempty (Tfed v) then begin
           Atomic.incr t.exchanged;
+          (* Hits are counted once per pair, on the claimant side. *)
+          Obs.elim_hit ~shard;
           true
         end
         else begin
           (* Cancelled as we claimed: we removed the corpse, keep [v]. *)
           Atomic.incr t.reclaimed;
+          Obs.elim_miss ~shard;
           false
         end
       else begin
         widen t;
+        Obs.elim_miss ~shard;
         false
       end
 
 (* Claim a parked give offer: symmetric to [claim_take]. *)
-let claim_give t slot stored (value : 'a) state =
+let claim_give t ~shard slot stored (value : 'a) state =
   Faults.point "elim.exchange";
   match Atomic.get state with
   | Gcancelled ->
       if Atomic.compare_and_set slot stored None then Atomic.incr t.reclaimed;
+      Obs.elim_miss ~shard;
       None
   | Gtaken | Gwaiting ->
       if Atomic.compare_and_set slot stored None then
         if Atomic.compare_and_set state Gwaiting Gtaken then begin
           Atomic.incr t.exchanged;
+          Obs.elim_hit ~shard;
           Some value
         end
         else begin
           Atomic.incr t.reclaimed;
+          Obs.elim_miss ~shard;
           None
         end
       else begin
         widen t;
+        Obs.elim_miss ~shard;
         None
       end
 
 let try_give t v =
-  let slot = random_slot t in
+  let shard = random_index t in
+  let slot = t.slots.(shard) in
   match Atomic.get slot with
-  | Some (Take p) as stored -> claim_take t slot stored p.state v
+  | Some (Take p) as stored -> claim_take t ~shard slot stored p.state v
   | Some (Give _) ->
       widen t;
+      Obs.elim_miss ~shard;
       false
-  | None -> false
+  | None ->
+      Obs.elim_miss ~shard;
+      false
 
 let try_take t =
-  let slot = random_slot t in
+  let shard = random_index t in
+  let slot = t.slots.(shard) in
   match Atomic.get slot with
-  | Some (Give p) as stored -> claim_give t slot stored p.value p.state
+  | Some (Give p) as stored -> claim_give t ~shard slot stored p.value p.state
   | Some (Take _) ->
       widen t;
+      Obs.elim_miss ~shard;
       None
-  | None -> None
+  | None ->
+      Obs.elim_miss ~shard;
+      None
 
 let give ?(patience = default_patience) t v =
-  let slot = random_slot t in
+  let shard = random_index t in
+  let slot = t.slots.(shard) in
   match Atomic.get slot with
-  | Some (Take p) as stored -> claim_take t slot stored p.state v
+  | Some (Take p) as stored -> claim_take t ~shard slot stored p.state v
   | Some (Give _) ->
       widen t;
+      Obs.elim_miss ~shard;
       false
   | None ->
       let state = Atomic.make Gwaiting in
       let boxed = Some (Give { value = v; state }) in
       Faults.point "elim.offer";
       if Atomic.compare_and_set slot None boxed then begin
+        let t0 = Obs.elim_wait_begin () in
         (* Park and wait for a taker. [cancel] decides the race against a
            claimant on the state cell: if it wins, the value was never
            handed over (and the slot is cleared best-effort — a failed
@@ -164,6 +184,9 @@ let give ?(patience = default_patience) t v =
             Atomic.incr t.cancels;
             ignore (Atomic.compare_and_set slot boxed None);
             narrow t;
+            (* A parked offer nobody matched is the miss; a matched one is
+               the hit already counted on the claimant's side. *)
+            Obs.elim_miss ~shard;
             false
           end
           else true
@@ -182,33 +205,42 @@ let give ?(patience = default_patience) t v =
         in
         (* A kill injected while parked must not leave a live offer for a
            partner to capture: withdraw it, then let the exception go. *)
-        try wait patience
-        with e ->
-          ignore (cancel () : bool);
-          raise e
+        match wait patience with
+        | matched ->
+            Obs.elim_wait_end ~t0;
+            matched
+        | exception e ->
+            ignore (cancel () : bool);
+            Obs.elim_wait_end ~t0;
+            raise e
       end
       else begin
         widen t;
+        Obs.elim_miss ~shard;
         false
       end
 
 let take ?(patience = default_patience) t =
-  let slot = random_slot t in
+  let shard = random_index t in
+  let slot = t.slots.(shard) in
   match Atomic.get slot with
-  | Some (Give p) as stored -> claim_give t slot stored p.value p.state
+  | Some (Give p) as stored -> claim_give t ~shard slot stored p.value p.state
   | Some (Take _) ->
       widen t;
+      Obs.elim_miss ~shard;
       None
   | None ->
       let state = Atomic.make Tempty in
       let boxed = Some (Take { state }) in
       Faults.point "elim.offer";
       if Atomic.compare_and_set slot None boxed then begin
+        let t0 = Obs.elim_wait_begin () in
         let cancel () =
           if Atomic.compare_and_set state Tempty Tcancelled then begin
             Atomic.incr t.cancels;
             ignore (Atomic.compare_and_set slot boxed None);
             narrow t;
+            Obs.elim_miss ~shard;
             None
           end
           else
@@ -228,13 +260,18 @@ let take ?(patience = default_patience) t =
                 wait (n - 1)
               end
         in
-        try wait patience
-        with e ->
-          ignore (cancel () : 'a option);
-          raise e
+        match wait patience with
+        | outcome ->
+            Obs.elim_wait_end ~t0;
+            outcome
+        | exception e ->
+            ignore (cancel () : 'a option);
+            Obs.elim_wait_end ~t0;
+            raise e
       end
       else begin
         widen t;
+        Obs.elim_miss ~shard;
         None
       end
 

@@ -1,0 +1,77 @@
+(* The event taxonomy of the flight recorder. Tags and splice kinds are
+   small ints so the record path stores them into preallocated int arrays
+   without boxing; the string names exist only for the post-run exporter
+   and for tests. Keep [name]/[kind_name] in sync with the tag lists —
+   DESIGN.md §10 documents the taxonomy. *)
+
+(* Operation lifecycle. [a] carries the pending/force latency in ns. *)
+let future_created = 0
+let future_fulfilled = 1
+let future_forced = 2
+let future_cancelled = 3
+let future_poisoned = 4
+
+(* Optimization layers. window_splice: [a] = batch size, [b] = kind.
+   elim_hit/elim_miss: [a] = shard index. *)
+let window_splice = 5
+let elim_hit = 6
+let elim_miss = 7
+let combiner_acquire = 8
+let combiner_takeover = 9
+let combiner_retire = 10
+let backoff_exhausted = 11
+
+(* Chaos / recovery (Workload.Runner). [a] = worker index;
+   worker_recovered's [b] = futures poisoned by the abandon hook. *)
+let worker_killed = 12
+let worker_recovered = 13
+let worker_stalled = 14
+
+let tag_count = 15
+
+let name = function
+  | 0 -> "future.created"
+  | 1 -> "future.fulfilled"
+  | 2 -> "future.forced"
+  | 3 -> "future.cancelled"
+  | 4 -> "future.poisoned"
+  | 5 -> "splice"
+  | 6 -> "elim.hit"
+  | 7 -> "elim.miss"
+  | 8 -> "combiner.acquire"
+  | 9 -> "combiner.takeover"
+  | 10 -> "combiner.retire"
+  | 11 -> "backoff.exhausted"
+  | 12 -> "worker.killed"
+  | 13 -> "worker.recovered"
+  | 14 -> "worker.stalled"
+  | t -> "unknown." ^ string_of_int t
+
+let is_terminal t = t = future_fulfilled || t = future_cancelled || t = future_poisoned
+
+(* Splice kinds: which pending window a batch was spliced out of. *)
+let k_weak_stack_push = 0
+let k_weak_stack_pop = 1
+let k_weak_queue_enq = 2
+let k_weak_queue_deq = 3
+let k_medium_stack_push = 4
+let k_medium_stack_pop = 5
+let k_medium_queue_enq = 6
+let k_medium_queue_deq = 7
+let k_weak_list = 8
+let k_slack_drain = 9
+let k_fc_pass = 10
+
+let kind_name = function
+  | 0 -> "weak-stack-push"
+  | 1 -> "weak-stack-pop"
+  | 2 -> "weak-queue-enq"
+  | 3 -> "weak-queue-deq"
+  | 4 -> "medium-stack-push"
+  | 5 -> "medium-stack-pop"
+  | 6 -> "medium-queue-enq"
+  | 7 -> "medium-queue-deq"
+  | 8 -> "weak-list"
+  | 9 -> "slack-drain"
+  | 10 -> "fc-pass"
+  | k -> "kind-" ^ string_of_int k

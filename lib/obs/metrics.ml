@@ -1,0 +1,199 @@
+(* Optimization telemetry: striped counters (Sync.Cas_counter — one
+   padded stripe per domain hash, so bumping a counter never bounces a
+   cache line between domains) plus log-bucketed histograms for the four
+   quantities that explain the paper's optimizations:
+
+   - pendingness: future creation -> fulfilment, the window the paper's
+     whole design keeps open;
+   - force latency: force -> return, what the caller actually waits;
+   - splice batch size: ops amortized by each single-CAS window splice
+     (and each flat-combining pass);
+   - elimination wait: how long a parked offer sits in its shard.
+
+   One process-global instance: the instrumentation points live in
+   library code that has no handle to thread a metrics object through.
+   Scope a measurement by diffing two snapshots. *)
+
+module C = Sync.Cas_counter
+
+type t = {
+  futures_created : C.t;
+  futures_fulfilled : C.t;
+  futures_forced : C.t;
+  futures_cancelled : C.t;
+  futures_poisoned : C.t;
+  splices : C.t;
+  splice_ops : C.t;
+  elim_hits : C.t;
+  elim_misses : C.t;
+  combiner_acquires : C.t;
+  combiner_takeovers : C.t;
+  combiner_retires : C.t;
+  backoff_exhausted : C.t;
+  workers_killed : C.t;
+  workers_recovered : C.t;
+  workers_stalled : C.t;
+  pendingness_ns : Histogram.t;
+  force_ns : Histogram.t;
+  splice_batch : Histogram.t;
+  elim_wait_ns : Histogram.t;
+}
+
+let create () =
+  {
+    futures_created = C.create ();
+    futures_fulfilled = C.create ();
+    futures_forced = C.create ();
+    futures_cancelled = C.create ();
+    futures_poisoned = C.create ();
+    splices = C.create ();
+    splice_ops = C.create ();
+    elim_hits = C.create ();
+    elim_misses = C.create ();
+    combiner_acquires = C.create ();
+    combiner_takeovers = C.create ();
+    combiner_retires = C.create ();
+    backoff_exhausted = C.create ();
+    workers_killed = C.create ();
+    workers_recovered = C.create ();
+    workers_stalled = C.create ();
+    pendingness_ns = Histogram.create ();
+    force_ns = Histogram.create ();
+    splice_batch = Histogram.create ();
+    elim_wait_ns = Histogram.create ();
+  }
+
+let global = create ()
+
+let reset () =
+  let g = global in
+  List.iter C.reset
+    [
+      g.futures_created; g.futures_fulfilled; g.futures_forced;
+      g.futures_cancelled; g.futures_poisoned; g.splices; g.splice_ops;
+      g.elim_hits; g.elim_misses; g.combiner_acquires; g.combiner_takeovers;
+      g.combiner_retires; g.backoff_exhausted; g.workers_killed;
+      g.workers_recovered; g.workers_stalled;
+    ];
+  List.iter Histogram.reset
+    [ g.pendingness_ns; g.force_ns; g.splice_batch; g.elim_wait_ns ]
+
+(* ------------------------- recording hooks -------------------------- *)
+(* Called by the Obs wrappers with the switch already checked. *)
+
+let on_future_created () = C.incr global.futures_created
+
+let on_future_fulfilled d =
+  C.incr global.futures_fulfilled;
+  Histogram.record global.pendingness_ns d
+
+let on_future_forced d =
+  C.incr global.futures_forced;
+  Histogram.record global.force_ns d
+
+let on_future_cancelled () = C.incr global.futures_cancelled
+let on_future_poisoned () = C.incr global.futures_poisoned
+
+let on_splice n =
+  C.incr global.splices;
+  C.add global.splice_ops n;
+  Histogram.record global.splice_batch n
+
+let on_elim_hit () = C.incr global.elim_hits
+let on_elim_miss () = C.incr global.elim_misses
+let on_elim_wait d = Histogram.record global.elim_wait_ns d
+let on_combiner_acquire () = C.incr global.combiner_acquires
+let on_combiner_takeover () = C.incr global.combiner_takeovers
+let on_combiner_retire () = C.incr global.combiner_retires
+let on_backoff_exhausted () = C.incr global.backoff_exhausted
+let on_worker_killed () = C.incr global.workers_killed
+let on_worker_recovered () = C.incr global.workers_recovered
+let on_worker_stalled () = C.incr global.workers_stalled
+
+(* ---------------------------- snapshots ------------------------------ *)
+
+type snapshot = {
+  futures_created : int;
+  futures_fulfilled : int;
+  futures_forced : int;
+  futures_cancelled : int;
+  futures_poisoned : int;
+  splices : int;
+  splice_ops : int;
+  elim_hits : int;
+  elim_misses : int;
+  combiner_acquires : int;
+  combiner_takeovers : int;
+  combiner_retires : int;
+  backoff_exhausted : int;
+  workers_killed : int;
+  workers_recovered : int;
+  workers_stalled : int;
+  pendingness_ns : Histogram.s;
+  force_ns : Histogram.s;
+  splice_batch : Histogram.s;
+  elim_wait_ns : Histogram.s;
+}
+
+let snapshot () =
+  let g = global in
+  {
+    futures_created = C.total g.futures_created;
+    futures_fulfilled = C.total g.futures_fulfilled;
+    futures_forced = C.total g.futures_forced;
+    futures_cancelled = C.total g.futures_cancelled;
+    futures_poisoned = C.total g.futures_poisoned;
+    splices = C.total g.splices;
+    splice_ops = C.total g.splice_ops;
+    elim_hits = C.total g.elim_hits;
+    elim_misses = C.total g.elim_misses;
+    combiner_acquires = C.total g.combiner_acquires;
+    combiner_takeovers = C.total g.combiner_takeovers;
+    combiner_retires = C.total g.combiner_retires;
+    backoff_exhausted = C.total g.backoff_exhausted;
+    workers_killed = C.total g.workers_killed;
+    workers_recovered = C.total g.workers_recovered;
+    workers_stalled = C.total g.workers_stalled;
+    pendingness_ns = Histogram.snapshot g.pendingness_ns;
+    force_ns = Histogram.snapshot g.force_ns;
+    splice_batch = Histogram.snapshot g.splice_batch;
+    elim_wait_ns = Histogram.snapshot g.elim_wait_ns;
+  }
+
+let diff (later : snapshot) (earlier : snapshot) =
+  {
+    futures_created = later.futures_created - earlier.futures_created;
+    futures_fulfilled = later.futures_fulfilled - earlier.futures_fulfilled;
+    futures_forced = later.futures_forced - earlier.futures_forced;
+    futures_cancelled = later.futures_cancelled - earlier.futures_cancelled;
+    futures_poisoned = later.futures_poisoned - earlier.futures_poisoned;
+    splices = later.splices - earlier.splices;
+    splice_ops = later.splice_ops - earlier.splice_ops;
+    elim_hits = later.elim_hits - earlier.elim_hits;
+    elim_misses = later.elim_misses - earlier.elim_misses;
+    combiner_acquires = later.combiner_acquires - earlier.combiner_acquires;
+    combiner_takeovers = later.combiner_takeovers - earlier.combiner_takeovers;
+    combiner_retires = later.combiner_retires - earlier.combiner_retires;
+    backoff_exhausted = later.backoff_exhausted - earlier.backoff_exhausted;
+    workers_killed = later.workers_killed - earlier.workers_killed;
+    workers_recovered = later.workers_recovered - earlier.workers_recovered;
+    workers_stalled = later.workers_stalled - earlier.workers_stalled;
+    pendingness_ns = Histogram.diff later.pendingness_ns earlier.pendingness_ns;
+    force_ns = Histogram.diff later.force_ns earlier.force_ns;
+    splice_batch = Histogram.diff later.splice_batch earlier.splice_batch;
+    elim_wait_ns = Histogram.diff later.elim_wait_ns earlier.elim_wait_ns;
+  }
+
+(* --------------------------- derived views --------------------------- *)
+
+let pendingness_p50 s = Histogram.percentile_value s.pendingness_ns 50.0
+let pendingness_p99 s = Histogram.percentile_value s.pendingness_ns 99.0
+let force_p50 s = Histogram.percentile_value s.force_ns 50.0
+let force_p99 s = Histogram.percentile_value s.force_ns 99.0
+let mean_splice_batch s = Histogram.mean_value s.splice_batch
+let elim_wait_p99 s = Histogram.percentile_value s.elim_wait_ns 99.0
+
+let elim_hit_rate s =
+  let attempts = s.elim_hits + s.elim_misses in
+  if attempts = 0 then 0.0
+  else float_of_int s.elim_hits /. float_of_int attempts

@@ -1,0 +1,77 @@
+(** Optimization telemetry: striped counters plus log-bucketed histograms
+    for pendingness (create→fulfil), force latency, splice batch size and
+    elimination wait. One process-global instance; scope a measurement by
+    diffing two {!snapshot}s. The [on_*] hooks are called by the {!Obs}
+    wrappers with the runtime switch already checked. *)
+
+val reset : unit -> unit
+
+(** {2 Recording hooks (switch pre-checked by [Obs])} *)
+
+val on_future_created : unit -> unit
+val on_future_fulfilled : int -> unit
+(** Argument: pendingness (create→fulfil) in ns. *)
+
+val on_future_forced : int -> unit
+(** Argument: force→return latency in ns. *)
+
+val on_future_cancelled : unit -> unit
+val on_future_poisoned : unit -> unit
+
+val on_splice : int -> unit
+(** Argument: ops amortized by this single-CAS splice (or combining
+    pass). *)
+
+val on_elim_hit : unit -> unit
+val on_elim_miss : unit -> unit
+val on_elim_wait : int -> unit
+(** Argument: time a parked offer waited in its shard, ns. *)
+
+val on_combiner_acquire : unit -> unit
+val on_combiner_takeover : unit -> unit
+val on_combiner_retire : unit -> unit
+val on_backoff_exhausted : unit -> unit
+val on_worker_killed : unit -> unit
+val on_worker_recovered : unit -> unit
+val on_worker_stalled : unit -> unit
+
+(** {2 Snapshots} *)
+
+type snapshot = {
+  futures_created : int;
+  futures_fulfilled : int;
+  futures_forced : int;
+  futures_cancelled : int;
+  futures_poisoned : int;
+  splices : int;
+  splice_ops : int;
+  elim_hits : int;
+  elim_misses : int;
+  combiner_acquires : int;
+  combiner_takeovers : int;
+  combiner_retires : int;
+  backoff_exhausted : int;
+  workers_killed : int;
+  workers_recovered : int;
+  workers_stalled : int;
+  pendingness_ns : Histogram.s;
+  force_ns : Histogram.s;
+  splice_batch : Histogram.s;
+  elim_wait_ns : Histogram.s;
+}
+
+val snapshot : unit -> snapshot
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier]. *)
+
+(** {2 Derived views (on a snapshot or diff)} *)
+
+val pendingness_p50 : snapshot -> int
+val pendingness_p99 : snapshot -> int
+val force_p50 : snapshot -> int
+val force_p99 : snapshot -> int
+val mean_splice_batch : snapshot -> float
+val elim_wait_p99 : snapshot -> int
+
+val elim_hit_rate : snapshot -> float
+(** hits / (hits + misses); [0.] with no attempts. *)

@@ -1,0 +1,134 @@
+(* Root of the observability subsystem. The wrappers below are the only
+   functions instrumented hot paths call: each is a no-op behind a single
+   atomic load when the subsystem is off (env FLDS_OBS, or
+   [set_enabled]), and when on records both a flight-recorder event
+   (Trace) and the matching counters/histograms (Metrics). *)
+
+module Histogram = Histogram
+module Event = Event
+module Trace = Trace
+module Metrics = Metrics
+
+let enabled = Switch.enabled
+let set_enabled = Switch.set_enabled
+let now_ns = Trace.now_ns
+
+(* ------------------------- future lifecycle -------------------------- *)
+
+(* [future_created] returns the birth stamp the future carries (0 when
+   off — the terminal wrappers treat 0 as "untracked", so a future
+   created while obs was off never reports a garbage latency). *)
+let future_created () =
+  if Switch.enabled () then begin
+    let ts = Trace.now_ns () in
+    Trace.emit_at ~ts Event.future_created 0 0;
+    Metrics.on_future_created ();
+    ts
+  end
+  else 0
+
+let future_fulfilled ~born =
+  if born <> 0 && Switch.enabled () then begin
+    let ts = Trace.now_ns () in
+    let d = ts - born in
+    Trace.emit_at ~ts Event.future_fulfilled d 0;
+    Metrics.on_future_fulfilled d
+  end
+
+let future_cancelled ~born =
+  if born <> 0 && Switch.enabled () then begin
+    let ts = Trace.now_ns () in
+    Trace.emit_at ~ts Event.future_cancelled (ts - born) 0;
+    Metrics.on_future_cancelled ()
+  end
+
+let future_poisoned ~born =
+  if born <> 0 && Switch.enabled () then begin
+    let ts = Trace.now_ns () in
+    Trace.emit_at ~ts Event.future_poisoned (ts - born) 0;
+    Metrics.on_future_poisoned ()
+  end
+
+let force_begin () = if Switch.enabled () then Trace.now_ns () else 0
+
+let future_forced ~t0 =
+  if t0 <> 0 && Switch.enabled () then begin
+    let ts = Trace.now_ns () in
+    let d = ts - t0 in
+    Trace.emit_at ~ts Event.future_forced d 0;
+    Metrics.on_future_forced d
+  end
+
+(* --------------------------- window splices -------------------------- *)
+
+let splice ~kind ~n =
+  if n > 0 && Switch.enabled () then begin
+    Trace.emit Event.window_splice n kind;
+    Metrics.on_splice n
+  end
+
+(* ---------------------------- elimination ---------------------------- *)
+
+let elim_hit ~shard =
+  if Switch.enabled () then begin
+    Trace.emit Event.elim_hit shard 0;
+    Metrics.on_elim_hit ()
+  end
+
+let elim_miss ~shard =
+  if Switch.enabled () then begin
+    Trace.emit Event.elim_miss shard 0;
+    Metrics.on_elim_miss ()
+  end
+
+let elim_wait_begin = force_begin
+
+let elim_wait_end ~t0 =
+  if t0 <> 0 && Switch.enabled () then
+    Metrics.on_elim_wait (Trace.now_ns () - t0)
+
+(* ----------------------------- combining ----------------------------- *)
+
+let combiner_acquire () =
+  if Switch.enabled () then begin
+    Trace.emit Event.combiner_acquire 0 0;
+    Metrics.on_combiner_acquire ()
+  end
+
+let combiner_takeover () =
+  if Switch.enabled () then begin
+    Trace.emit Event.combiner_takeover 0 0;
+    Metrics.on_combiner_takeover ()
+  end
+
+let combiner_retire () =
+  if Switch.enabled () then begin
+    Trace.emit Event.combiner_retire 0 0;
+    Metrics.on_combiner_retire ()
+  end
+
+let backoff_exhausted () =
+  if Switch.enabled () then begin
+    Trace.emit Event.backoff_exhausted 0 0;
+    Metrics.on_backoff_exhausted ()
+  end
+
+(* -------------------------- chaos / recovery ------------------------- *)
+
+let worker_killed ~worker =
+  if Switch.enabled () then begin
+    Trace.emit Event.worker_killed worker 0;
+    Metrics.on_worker_killed ()
+  end
+
+let worker_recovered ~worker ~poisoned =
+  if Switch.enabled () then begin
+    Trace.emit Event.worker_recovered worker poisoned;
+    Metrics.on_worker_recovered ()
+  end
+
+let worker_stalled ~worker =
+  if Switch.enabled () then begin
+    Trace.emit Event.worker_stalled worker 0;
+    Metrics.on_worker_stalled ()
+  end

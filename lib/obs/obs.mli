@@ -1,0 +1,74 @@
+(** Observability: flight recorder + optimization telemetry.
+
+    Three layers behind one runtime switch:
+
+    - {!Trace} — per-domain lock-free ring-buffer flight recorder with a
+      Chrome trace_event exporter (Perfetto / about:tracing);
+    - {!Metrics} — striped counters and log-bucketed histograms for
+      pendingness, force latency, splice batch size and elimination
+      wait, with a snapshot/diff API;
+    - the wrappers below — what instrumented hot paths actually call.
+      Each is a no-op behind a {e single atomic load} when the switch is
+      off, so instrumented code is indistinguishable from uninstrumented
+      code in both time and allocation.
+
+    The switch starts from the [FLDS_OBS] environment variable (unset,
+    empty or ["0"] = off) and can be flipped at runtime. *)
+
+module Histogram = Histogram
+module Event = Event
+module Trace = Trace
+module Metrics = Metrics
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds ({!Sync.Mono}), the subsystem's time base. *)
+
+(** {2 Future lifecycle} *)
+
+val future_created : unit -> int
+(** Record a creation and return the birth stamp the future should carry
+    ([0] when off — terminal wrappers ignore untracked futures). *)
+
+val future_fulfilled : born:int -> unit
+val future_cancelled : born:int -> unit
+val future_poisoned : born:int -> unit
+(** Record a terminal transition; the pendingness (now − [born]) goes to
+    the trace and, for fulfilment, the pendingness histogram. No-ops
+    when [born = 0]. *)
+
+val force_begin : unit -> int
+(** Stamp the start of a force ([0] when off). Callers only stamp
+    forces that find the future unresolved: the force histogram
+    measures actual waiting/helping, and the common force of an
+    already-fulfilled future costs no clock reads. *)
+
+val future_forced : t0:int -> unit
+(** Record a force completion with latency now − [t0]; no-op when
+    [t0 = 0]. *)
+
+(** {2 Optimization layers} *)
+
+val splice : kind:int -> n:int -> unit
+(** A single-CAS window splice (or combining pass) that amortized [n]
+    ops; [kind] is an {!Event.kind_name} constant. No-op when [n = 0]. *)
+
+val elim_hit : shard:int -> unit
+val elim_miss : shard:int -> unit
+
+val elim_wait_begin : unit -> int
+val elim_wait_end : t0:int -> unit
+(** Histogram the time a parked elimination offer waited. *)
+
+val combiner_acquire : unit -> unit
+val combiner_takeover : unit -> unit
+val combiner_retire : unit -> unit
+val backoff_exhausted : unit -> unit
+
+(** {2 Chaos / recovery} *)
+
+val worker_killed : worker:int -> unit
+val worker_recovered : worker:int -> poisoned:int -> unit
+val worker_stalled : worker:int -> unit

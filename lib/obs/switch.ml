@@ -1,0 +1,15 @@
+(* The single runtime switch for the whole observability subsystem.
+   Reading it is one atomic load — the only cost instrumentation adds to
+   a hot path when observability is off. Separate from obs.ml so that
+   trace.ml and metrics.ml (which the root module re-exports) can consult
+   it without a dependency cycle. *)
+
+let initially =
+  match Sys.getenv_opt "FLDS_OBS" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let on = Atomic.make initially
+
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b

@@ -1,0 +1,49 @@
+(** Per-domain lock-free flight recorder.
+
+    Each domain owns a fixed-capacity ring (overwrite-oldest) of typed
+    events stamped with {!Sync.Mono} nanoseconds. Recording is a DLS
+    read plus four int-array stores — no CAS, no allocation. Export is a
+    quiescent-time merge of every domain's surviving events, sorted by
+    timestamp, rendered as Chrome [trace_event] JSON (load in
+    about:tracing or {{:https://ui.perfetto.dev}Perfetto}).
+
+    [emit]/[emit_at] are unconditional: the {!Obs} wrappers consult
+    {!Obs.enabled} before calling them. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds as an int (the ring's timestamp domain). *)
+
+val default_capacity : int
+
+val set_capacity : int -> unit
+(** Events kept per domain for rings created {e from now on} (rounded up
+    to a power of two); existing rings keep their capacity. *)
+
+val emit : int -> int -> int -> unit
+(** [emit tag a b] records an event stamped now into the calling
+    domain's ring. Tags and args are {!Event} ints. *)
+
+val emit_at : ts:int -> int -> int -> int -> unit
+(** [emit] with an explicit timestamp — for deterministic tests. *)
+
+val clear : unit -> unit
+(** Empty every ring. Quiescent-time only. *)
+
+val dropped : unit -> int
+(** Events overwritten (lost to ring capacity) across all domains since
+    the last [clear]. *)
+
+type event = { e_ts : int; e_dom : int; e_tag : int; e_a : int; e_b : int }
+
+val events : unit -> event list
+(** All surviving events from every domain (including terminated ones),
+    sorted by timestamp. Quiescent-time only. *)
+
+val export : out_channel -> int
+(** Write Chrome trace_event JSON; returns the number of events. *)
+
+val export_file : string -> int
+
+val event_name : event -> string
+(** The exported name — splice events carry their window kind
+    (["splice.weak-stack-push"]). *)

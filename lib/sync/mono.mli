@@ -12,6 +12,12 @@
 val now_ns : unit -> int64
 (** Monotonic time in nanoseconds. Allocation-free. *)
 
+val now_ns_int : unit -> int
+(** [now_ns] truncated to an OCaml int (63 bits: ~146 years of uptime).
+    Unlike the [int64] reading — whose box is only elided under flambda —
+    this never allocates on any compiler, which is what the obs flight
+    recorder's record path needs. *)
+
 val now : unit -> float
 (** Monotonic time in seconds, for deadline arithmetic alongside
     fractional-second timeouts. *)

@@ -20,3 +20,17 @@ value flds_mono_now_byte(value unit)
 {
   return caml_copy_int64(flds_mono_now_unboxed(unit));
 }
+
+/* Same clock truncated to an OCaml int (63 bits of nanoseconds: ~146
+   years of uptime). The int64 variant's box is only elided under
+   flambda; the obs flight recorder stamps events on every hot-path
+   call, so it needs a reading that never allocates on any compiler. */
+intnat flds_mono_now_int_unboxed(value unit)
+{
+  return (intnat)flds_mono_now_unboxed(unit);
+}
+
+value flds_mono_now_int_byte(value unit)
+{
+  return Val_long(flds_mono_now_int_unboxed(unit));
+}

@@ -102,10 +102,18 @@ let make_recovery threads =
    resume and must keep its live windows. *)
 let try_abandon r i =
   if Atomic.compare_and_set r.abandoned.(i) false true then begin
-    (match Atomic.get r.hooks.(i) with
-    | Some hook -> ignore (Atomic.fetch_and_add r.poisoned (hook ()))
-    | None -> ());
-    Atomic.incr r.recovered
+    let n =
+      match Atomic.get r.hooks.(i) with
+      | Some hook ->
+          let n = hook () in
+          ignore (Atomic.fetch_and_add r.poisoned n);
+          n
+      | None -> 0
+    in
+    Atomic.incr r.recovered;
+    (* The hook above already emitted one [future.poisoned] per orphan,
+       so in a trace the poison events precede this recovery marker. *)
+    Obs.worker_recovered ~worker:i ~poisoned:n
   end
 
 (* One watchdog scan: recover dead workers, flag silent heartbeats. A
@@ -121,7 +129,8 @@ let watchdog_scan r ~last_beats ~warned =
         let b = Atomic.get r.beats.(i) in
         if b > 0 && b = last_beats.(i) && not warned.(i) then begin
           warned.(i) <- true;
-          Atomic.incr r.stall_warnings
+          Atomic.incr r.stall_warnings;
+          Obs.worker_stalled ~worker:i
         end;
         last_beats.(i) <- b
       end)
@@ -196,6 +205,9 @@ let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total ?teardown
           | () -> Atomic.set recovery.states.(i) st_done
           | exception e ->
               Atomic.set recovery.states.(i) st_dead;
+              (* Emitted from the dying domain itself, so the kill
+                 timestamp precedes any recovery the watchdog performs. *)
+              Obs.worker_killed ~worker:i;
               raise e)
     in
     let domains = List.init threads spawn in

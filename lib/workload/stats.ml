@@ -1,39 +1,5 @@
-let check_non_empty name xs =
-  if Array.length xs = 0 then invalid_arg (name ^ ": empty sample array")
-
-let mean xs =
-  check_non_empty "Stats.mean" xs;
-  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
-
-let std_dev xs =
-  let n = Array.length xs in
-  if n < 2 then 0.0
-  else begin
-    let m = mean xs in
-    let sum_sq =
-      Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
-    in
-    sqrt (sum_sq /. float_of_int (n - 1))
-  end
-
-let min xs =
-  check_non_empty "Stats.min" xs;
-  Array.fold_left Stdlib.min xs.(0) xs
-
-let max xs =
-  check_non_empty "Stats.max" xs;
-  Array.fold_left Stdlib.max xs.(0) xs
-
-let percentile xs p =
-  check_non_empty "Stats.percentile" xs;
-  if p < 0.0 || p > 100.0 then
-    invalid_arg "Stats.percentile: p out of [0, 100]";
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
-  let n = Array.length sorted in
-  let rank =
-    int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1
-  in
-  sorted.(Stdlib.max 0 (Stdlib.min (n - 1) rank))
-
-let median xs = percentile xs 50.0
+(* The percentile math itself lives in [Obs.Histogram] — one nearest-rank
+   definition shared by the benchmark tables and the observability
+   subsystem — and this module keeps its historical name for the
+   reporting code. *)
+include Obs.Histogram

@@ -105,7 +105,7 @@ let test_stats_basics () =
 let test_stats_degenerate () =
   Alcotest.check feq "std of single" 0.0 (Workload.Stats.std_dev [| 5.0 |]);
   Alcotest.check_raises "empty mean"
-    (Invalid_argument "Stats.mean: empty sample array") (fun () ->
+    (Invalid_argument "Histogram.mean: empty sample array") (fun () ->
       ignore (Workload.Stats.mean [||]))
 
 let test_report_rendering () =

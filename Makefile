@@ -52,10 +52,34 @@ bench-chaos-json:
 		--threads 1,2,4 --seed $(CHAOS_SEED) \
 		--json results/BENCH_chaos.json
 
+# Fuzz gauntlet, PR-sized: a short campaign over every target, then the
+# intentionally-too-strong check (weak stack against Medium) which must
+# fail, shrink to a tiny program, and replay byte-for-byte. The `!`
+# inverts flbench's exit status: finding that violation is the pass.
+FUZZ_SEED ?= 2014
+fuzz-smoke:
+	mkdir -p results/fuzz
+	dune exec bin/flbench.exe -- fuzz --seed $(FUZZ_SEED) --iters 5 \
+		--out results/fuzz
+	! dune exec bin/flbench.exe -- fuzz --target stack/weak \
+		--condition medium --seed $(FUZZ_SEED) --iters 20 \
+		--out results/fuzz
+	dune exec bin/flbench.exe -- \
+		fuzz --replay results/fuzz/$(FUZZ_SEED).repro
+
+# Nightly-depth campaign: more iterations and a wall-clock budget per
+# target so the whole sweep stays bounded. Any .repro left in
+# results/fuzz is a real counterexample to triage.
+FUZZ_BUDGET ?= 300
+fuzz-soak:
+	mkdir -p results/fuzz
+	dune exec bin/flbench.exe -- fuzz --seed $(FUZZ_SEED) --iters 400 \
+		--budget $(FUZZ_BUDGET) --out results/fuzz
+
 doc:
 	dune build @doc
 
 clean:
 	dune clean
 
-.PHONY: all test test-force bench-quick bench-full bench-json bench-trace chaos bench-chaos-json doc clean
+.PHONY: all test test-force bench-quick bench-full bench-json bench-trace chaos bench-chaos-json fuzz-smoke fuzz-soak doc clean

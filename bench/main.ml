@@ -996,6 +996,57 @@ let chaos_bench cfg =
   else Workload.Report.print ppf table;
   Format.pp_print_newline ppf ()
 
+(* ------------------------------ fuzz -------------------------------- *)
+
+(* Conformance-fuzz smoke run: a short seeded campaign per target, the
+   same machinery `flbench fuzz` drives (and CI gates on). Reported per
+   target and recorded in the JSON sink; any counterexample is shrunk
+   and saved under results/fuzz/. *)
+let fuzz_bench cfg =
+  let seed = !chaos_seed in
+  let iters = max 2 cfg.repeats in
+  Format.printf
+    "== Fuzz: FL-conformance campaigns (seed %d, %d iters/target) ==@.@."
+    seed iters;
+  let failures = ref 0 in
+  List.iter
+    (fun (t : Fuzz.Exec.target) ->
+      let file =
+        Printf.sprintf "%d-%s.repro" seed
+          (String.map (function '/' -> '-' | c -> c) t.Fuzz.Exec.name)
+      in
+      let r = Fuzz.Driver.fuzz ~iters ~budget:30. ~file ~seed t in
+      record ~bench:"fuzz" ~impl:t.Fuzz.Exec.name ~slack:0
+        ~domains:Fuzz.Program.default_size.Fuzz.Program.threads
+        [
+          ("iters", float_of_int r.Fuzz.Driver.iters);
+          ("ops", float_of_int r.Fuzz.Driver.total_ops);
+          ("violations", float_of_int r.Fuzz.Driver.violations);
+          ("fsc_witnesses", float_of_int r.Fuzz.Driver.fsc_witnesses);
+        ];
+      match r.Fuzz.Driver.repro_path with
+      | None ->
+          Printf.printf "  %-16s [%-6s] %2d iters %5d ops  ok%s\n%!"
+            r.Fuzz.Driver.target
+            (Lin.Order.condition_name r.Fuzz.Driver.condition)
+            r.Fuzz.Driver.iters r.Fuzz.Driver.total_ops
+            (if r.Fuzz.Driver.fsc_witnesses > 0 then
+               Printf.sprintf "  (%d fig3 Fsc witnesses)"
+                 r.Fuzz.Driver.fsc_witnesses
+             else "")
+      | Some path ->
+          incr failures;
+          Printf.printf "  %-16s [%-6s] VIOLATION — shrunk repro: %s\n%!"
+            r.Fuzz.Driver.target
+            (Lin.Order.condition_name r.Fuzz.Driver.condition)
+            path)
+    Fuzz.Exec.targets;
+  if !failures > 0 then
+    Printf.printf "\n  %d target(s) FAILED — replay with flbench fuzz \
+                   --replay <repro>\n"
+      !failures;
+  print_newline ()
+
 (* ------------------------------ main -------------------------------- *)
 
 let parse_int_list s = List.map int_of_string (String.split_on_char ',' s)
@@ -1003,7 +1054,7 @@ let parse_int_list s = List.map int_of_string (String.split_on_char ',' s)
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [fig4|fig5|fig6|ablation|micro|cas|extra|chaos|trace|all]... \
+     [fig4|fig5|fig6|ablation|micro|cas|extra|chaos|trace|fuzz|all]... \
      [--quick|--full] [--ops N] [--repeats N] [--threads a,b,c] [--slacks \
      a,b,c] [--seed N] [--csv] [--json PATH] [--obs] [--trace PATH]";
   exit 2
@@ -1038,7 +1089,7 @@ let () =
     | cmd :: rest
       when List.mem cmd
              [ "fig4"; "fig5"; "fig6"; "ablation"; "micro"; "cas"; "extra";
-               "chaos"; "trace"; "all" ]
+               "chaos"; "trace"; "fuzz"; "all" ]
       ->
         parse cfg (cmd :: cmds) rest
     | _ -> usage ()
@@ -1064,6 +1115,7 @@ let () =
     | "extra" -> extra cfg
     | "chaos" -> chaos_bench cfg
     | "trace" -> trace_probe ()
+    | "fuzz" -> fuzz_bench cfg
     | "all" ->
         (* chaos is deliberately not part of [all]: its injected delays
            would contaminate the figure timings run in the same process. *)

@@ -219,7 +219,185 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ structure_arg $ impl_arg $ rounds_arg)
 
+(* ------------------------------ fuzz -------------------------------- *)
+
+let fuzz_target_names = List.map (fun t -> t.Fuzz.Exec.name) Fuzz.Exec.targets
+
+let fuzz_targets_arg =
+  let doc =
+    "Target to fuzz (repeatable; default all). One of: "
+    ^ String.concat ", " fuzz_target_names ^ "."
+  in
+  Arg.(value & opt_all string [] & info [ "target" ] ~docv:"TARGET" ~doc)
+
+let fuzz_seed_arg =
+  Arg.(
+    value & opt int 2014
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Campaign seed. Same seed, same programs, same perturbation \
+           plans, same verdicts.")
+
+let fuzz_iters_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "iters" ] ~docv:"N" ~doc:"Iterations per target.")
+
+let fuzz_budget_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "budget" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget per target (0 = none); stops the iteration \
+           loop when exceeded.")
+
+let fuzz_condition_arg =
+  let conds =
+    [ ("strong", Lin.Order.Strong); ("medium", Lin.Order.Medium);
+      ("weak", Lin.Order.Weak); ("fsc", Lin.Order.Fsc) ]
+  in
+  let doc =
+    "Override the checked condition (strong, medium, weak, fsc). The \
+     acceptance gauntlet runs an intentionally-too-strong check, e.g. \
+     --target stack/weak --condition medium."
+  in
+  Arg.(
+    value & opt (some (enum conds)) None
+    & info [ "condition" ] ~docv:"COND" ~doc)
+
+let fuzz_threads_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "threads" ] ~docv:"N" ~doc:"Program threads (0 = default 3).")
+
+let fuzz_phases_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "phases" ] ~docv:"N" ~doc:"Program phases (0 = default 2).")
+
+let fuzz_steps_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "steps" ] ~docv:"N"
+        ~doc:"Steps per thread per phase (0 = default 5).")
+
+let fuzz_out_arg =
+  Arg.(
+    value
+    & opt string Fuzz.Driver.default_out_dir
+    & info [ "out" ] ~docv:"DIR" ~doc:"Directory for .repro files.")
+
+let fuzz_replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Re-execute a saved .repro byte-for-byte instead of fuzzing. \
+           Exits 0 when the recorded violation reproduces, 1 when it no \
+           longer does, 2 on a malformed file.")
+
+let sanitize name =
+  String.map (function '/' -> '-' | c -> c) name
+
+let fuzz_cmd =
+  let doc =
+    "Fuzz the structures for futures-linearizability violations: random \
+     op programs under seeded schedule-perturbation plans, recorded \
+     histories checked against each target's claimed condition, failures \
+     shrunk to a minimal .repro."
+  in
+  let run targets seed iters budget condition threads phases steps out
+      replay =
+    match replay with
+    | Some path -> (
+        let r, out =
+          try Fuzz.Driver.replay path
+          with
+          | Invalid_argument msg | Sys_error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 2
+        in
+        match out.Fuzz.Exec.verdict with
+        | Fuzz.Exec.Violation msg ->
+            print_endline msg;
+            Printf.printf
+              "replay %s: violation of %s reproduced (%d ops)\n" path
+              (Lin.Order.condition_name r.Fuzz.Repro.condition)
+              out.Fuzz.Exec.ops
+        | Fuzz.Exec.Pass ->
+            Printf.printf
+              "replay %s: PASSED — the recorded violation did not \
+               reproduce (%d ops)\n"
+              path out.Fuzz.Exec.ops;
+            exit 1)
+    | None ->
+        let names = if targets = [] then fuzz_target_names else targets in
+        let ts =
+          List.map
+            (fun n ->
+              try Fuzz.Exec.find n
+              with Invalid_argument msg ->
+                Printf.eprintf "error: %s\n" msg;
+                exit 2)
+            names
+        in
+        let size =
+          let d = Fuzz.Program.default_size in
+          Fuzz.Program.cap
+            {
+              Fuzz.Program.threads =
+                (if threads > 0 then threads else d.Fuzz.Program.threads);
+              phases = (if phases > 0 then phases else d.Fuzz.Program.phases);
+              steps = (if steps > 0 then steps else d.Fuzz.Program.steps);
+            }
+        in
+        let budget = if budget > 0. then budget else infinity in
+        let multi = List.length ts > 1 in
+        let failed = ref false in
+        List.iter
+          (fun t ->
+            let file =
+              if multi then
+                Some (Printf.sprintf "%d-%s.repro" seed (sanitize t.Fuzz.Exec.name))
+              else None
+            in
+            let r =
+              Fuzz.Driver.fuzz ~size ?condition ~iters ~budget ~out_dir:out
+                ?file ~seed t
+            in
+            (match r.Fuzz.Driver.first_failure with
+            | None ->
+                Printf.printf "fuzz %-14s [%s]: %d iters, %d ops, ok%s\n"
+                  r.Fuzz.Driver.target
+                  (Lin.Order.condition_name r.Fuzz.Driver.condition)
+                  r.Fuzz.Driver.iters r.Fuzz.Driver.total_ops
+                  (if r.Fuzz.Driver.fsc_witnesses > 0 then
+                     Printf.sprintf " (%d Figure-3 Fsc witnesses)"
+                       r.Fuzz.Driver.fsc_witnesses
+                   else "")
+            | Some msg ->
+                failed := true;
+                print_endline msg;
+                Printf.printf
+                  "fuzz %s [%s]: VIOLATION at iter %d — shrunk to %d ops / \
+                   %d plan steps, repro: %s\n"
+                  r.Fuzz.Driver.target
+                  (Lin.Order.condition_name r.Fuzz.Driver.condition)
+                  r.Fuzz.Driver.iters
+                  (Option.value ~default:0 r.Fuzz.Driver.shrunk_ops)
+                  (Option.value ~default:0 r.Fuzz.Driver.shrunk_plan)
+                  (Option.value ~default:"?" r.Fuzz.Driver.repro_path)))
+          ts;
+        if !failed then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ fuzz_targets_arg $ fuzz_seed_arg $ fuzz_iters_arg
+      $ fuzz_budget_arg $ fuzz_condition_arg $ fuzz_threads_arg
+      $ fuzz_phases_arg $ fuzz_steps_arg $ fuzz_out_arg $ fuzz_replay_arg)
+
 let () =
   let doc = "Futures-based shared data structures (PODC 2014 reproduction)." in
   let info = Cmd.info "flbench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; check_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; check_cmd; fuzz_cmd ]))

@@ -2,7 +2,8 @@
    flight recorder exports (CI's obs-smoke job runs this on a fresh
    trace). Verifies:
 
-     - the file is well-formed JSON with a non-empty traceEvents array;
+     - the file is non-empty, well-formed JSON with a non-empty
+       traceEvents array ([--min-events N] raises the floor);
      - every event carries name (non-empty string), ph = "i", a finite
        non-negative ts, and integer pid/tid;
      - events are sorted by ts (the exporter merges per-domain rings);
@@ -172,10 +173,12 @@ let parse (s : string) : json =
 let () =
   let file = ref None in
   let min_domains = ref 1 in
+  let min_events = ref 1 in
   let required = ref [] in
   let usage () =
     prerr_endline
-      "usage: validate_trace FILE [--min-domains N] [--require PREFIX]...";
+      "usage: validate_trace FILE [--min-domains N] [--min-events N] \
+       [--require PREFIX]...";
     exit 2
   in
   let rec parse_args = function
@@ -184,6 +187,11 @@ let () =
         (match int_of_string_opt v with
         | Some m -> min_domains := m
         | None -> usage ());
+        parse_args rest
+    | "--min-events" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some m when m >= 1 -> min_events := m
+        | _ -> usage ());
         parse_args rest
     | "--require" :: p :: rest ->
         required := p :: !required;
@@ -206,6 +214,12 @@ let () =
     try In_channel.with_open_bin file In_channel.input_all
     with Sys_error m -> fail "%s" m
   in
+  (* An empty capture must fail loudly, not vacuously pass or drown in a
+     generic parse diagnostic: a recorder that exported nothing is the
+     failure this tool exists to catch. *)
+  if String.trim contents = "" then
+    fail "empty trace file (%d bytes) — the recorder exported nothing"
+      (String.length contents);
   let doc = try parse contents with Bad m -> fail "invalid JSON (%s)" m in
   let top =
     match doc with Obj kvs -> kvs | _ -> fail "top level is not an object"
@@ -217,6 +231,9 @@ let () =
     | None -> fail "missing traceEvents"
   in
   if events = [] then fail "traceEvents is empty";
+  if List.length events < !min_events then
+    fail "only %d event(s), need at least %d" (List.length events)
+      !min_events;
   let tids = Hashtbl.create 8 in
   let last_ts = ref neg_infinity in
   List.iteri

@@ -51,3 +51,15 @@ val check_set :
     the execution, and checks it against [condition] (default: the
     implementation's claimed condition). [key_range] (default 4) keeps set
     operations conflicting. *)
+
+val check_map :
+  ?threads:int ->
+  ?ops_per_thread:int ->
+  ?key_range:int ->
+  ?condition:Lin.Order.condition ->
+  rounds:int ->
+  unit ->
+  outcome
+(** Same harness for the bind-once {!Fl.Weak_map} (int keys and values)
+    against {!Lin.Spec.Map_spec}; default condition Weak, the condition
+    the map claims. *)

@@ -123,6 +123,32 @@ let clear_all () =
   refresh_active ();
   reset_counters ()
 
+type plan_step = { pt : string; at : int; act : action }
+
+(* A plan compiles to one script per named point, backed by a hit→action
+   table. The tables are frozen before the script is installed, so
+   concurrent domains only ever read them. *)
+let install_plan steps =
+  let tbl : (string, (int, action) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let sub =
+        match Hashtbl.find_opt tbl s.pt with
+        | Some t -> t
+        | None ->
+            let t = Hashtbl.create 4 in
+            Hashtbl.add tbl s.pt t;
+            t
+      in
+      Hashtbl.replace sub s.at s.act)
+    steps;
+  reset_counters ();
+  Hashtbl.iter
+    (fun pt sub ->
+      on pt (fun k ->
+          match Hashtbl.find_opt sub k with Some a -> a | None -> Nothing))
+    tbl
+
 (* [FLDS_FAULTS=<seed>] arms schedule perturbation (never kills) for the
    whole process — the `make chaos` entry point. *)
 let () =

@@ -24,7 +24,8 @@
 
     Current points: [backoff.once], [spinlock.acquire], [future.fulfil],
     [future.force], [future.await], [fc.apply], [fc.pass], [fc.record],
-    [conformance.round]. *)
+    [elim.exchange], [elim.offer], [elim.park], [conformance.round],
+    [bench.op], [fuzz.step]. *)
 
 exception Killed of string
 (** Simulated thread death, carrying the injection-point name. Raised
@@ -67,6 +68,20 @@ val on : string -> (int -> action) -> unit
 
 val clear : string -> unit
 (** Remove the script for [name], if any. *)
+
+type plan_step = { pt : string; at : int; act : action }
+(** One step of a scripted perturbation plan: the [at]-th hit (0-based)
+    of point [pt] performs [act]. *)
+
+val install_plan : plan_step list -> unit
+(** Install a whole perturbation plan at once: zero the hit counters
+    (so [at] indices count from now) and script every point named in the
+    list; hits not named perform nothing. Later steps for the same
+    [(pt, at)] pair override earlier ones. Replaces any existing script
+    for the named points, leaves other points' scripts alone; remove
+    with {!clear_all}. This is the replayable-schedule driver used by
+    the fuzzer: a plan is pure data, so the same plan produces the same
+    injected schedule. *)
 
 val clear_all : unit -> unit
 (** Remove every script, disable seeded chaos, and zero hit counters:

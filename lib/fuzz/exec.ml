@@ -1,0 +1,458 @@
+module Future = Futures.Future
+module H = Lin.History
+module R = Fl.Registry
+module P = Program
+module FC = Combining.Flat_combining
+module CS = Lin.Checker.Make (Lin.Spec.Stack_spec)
+module CQ = Lin.Checker.Make (Lin.Spec.Queue_spec)
+module CL = Lin.Checker.Make (Lin.Spec.Set_spec)
+module CM = Lin.Checker.Make (Lin.Spec.Map_spec)
+
+module IntKey = struct
+  type t = int
+
+  let compare = Int.compare
+end
+
+module WM = Fl.Weak_map.Make (IntKey)
+
+type verdict = Pass | Violation of string
+
+type outcome = { verdict : verdict; ops : int; fsc_witness : bool }
+
+type runner =
+  | RStack of R.stack_impl
+  | RQueue of R.queue_impl
+  | RSet of R.set_impl
+  | RMap
+  | RMulti
+  | RSlack
+  | RFclease
+
+type target = {
+  name : string;
+  kind : P.kind;
+  condition : Lin.Order.condition;
+  kill_plan : bool;
+  runner : runner;
+}
+
+let targets =
+  List.map
+    (fun (i : R.stack_impl) ->
+      {
+        name = "stack/" ^ i.R.s_name;
+        kind = P.Stack;
+        condition = Conformance.claimed_condition i.R.s_name;
+        kill_plan = false;
+        runner = RStack i;
+      })
+    R.stack_impls
+  @ List.map
+      (fun (i : R.queue_impl) ->
+        {
+          name = "queue/" ^ i.R.q_name;
+          kind = P.Queue;
+          condition = Conformance.claimed_condition i.R.q_name;
+          kill_plan = false;
+          runner = RQueue i;
+        })
+      R.queue_impls
+  @ List.map
+      (fun (i : R.set_impl) ->
+        {
+          name = "list/" ^ i.R.l_name;
+          kind = P.Set;
+          condition = Conformance.claimed_condition i.R.l_name;
+          kill_plan = false;
+          runner = RSet i;
+        })
+      R.set_impls
+  @ [
+      {
+        name = "map/weak";
+        kind = P.Map;
+        condition = Lin.Order.Weak;
+        kill_plan = false;
+        runner = RMap;
+      };
+      (* Figure 3: two strong queues, checked per object (Strong) with
+         the global Fsc verdict kept as the negative oracle — per-object
+         Strong implies global Fsc here never *fails* the target, a
+         global-Fsc pass/violation is only recorded as a witness. *)
+      {
+        name = "fig3";
+        kind = P.Multi;
+        condition = Lin.Order.Strong;
+        kill_plan = false;
+        runner = RMulti;
+      };
+      (* Oracle targets: no recorded history. [slack] checks the
+         evaluation-policy helper fires every noted thunk exactly once;
+         [fclease] drives combiner kills (the one place plans may kill)
+         against a sum oracle on the flat-combining lease. *)
+      {
+        name = "slack";
+        kind = P.Stack;
+        condition = Lin.Order.Strong;
+        kill_plan = false;
+        runner = RSlack;
+      };
+      {
+        name = "fclease";
+        kind = P.Stack;
+        condition = Lin.Order.Strong;
+        kill_plan = true;
+        runner = RFclease;
+      };
+    ]
+
+let find name =
+  match List.find_opt (fun t -> t.name = name) targets with
+  | Some t -> t
+  | None -> invalid_arg ("Fuzz.Exec.find: unknown target " ^ name)
+
+(* ------------------------ recorded execution ---------------------- *)
+
+(* One phase: [threads] fresh domains run their step lists from a
+   barrier. Completions are deferred newest-first (the Slack policy) and
+   flushed at Force steps and at the end; [handler] supplies the
+   per-domain step interpreter and an end-of-phase flush. *)
+let run_phase ~threads ~handler phase =
+  let logs = Array.init threads (fun _ -> H.log ()) in
+  let barrier = Sync.Barrier.create threads in
+  let worker i () =
+    let step_fn, finish = handler ~thread:i ~log:logs.(i) in
+    let pending = ref [] in
+    let flush () =
+      List.iter (fun k -> k ()) !pending;
+      pending := []
+    in
+    Sync.Barrier.wait barrier;
+    List.iter
+      (fun (st : P.step) ->
+        Faults.point "fuzz.step";
+        match st.P.op with
+        | P.Force -> flush ()
+        | _ -> (
+            match step_fn st with
+            | Some c -> pending := c :: !pending
+            | None -> ()))
+      phase.(i);
+    flush ();
+    finish ()
+  in
+  let ds = List.init threads (fun i -> Domain.spawn (worker i)) in
+  let exns =
+    List.filter_map
+      (fun d ->
+        match Domain.join d with () -> None | exception e -> Some e)
+      ds
+  in
+  (match exns with e :: _ -> raise e | [] -> ());
+  Array.to_list logs
+
+let recorded (prog : P.t) ~handler ~drain ~check =
+  let clock = H.clock () in
+  let logs =
+    List.concat_map
+      (fun phase ->
+        run_phase ~threads:prog.P.threads ~handler:(handler ~clock) phase)
+      prog.P.phases
+  in
+  drain ();
+  check (H.merge logs)
+
+let violation fmt = Format.kasprintf (fun s -> Violation s) fmt
+
+let checked ~check_segmented ~pp_history ~name cond h =
+  let verdict =
+    if check_segmented cond h then Pass
+    else
+      violation "%s: history is not %s:@.%a" name
+        (Lin.Order.condition_name cond)
+        pp_history h
+  in
+  { verdict; ops = Array.length h; fsc_witness = false }
+
+let stack_run (impl : R.stack_impl) cond prog =
+  let inst = impl.R.s_make () in
+  let handler ~clock ~thread ~log =
+    let o = inst.R.s_handle () in
+    let step (st : P.step) =
+      match st.P.op with
+      | P.Push v ->
+          let _, c =
+            H.recorded_call log clock ~thread ~obj:st.P.obj (fun () ->
+                o.R.s_push v)
+          in
+          Some (fun () -> ignore (c (fun () -> Lin.Spec.Stack_spec.Push v)))
+      | P.Pop ->
+          let _, c =
+            H.recorded_call log clock ~thread ~obj:st.P.obj (fun () ->
+                o.R.s_pop ())
+          in
+          Some (fun () -> ignore (c (fun r -> Lin.Spec.Stack_spec.Pop r)))
+      | _ -> None
+    in
+    (step, fun () -> o.R.s_flush ())
+  in
+  recorded prog ~handler
+    ~drain:(fun () -> inst.R.s_drain ())
+    ~check:
+      (checked
+         ~check_segmented:(fun c h -> CS.check_segmented c h)
+         ~pp_history:CS.pp_history
+         ~name:("stack/" ^ impl.R.s_name) cond)
+
+let queue_handler (o : R.queue_ops) ~clock ~thread =
+  fun log (st : P.step) ->
+   match st.P.op with
+   | P.Enq v ->
+       let _, c =
+         H.recorded_call log clock ~thread ~obj:st.P.obj (fun () ->
+             o.R.q_enq v)
+       in
+       Some (fun () -> ignore (c (fun () -> Lin.Spec.Queue_spec.Enq v)))
+   | P.Deq ->
+       let _, c =
+         H.recorded_call log clock ~thread ~obj:st.P.obj (fun () ->
+             o.R.q_deq ())
+       in
+       Some (fun () -> ignore (c (fun r -> Lin.Spec.Queue_spec.Deq r)))
+   | _ -> None
+
+let queue_run (impl : R.queue_impl) cond prog =
+  let inst = impl.R.q_make () in
+  let handler ~clock ~thread ~log =
+    let o = inst.R.q_handle () in
+    let step st = queue_handler o ~clock ~thread log st in
+    (step, fun () -> o.R.q_flush ())
+  in
+  recorded prog ~handler
+    ~drain:(fun () -> inst.R.q_drain ())
+    ~check:
+      (checked
+         ~check_segmented:(fun c h -> CQ.check_segmented c h)
+         ~pp_history:CQ.pp_history
+         ~name:("queue/" ^ impl.R.q_name) cond)
+
+let set_run (impl : R.set_impl) cond prog =
+  let inst = impl.R.l_make () in
+  let handler ~clock ~thread ~log =
+    let o = inst.R.l_handle () in
+    let step (st : P.step) =
+      let call mk f =
+        let _, c =
+          H.recorded_call log clock ~thread ~obj:st.P.obj f
+        in
+        Some (fun () -> ignore (c mk))
+      in
+      match st.P.op with
+      | P.Add k ->
+          call (fun r -> Lin.Spec.Set_spec.Insert (k, r)) (fun () ->
+              o.R.l_insert k)
+      | P.Del k ->
+          call (fun r -> Lin.Spec.Set_spec.Remove (k, r)) (fun () ->
+              o.R.l_remove k)
+      | P.Mem k ->
+          call (fun r -> Lin.Spec.Set_spec.Contains (k, r)) (fun () ->
+              o.R.l_contains k)
+      | _ -> None
+    in
+    (step, fun () -> o.R.l_flush ())
+  in
+  recorded prog ~handler
+    ~drain:(fun () -> inst.R.l_drain ())
+    ~check:
+      (checked
+         ~check_segmented:(fun c h -> CL.check_segmented c h)
+         ~pp_history:CL.pp_history
+         ~name:("list/" ^ impl.R.l_name) cond)
+
+let map_run cond prog =
+  let m : int WM.t = WM.create () in
+  let handler ~clock ~thread ~log =
+    let h = WM.handle m in
+    let step (st : P.step) =
+      let call mk f =
+        let _, c = H.recorded_call log clock ~thread ~obj:st.P.obj f in
+        Some (fun () -> ignore (c mk))
+      in
+      match st.P.op with
+      | P.Bind (k, v) ->
+          call (fun r -> Lin.Spec.Map_spec.Insert (k, v, r)) (fun () ->
+              WM.insert h k v)
+      | P.Lookup k ->
+          call (fun r -> Lin.Spec.Map_spec.Find (k, r)) (fun () ->
+              WM.find h k)
+      | P.Unbind k ->
+          call (fun r -> Lin.Spec.Map_spec.Remove (k, r)) (fun () ->
+              WM.remove h k)
+      | _ -> None
+    in
+    (step, fun () -> WM.flush h)
+  in
+  recorded prog ~handler
+    ~drain:(fun () -> ())
+    ~check:
+      (checked
+         ~check_segmented:(fun c h -> CM.check_segmented c h)
+         ~pp_history:CM.pp_history ~name:"map/weak" cond)
+
+let multi_run cond prog =
+  let impl = R.find_queue "strong" in
+  let insts = Array.init (P.objects P.Multi) (fun _ -> impl.R.q_make ()) in
+  let handler ~clock ~thread ~log =
+    let os = Array.map (fun inst -> inst.R.q_handle ()) insts in
+    let step (st : P.step) =
+      queue_handler os.(st.P.obj) ~clock ~thread log st
+    in
+    (step, fun () -> Array.iter (fun o -> o.R.q_flush ()) os)
+  in
+  recorded prog ~handler
+    ~drain:(fun () -> Array.iter (fun i -> i.R.q_drain ()) insts)
+    ~check:(fun h ->
+      let out =
+        checked
+          ~check_segmented:(fun c h -> CQ.check_segmented c h)
+          ~pp_history:CQ.pp_history ~name:"fig3" cond h
+      in
+      (* The Fsc negative oracle (Figure 3): futures sequential
+         consistency is not compositional, so a global-Fsc failure over
+         per-object-correct queues is the interesting witness, never a
+         target failure. *)
+      let fsc_witness =
+        out.verdict = Pass && not (CQ.check_segmented Lin.Order.Fsc h)
+      in
+      { out with fsc_witness })
+
+(* -------------------------- oracle targets ------------------------ *)
+
+(* Exactly-once oracle on the Slack evaluation-policy helper: every
+   noted thunk must run exactly once, and nothing may remain pending
+   after drain — under any stall plan. *)
+let slack_run (prog : P.t) =
+  let errors = Atomic.make [] in
+  let report msg =
+    let rec add () =
+      let cur = Atomic.get errors in
+      if not (Atomic.compare_and_set errors cur (msg :: cur)) then add ()
+    in
+    add ()
+  in
+  let ops = ref 0 in
+  List.iter
+    (fun phase ->
+      let threads = prog.P.threads in
+      let barrier = Sync.Barrier.create threads in
+      let worker i () =
+        let sl = Fl.Slack.create 3 in
+        let n = List.length (List.filter (fun s -> s.P.op <> P.Force) phase.(i)) in
+        let runs = Array.make (max 1 n) 0 in
+        let next = ref 0 in
+        Sync.Barrier.wait barrier;
+        List.iter
+          (fun (st : P.step) ->
+            Faults.point "fuzz.step";
+            match st.P.op with
+            | P.Force -> Fl.Slack.drain sl
+            | _ ->
+                let id = !next in
+                incr next;
+                Fl.Slack.note sl (fun () -> runs.(id) <- runs.(id) + 1))
+          phase.(i);
+        Fl.Slack.drain sl;
+        if Fl.Slack.pending sl <> 0 then
+          report
+            (Printf.sprintf "slack: thread %d: %d thunks still pending" i
+               (Fl.Slack.pending sl));
+        Array.iteri
+          (fun id k ->
+            if id < n && k <> 1 then
+              report
+                (Printf.sprintf "slack: thread %d: thunk %d ran %d times" i
+                   id k))
+          runs
+      in
+      let ds = List.init threads (fun i -> Domain.spawn (worker i)) in
+      List.iter Domain.join ds;
+      ops :=
+        !ops
+        + Array.fold_left
+            (fun acc steps ->
+              acc + List.length (List.filter (fun s -> s.P.op <> P.Force) steps))
+            0 phase)
+    prog.P.phases;
+  let verdict =
+    match Atomic.get errors with
+    | [] -> Pass
+    | msgs -> Violation (String.concat "\n" (List.rev msgs))
+  in
+  { verdict; ops = !ops; fsc_witness = false }
+
+(* Combiner-lease oracle: every step applies +1 through flat combining;
+   plans may kill the combiner mid-pass ([fc.pass]/[fc.record]). An op
+   that returned normally must be counted exactly once; a killed op may
+   or may not have been applied before the kill (that ambiguity is why
+   history-checked targets never see kills), so the final sum must land
+   in [normal, normal + killed]. *)
+let fclease_run (prog : P.t) =
+  let sum = ref 0 in
+  let fc = FC.create ~apply:(fun n -> sum := !sum + n; !sum) () in
+  let normal = Atomic.make 0 and killed = Atomic.make 0 in
+  List.iter
+    (fun phase ->
+      let threads = prog.P.threads in
+      let barrier = Sync.Barrier.create threads in
+      let worker i () =
+        let h = FC.handle fc in
+        Sync.Barrier.wait barrier;
+        List.iter
+          (fun (st : P.step) ->
+            match st.P.op with
+            | P.Force -> ()
+            | _ -> (
+                try
+                  ignore (FC.apply h 1);
+                  ignore (Atomic.fetch_and_add normal 1)
+                with Faults.Killed _ ->
+                  ignore (Atomic.fetch_and_add killed 1)))
+          phase.(i)
+      in
+      let ds = List.init threads (fun i -> Domain.spawn (worker i)) in
+      List.iter Domain.join ds)
+    prog.P.phases;
+  let n = Atomic.get normal and k = Atomic.get killed in
+  let verdict =
+    if !sum >= n && !sum <= n + k then Pass
+    else
+      violation
+        "fclease: %d ops returned, %d killed, but the structure counted %d \
+         (expected in [%d, %d])"
+        n k !sum n (n + k)
+  in
+  { verdict; ops = n + k; fsc_witness = false }
+
+(* ------------------------------ run ------------------------------- *)
+
+let run ?condition (t : target) (prog : P.t) (plan : Plan.t) =
+  if Plan.has_kills plan && not t.kill_plan then
+    invalid_arg
+      ("Fuzz.Exec.run: kill plan against history-checked target " ^ t.name);
+  let cond = Option.value condition ~default:t.condition in
+  Faults.install_plan plan;
+  let finally () =
+    List.iter Faults.clear
+      (List.sort_uniq compare (List.map (fun s -> s.Faults.pt) plan));
+    Faults.reset_counters ()
+  in
+  Fun.protect ~finally (fun () ->
+      match t.runner with
+      | RStack i -> stack_run i cond prog
+      | RQueue i -> queue_run i cond prog
+      | RSet i -> set_run i cond prog
+      | RMap -> map_run cond prog
+      | RMulti -> multi_run cond prog
+      | RSlack -> slack_run prog
+      | RFclease -> fclease_run prog)

@@ -1,0 +1,52 @@
+(** Target registry and program execution.
+
+    A {e target} pairs something to fuzz with the condition it claims
+    and a way to run a {!Program.t} under a {!Plan.t}. Most targets are
+    {e history-checked}: the program runs phase by phase (fresh domains
+    per phase, completions deferred newest-first, [Force] steps
+    flushing), every operation is recorded through {!Lin.History}, and
+    the merged history is checked with the exact segmented search. Two
+    are {e oracle} targets with no recorded history: [slack]
+    (exactly-once evaluation policy) and [fclease] (flat-combining
+    combiner-lease sum oracle — the only target whose plans may kill;
+    killed operations are ambiguous in a recorded history, so
+    history-checked targets reject kill plans). *)
+
+type verdict = Pass | Violation of string
+
+type outcome = {
+  verdict : verdict;
+  ops : int;  (** operations executed (recorded, for checked targets) *)
+  fsc_witness : bool;
+      (** [fig3] only: per-object Strong held but the global
+          futures-sequential-consistency check failed — the paper's
+          Figure-3 non-compositionality witness. Informational, never a
+          violation. *)
+}
+
+type runner
+
+type target = {
+  name : string;  (** e.g. ["stack/weak"], ["fig3"], ["fclease"] *)
+  kind : Program.kind;
+  condition : Lin.Order.condition;  (** the condition the target claims *)
+  kill_plan : bool;  (** plans for this target may contain kills *)
+  runner : runner;
+}
+
+val targets : target list
+(** Every registry implementation (stacks, queues, lists) plus
+    [map/weak], the Figure-3 two-queue shape ([fig3]), and the [slack]
+    and [fclease] oracles. *)
+
+val find : string -> target
+(** Raises [Invalid_argument] for unknown names. *)
+
+val run : ?condition:Lin.Order.condition -> target -> Program.t -> Plan.t -> outcome
+(** Execute the program under the installed plan and judge it.
+    [condition] overrides the target's claimed condition (how the
+    intentionally-too-strong checks are requested, e.g. the weak stack
+    against Medium). The plan's points are scripted for the duration of
+    the call and cleared afterwards; other fault scripts and seeded
+    chaos are left untouched. Raises [Invalid_argument] if the plan
+    kills but the target is history-checked. *)

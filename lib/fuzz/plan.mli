@@ -1,0 +1,40 @@
+(** Seeded schedule-perturbation plans.
+
+    A plan is a pure list of {!Faults.plan_step}s — "the [at]-th hit of
+    point [pt] performs [act]" — generated deterministically from a seed
+    and installed with {!Faults.install_plan} for the duration of one
+    program execution. Because a plan is data, the schedule it injects is
+    replayable: the same plan stalls the same hits of the same points.
+
+    Stall plans use only [Delay]/[Sleep]. [Kill] actions are generated
+    only when [kills] is set (the flat-combining lease target): a killed
+    operation may or may not have taken effect, which a recorded-history
+    checker cannot tell apart, so history-checked targets never see
+    kills. *)
+
+type t = Faults.plan_step list
+
+val stall_points : string list
+(** Injection points stall plans draw from (includes [fuzz.step], hit
+    before every program step). *)
+
+val kill_points : string list
+(** Points kill actions are restricted to ([fc.pass], [fc.record]). *)
+
+val generate :
+  ?intensity:int -> ?horizon:int -> ?kills:bool -> seed:int -> unit -> t
+(** [intensity] steps (default 12), hit indices uniform in
+    [0, horizon) (default 160). Deterministic in [(intensity, horizon,
+    kills, seed)]. *)
+
+val has_kills : t -> bool
+
+val step_to_string : Faults.plan_step -> string
+(** Canonical one-line form; [Sleep] durations print as [%h] hex floats
+    so the round-trip is bit-exact. *)
+
+val step_of_string : string -> Faults.plan_step
+(** Inverse of {!step_to_string}; raises [Invalid_argument]. *)
+
+val shrink_candidates : t -> t list
+(** Strictly smaller plans, the empty plan first. *)

@@ -1,0 +1,233 @@
+module Rng = Faults.Rng
+
+type kind = Stack | Queue | Set | Map | Multi
+
+let kind_name = function
+  | Stack -> "stack"
+  | Queue -> "queue"
+  | Set -> "set"
+  | Map -> "map"
+  | Multi -> "multi"
+
+let kind_of_name = function
+  | "stack" -> Stack
+  | "queue" -> Queue
+  | "set" -> Set
+  | "map" -> Map
+  | "multi" -> Multi
+  | s -> invalid_arg ("Fuzz.Program.kind_of_name: " ^ s)
+
+type op =
+  | Push of int
+  | Pop
+  | Enq of int
+  | Deq
+  | Add of int
+  | Del of int
+  | Mem of int
+  | Bind of int * int
+  | Lookup of int
+  | Unbind of int
+  | Force
+
+type step = { obj : int; op : op }
+
+type t = { kind : kind; threads : int; phases : step list array list }
+
+(* The stdlib leaves [List.init]/[Array.init] evaluation order
+   unspecified; generation must consume the rng in a fixed order, so the
+   iteration helpers here are explicit. *)
+let init_list n f =
+  let rec go i acc = if i >= n then List.rev acc else go (i + 1) (f i :: acc) in
+  go 0 []
+
+let recorded_ops t =
+  List.fold_left
+    (fun acc phase ->
+      Array.fold_left
+        (fun acc steps ->
+          List.fold_left
+            (fun acc st -> if st.op = Force then acc else acc + 1)
+            acc steps)
+        acc phase)
+    0 t.phases
+
+type size = { threads : int; phases : int; steps : int }
+
+let default_size = { threads = 3; phases = 2; steps = 5 }
+
+(* Every phase ends with a join, so each phase is one quiescent segment
+   for the checker; cap sizes so a phase's recorded ops fit the 62-op
+   exact-search bound even for the global (Fsc) check. *)
+let cap size =
+  let threads = max 1 (min 8 size.threads) in
+  let phases = max 1 (min 8 size.phases) in
+  let steps = max 1 (min (62 / threads) size.steps) in
+  { threads; phases; steps }
+
+let objects = function Multi -> 2 | Stack | Queue | Set | Map -> 1
+
+let key_range = 4
+
+let gen_op kind rng ~uid =
+  match kind with
+  | Stack -> (
+      match Rng.below rng 5 with
+      | 0 | 1 -> Push (uid ())
+      | 2 | 3 -> Pop
+      | _ -> Force)
+  | Queue | Multi -> (
+      match Rng.below rng 5 with
+      | 0 | 1 -> Enq (uid ())
+      | 2 | 3 -> Deq
+      | _ -> Force)
+  | Set -> (
+      match Rng.below rng 7 with
+      | 0 | 1 -> Add (Rng.below rng key_range)
+      | 2 | 3 -> Del (Rng.below rng key_range)
+      | 4 | 5 -> Mem (Rng.below rng key_range)
+      | _ -> Force)
+  | Map -> (
+      match Rng.below rng 8 with
+      | 0 | 1 | 2 -> Bind (Rng.below rng key_range, uid ())
+      | 3 | 4 -> Lookup (Rng.below rng key_range)
+      | 5 | 6 -> Unbind (Rng.below rng key_range)
+      | _ -> Force)
+
+let generate ?(size = default_size) kind ~seed =
+  let size = cap size in
+  let rng = Rng.create ~seed ~stream:0x9e37 in
+  (* Pushed/enqueued/bound values are unique within a program: value
+     collisions would let the checker legalize a history by crediting a
+     result to the wrong operation, hiding real violations. *)
+  let uid =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      !c
+  in
+  let nobjs = objects kind in
+  let phases =
+    init_list size.phases (fun _ ->
+        let phase = Array.make size.threads [] in
+        for ti = 0 to size.threads - 1 do
+          phase.(ti) <-
+            init_list size.steps (fun _ ->
+                let obj = if nobjs = 1 then 0 else Rng.below rng nobjs in
+                { obj; op = gen_op kind rng ~uid })
+        done;
+        phase)
+  in
+  { kind; threads = size.threads; phases }
+
+(* ------------------------- serialization -------------------------- *)
+
+let op_to_string = function
+  | Push v -> "push " ^ string_of_int v
+  | Pop -> "pop"
+  | Enq v -> "enq " ^ string_of_int v
+  | Deq -> "deq"
+  | Add k -> "add " ^ string_of_int k
+  | Del k -> "del " ^ string_of_int k
+  | Mem k -> "mem " ^ string_of_int k
+  | Bind (k, v) -> Printf.sprintf "bind %d %d" k v
+  | Lookup k -> "lookup " ^ string_of_int k
+  | Unbind k -> "unbind " ^ string_of_int k
+  | Force -> "force"
+
+let op_of_string s =
+  let int w =
+    match int_of_string_opt w with
+    | Some n -> n
+    | None -> invalid_arg ("Fuzz.Program.op_of_string: bad int " ^ w)
+  in
+  match String.split_on_char ' ' s with
+  | [ "push"; v ] -> Push (int v)
+  | [ "pop" ] -> Pop
+  | [ "enq"; v ] -> Enq (int v)
+  | [ "deq" ] -> Deq
+  | [ "add"; k ] -> Add (int k)
+  | [ "del"; k ] -> Del (int k)
+  | [ "mem"; k ] -> Mem (int k)
+  | [ "bind"; k; v ] -> Bind (int k, int v)
+  | [ "lookup"; k ] -> Lookup (int k)
+  | [ "unbind"; k ] -> Unbind (int k)
+  | [ "force" ] -> Force
+  | _ -> invalid_arg ("Fuzz.Program.op_of_string: " ^ s)
+
+(* --------------------------- shrinking ---------------------------- *)
+
+let with_steps (t : t) ~phase ~thread steps =
+  {
+    t with
+    phases =
+      List.mapi
+        (fun pi ph ->
+          if pi <> phase then ph
+          else begin
+            let ph = Array.copy ph in
+            ph.(thread) <- steps;
+            ph
+          end)
+        t.phases;
+  }
+
+(* Reduction candidates, most aggressive first: whole phases, whole
+   threads, half of one thread's steps in one phase, then single steps.
+   The shrinker greedily restarts from the first candidate that still
+   fails, so order is a heuristic, not a correctness concern. *)
+let shrink_candidates (t : t) =
+  let nphases = List.length t.phases in
+  let drop_phases =
+    if nphases <= 1 then []
+    else
+      init_list nphases (fun pi ->
+          { t with phases = List.filteri (fun i _ -> i <> pi) t.phases })
+  in
+  let drop_threads =
+    if t.threads <= 1 then []
+    else
+      init_list t.threads (fun ti ->
+          {
+            t with
+            threads = t.threads - 1;
+            phases =
+              List.map
+                (fun ph ->
+                  Array.of_list
+                    (List.filteri (fun i _ -> i <> ti) (Array.to_list ph)))
+                t.phases;
+          })
+  in
+  let drop_steps =
+    List.concat
+      (List.concat
+         (List.mapi
+            (fun pi ph ->
+              init_list (Array.length ph) (fun ti ->
+                  let steps = ph.(ti) in
+                  let n = List.length steps in
+                  if n = 0 then []
+                  else begin
+                    let halves =
+                      if n <= 1 then []
+                      else begin
+                        let front =
+                          List.filteri (fun i _ -> i < n / 2) steps
+                        and back =
+                          List.filteri (fun i _ -> i >= n / 2) steps
+                        in
+                        [
+                          with_steps t ~phase:pi ~thread:ti back;
+                          with_steps t ~phase:pi ~thread:ti front;
+                        ]
+                      end
+                    in
+                    halves
+                    @ init_list n (fun si ->
+                          with_steps t ~phase:pi ~thread:ti
+                            (List.filteri (fun i _ -> i <> si) steps))
+                  end))
+            t.phases))
+  in
+  drop_phases @ drop_threads @ drop_steps

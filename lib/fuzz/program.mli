@@ -1,0 +1,72 @@
+(** Random operation programs for the conformance fuzzer.
+
+    A program is pure data: [threads] per-thread step lists, grouped into
+    {e phases}. Each phase spawns fresh domains that run their step lists
+    concurrently from a barrier and are joined before the next phase
+    starts — so phase boundaries are quiescent cuts, which keeps
+    arbitrarily long programs within reach of the exact
+    {!Lin.Checker.Make.check_segmented} search.
+
+    Within a thread, non-[Force] steps issue future-returning operations
+    whose completions are deferred (newest-first, the {!Fl.Slack} policy);
+    a [Force] step flushes the thread's pending window. Generation is a
+    pure function of [(kind, size, seed)]. *)
+
+type kind =
+  | Stack
+  | Queue
+  | Set
+  | Map  (** the bind-once {!Fl.Weak_map} *)
+  | Multi  (** two objects — the Figure-3 compositionality shape *)
+
+val kind_name : kind -> string
+
+val kind_of_name : string -> kind
+(** Raises [Invalid_argument] for unknown names. *)
+
+type op =
+  | Push of int
+  | Pop
+  | Enq of int
+  | Deq
+  | Add of int
+  | Del of int
+  | Mem of int
+  | Bind of int * int
+  | Lookup of int
+  | Unbind of int
+  | Force  (** flush the thread's pending futures *)
+
+type step = { obj : int; op : op }
+
+type t = { kind : kind; threads : int; phases : step list array list }
+
+type size = { threads : int; phases : int; steps : int }
+
+val default_size : size
+(** 3 threads × 2 phases × 5 steps. *)
+
+val cap : size -> size
+(** Clamp a size so every phase's recorded operations fit the checker's
+    62-op exact-search bound (threads ≤ 8, phases ≤ 8,
+    steps ≤ 62/threads). [generate] applies this automatically. *)
+
+val objects : kind -> int
+(** Distinct object ids the kind's programs address (2 for [Multi]). *)
+
+val generate : ?size:size -> kind -> seed:int -> t
+(** Deterministic: same [(size, kind, seed)], same program. Pushed,
+    enqueued and bound values are unique within the program so the
+    checker cannot credit a result to the wrong operation. *)
+
+val recorded_ops : t -> int
+(** Number of non-[Force] steps — the operations the history records. *)
+
+val op_to_string : op -> string
+
+val op_of_string : string -> op
+(** Inverse of {!op_to_string}; raises [Invalid_argument]. *)
+
+val shrink_candidates : t -> t list
+(** Strictly smaller variants, most aggressive first: dropped phases,
+    dropped threads, halved and single-step-reduced step lists. *)

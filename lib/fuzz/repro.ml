@@ -1,0 +1,143 @@
+type t = {
+  target : string;
+  condition : Lin.Order.condition;
+  seed : int;
+  program : Program.t;
+  plan : Plan.t;
+}
+
+let magic = "flds-fuzz-repro 1"
+
+let condition_to_string = function
+  | Lin.Order.Strong -> "strong"
+  | Lin.Order.Medium -> "medium"
+  | Lin.Order.Weak -> "weak"
+  | Lin.Order.Fsc -> "fsc"
+
+let condition_of_string = function
+  | "strong" -> Lin.Order.Strong
+  | "medium" -> Lin.Order.Medium
+  | "weak" -> Lin.Order.Weak
+  | "fsc" -> Lin.Order.Fsc
+  | s -> invalid_arg ("Fuzz.Repro: unknown condition " ^ s)
+
+let to_string r =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "%s" magic;
+  line "target %s" r.target;
+  line "condition %s" (condition_to_string r.condition);
+  line "seed %d" r.seed;
+  line "kind %s" (Program.kind_name r.program.Program.kind);
+  line "threads %d" r.program.Program.threads;
+  List.iter
+    (fun phase ->
+      line "phase";
+      Array.iteri
+        (fun ti steps ->
+          List.iter
+            (fun (st : Program.step) ->
+              line "t %d %d %s" ti st.Program.obj
+                (Program.op_to_string st.Program.op))
+            steps)
+        phase)
+    r.program.Program.phases;
+  List.iter (fun s -> line "plan %s" (Plan.step_to_string s)) r.plan;
+  line "end";
+  Buffer.contents b
+
+let of_string s =
+  let fail fmt = Printf.ksprintf invalid_arg ("Fuzz.Repro.of_string: " ^^ fmt) in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let header = Hashtbl.create 8 in
+  let phases = ref [] and cur_phase = ref None and plan = ref [] in
+  let threads () =
+    match Hashtbl.find_opt header "threads" with
+    | Some n -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> n
+        | _ -> fail "bad threads %s" n)
+    | None -> fail "missing threads line"
+  in
+  let close_phase () =
+    match !cur_phase with
+    | Some ph ->
+        phases := Array.map List.rev ph :: !phases;
+        cur_phase := None
+    | None -> ()
+  in
+  let seen_end = ref false in
+  (match lines with
+  | m :: _ when m = magic -> ()
+  | m :: _ -> fail "bad magic %S" m
+  | [] -> fail "empty file");
+  List.iteri
+    (fun i line ->
+      if i > 0 && not !seen_end then
+        match String.split_on_char ' ' line with
+        | [ "end" ] ->
+            close_phase ();
+            seen_end := true
+        | [ "phase" ] ->
+            close_phase ();
+            cur_phase := Some (Array.make (threads ()) [])
+        | "t" :: ti :: obj :: rest -> (
+            match !cur_phase with
+            | None -> fail "step outside a phase: %s" line
+            | Some ph -> (
+                match (int_of_string_opt ti, int_of_string_opt obj) with
+                | Some ti, Some obj when ti >= 0 && ti < Array.length ph ->
+                    let op = Program.op_of_string (String.concat " " rest) in
+                    ph.(ti) <- { Program.obj; op } :: ph.(ti)
+                | _ -> fail "bad step: %s" line))
+        | "plan" :: rest ->
+            close_phase ();
+            plan := Plan.step_of_string (String.concat " " rest) :: !plan
+        | [ key; value ] when !cur_phase = None && !plan = [] ->
+            Hashtbl.replace header key value
+        | _ -> fail "unparseable line: %s" line)
+    lines;
+  if not !seen_end then fail "missing end line (truncated file?)";
+  let get key =
+    match Hashtbl.find_opt header key with
+    | Some v -> v
+    | None -> fail "missing %s line" key
+  in
+  let seed =
+    match int_of_string_opt (get "seed") with
+    | Some n -> n
+    | None -> fail "bad seed %s" (get "seed")
+  in
+  let kind = Program.kind_of_name (get "kind") in
+  let phases = List.rev !phases in
+  if phases = [] then fail "no phases";
+  {
+    target = get "target";
+    condition = condition_of_string (get "condition");
+    seed;
+    program = { Program.kind; threads = threads (); phases };
+    plan = List.rev !plan;
+  }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~path r =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string r))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+  |> of_string

@@ -1,0 +1,34 @@
+(** Self-contained counterexample files.
+
+    A repro bundles everything needed to re-execute a failing fuzz case
+    byte-for-byte: the target name, the condition it was checked
+    against, the campaign seed, the (shrunk) op program and the (shrunk)
+    perturbation plan. The format is a canonical line-based text file —
+    [to_string] and [of_string] are exact inverses on canonical files,
+    so replaying a saved repro runs exactly the recorded case. *)
+
+type t = {
+  target : string;
+  condition : Lin.Order.condition;
+  seed : int;
+  program : Program.t;
+  plan : Plan.t;
+}
+
+val condition_to_string : Lin.Order.condition -> string
+(** [strong] / [medium] / [weak] / [fsc]. *)
+
+val condition_of_string : string -> Lin.Order.condition
+(** Raises [Invalid_argument]. *)
+
+val to_string : t -> string
+(** Canonical rendering (ends with an [end] line). *)
+
+val of_string : string -> t
+(** Raises [Invalid_argument] with a diagnostic on malformed input,
+    including truncated files (missing [end]). *)
+
+val save : path:string -> t -> unit
+(** Write [to_string], creating parent directories as needed. *)
+
+val load : string -> t

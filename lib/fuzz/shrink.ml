@@ -1,0 +1,39 @@
+(* Twin greedy shrinker: minimize the op program first (the plan, still
+   full, keeps the failure schedule alive while the program shrinks),
+   then minimize the plan against the shrunk program. Each stage is a
+   greedy fixpoint — restart from the first candidate that still fails —
+   bounded by a total evaluation budget so a flaky counterexample cannot
+   stall the campaign. *)
+
+type stats = { evals : int; exhausted : bool }
+
+let minimize ~fails ?(max_evals = 400) prog plan =
+  let evals = ref 0 in
+  let exhausted = ref false in
+  let try_fail p pl =
+    if !evals >= max_evals then begin
+      exhausted := true;
+      false
+    end
+    else begin
+      incr evals;
+      fails p pl
+    end
+  in
+  let rec fix_prog p =
+    match
+      List.find_opt (fun cand -> try_fail cand plan) (Program.shrink_candidates p)
+    with
+    | Some cand -> fix_prog cand
+    | None -> p
+  in
+  let prog = fix_prog prog in
+  let rec fix_plan pl =
+    match
+      List.find_opt (fun cand -> try_fail prog cand) (Plan.shrink_candidates pl)
+    with
+    | Some cand -> fix_plan cand
+    | None -> pl
+  in
+  let plan = fix_plan plan in
+  (prog, plan, { evals = !evals; exhausted = !exhausted })

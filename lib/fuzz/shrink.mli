@@ -1,0 +1,21 @@
+(** Twin counterexample shrinker.
+
+    [minimize ~fails prog plan] assumes [(prog, plan)] fails and returns
+    a (weakly) smaller failing pair: first the program is reduced to a
+    greedy fixpoint of {!Program.shrink_candidates} under the original
+    plan, then the plan is reduced against the shrunk program. [fails]
+    should re-execute a candidate (several times if the failure is
+    schedule-dependent) and return whether it still fails.
+
+    At most [max_evals] (default 400) calls to [fails] are made in
+    total; [stats.exhausted] reports whether the budget cut the search
+    short. *)
+
+type stats = { evals : int; exhausted : bool }
+
+val minimize :
+  fails:(Program.t -> Plan.t -> bool) ->
+  ?max_evals:int ->
+  Program.t ->
+  Plan.t ->
+  Program.t * Plan.t * stats

@@ -47,27 +47,111 @@ module Make (S : Spec.S) = struct
 
   let check_global cond h = linearization cond h <> None
 
+  let split_per_object h =
+    let objs =
+      Array.fold_left
+        (fun acc e ->
+          if List.mem e.History.obj acc then acc else e.History.obj :: acc)
+        [] h
+    in
+    List.map
+      (fun obj ->
+        Array.of_list
+          (List.filter (fun e -> e.History.obj = obj) (Array.to_list h)))
+      objs
+
   let check cond h =
     match cond with
     | Order.Fsc -> check_global cond h
     | Order.Strong | Order.Medium | Order.Weak ->
         (* Compositionality (Theorem 6.3): split per object. *)
-        let objs =
-          Array.fold_left
-            (fun acc e ->
-              if List.mem e.History.obj acc then acc else e.History.obj :: acc)
-            [] h
-        in
-        List.for_all
-          (fun obj ->
-            let sub =
-              Array.of_list
-                (List.filter
-                   (fun e -> e.History.obj = obj)
-                   (Array.to_list h))
-            in
-            check_global cond sub)
-          objs
+        List.for_all (check_global cond) (split_per_object h)
+
+  let reachable_states cond ~from h =
+    let n = Array.length h in
+    if n > 62 then
+      invalid_arg "Checker.reachable_states: history too large (> 62 ops)";
+    let full = (1 lsl n) - 1 in
+    let preds = Array.make n 0 in
+    List.iter
+      (fun (i, j) -> preds.(j) <- preds.(j) lor (1 lsl i))
+      (Order.edges cond h);
+    (* Exhaustive variant of [linearization]'s DFS: every (mask, state)
+       pair is expanded at most once, and the states reached with the
+       full mask are collected instead of stopping at the first. *)
+    let visited = Memo.create 1024 in
+    let finals = ref [] in
+    let rec go mask state =
+      if not (Memo.mem visited (mask, state)) then begin
+        Memo.add visited (mask, state) ();
+        if mask = full then begin
+          if not (List.mem state !finals) then finals := state :: !finals
+        end
+        else
+          for j = 0 to n - 1 do
+            let bit = 1 lsl j in
+            if mask land bit = 0 && preds.(j) land mask = preds.(j) then
+              match S.apply state ~obj:h.(j).History.obj h.(j).History.op with
+              | Some state' -> go (mask lor bit) state'
+              | None -> ()
+          done
+      end
+    in
+    List.iter (fun s -> go 0 s) (List.sort_uniq compare from);
+    !finals
+
+  (* Quiescent cuts: with operations taken in interval-start order, a cut
+     is legal before index [k] when every earlier operation's interval has
+     closed strictly before h.(k)'s opens — then every earlier operation
+     ≺-precedes every later one, so any ≺-extending total order of the
+     whole history is a concatenation of per-segment orders, and threading
+     the set of reachable end states through the segments loses nothing.
+     Program-order edges never cross a cut backwards: they require
+     a.create_res < b.create_inv, and every interval starts at
+     create_inv. *)
+  let segments cond h =
+    let n = Array.length h in
+    let iv = Array.map (Order.interval cond) h in
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> compare (fst iv.(a), a) (fst iv.(b), b)) order;
+    let segs = ref [] and cur = ref [] and max_end = ref min_int in
+    Array.iter
+      (fun idx ->
+        if !cur <> [] && !max_end < fst iv.(idx) then begin
+          segs := List.rev !cur :: !segs;
+          cur := []
+        end;
+        cur := idx :: !cur;
+        if snd iv.(idx) > !max_end then max_end := snd iv.(idx))
+      order;
+    if !cur <> [] then segs := List.rev !cur :: !segs;
+    List.rev_map
+      (fun ids -> Array.of_list (List.map (fun i -> h.(i)) ids))
+      !segs
+
+  let check_segmented ?(max_segment = 62) cond h =
+    if max_segment < 1 || max_segment > 62 then
+      invalid_arg "Checker.check_segmented: max_segment must be in [1, 62]";
+    let check_one sub =
+      List.fold_left
+        (fun states seg ->
+          match states with
+          | [] -> []
+          | _ ->
+              if Array.length seg > max_segment then
+                invalid_arg
+                  (Printf.sprintf
+                     "Checker.check_segmented: segment of %d ops exceeds \
+                      the %d-op search bound (no quiescent cut)"
+                     (Array.length seg) max_segment);
+              reachable_states cond ~from:states seg)
+        [ S.initial ] (segments cond sub)
+      <> []
+    in
+    match cond with
+    | Order.Fsc -> check_one h
+    | Order.Strong | Order.Medium | Order.Weak ->
+        List.for_all check_one (split_per_object h)
 
   let pp_history ppf h =
     Array.iteri

@@ -27,6 +27,33 @@ module Make (S : Spec.S) : sig
       Medium and Weak the check is split per object (valid by
       compositionality); for Fsc it is global. *)
 
+  val reachable_states :
+    Order.condition ->
+    from:S.state list ->
+    S.op History.entry array ->
+    S.state list
+  (** All distinct abstract states some ≺-extending legal total order of
+      the history can end in, starting from any of the [from] states
+      (duplicates in [from] are ignored). [[]] means no legal order
+      exists from any start state; an empty history returns [from]
+      deduplicated. Checks the history {e globally}; raises
+      [Invalid_argument] beyond 62 operations. The entry point for
+      incremental checking: feed one quiescent chunk at a time, threading
+      the returned state set into the next call's [from]. *)
+
+  val check_segmented :
+    ?max_segment:int -> Order.condition -> S.op History.entry array -> bool
+  (** [check] for histories larger than the 62-op exact-search bound: the
+      (per-object, except under Fsc) history is split at {e quiescent
+      cuts} — points where every earlier operation's effect interval
+      closes strictly before any later one opens, so every prefix
+      operation ≺-precedes every suffix operation — and the sets of
+      reachable end states are threaded through the segments with
+      {!reachable_states}. Exact, not an approximation: accepts iff
+      [check] would. Raises [Invalid_argument] if some segment exceeds
+      [max_segment] (default, and capped at, 62) operations — i.e. the
+      history has too few quiescent points for exact search. *)
+
   val pp_history : Format.formatter -> S.op History.entry array -> unit
   (** Render a history for failure diagnostics. *)
 end

@@ -633,8 +633,30 @@ let test_slack_abandon_drops_thunks () =
 
 (* ------------------------------ suite -------------------------------- *)
 
-let takeover_seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
-let chaos_seeds = [ 41; 42 ]
+(* The seed lists below pick the recorded schedules each run exercises.
+   FLDS_TEST_SEED=<n> replaces every list with just [n] so a failing
+   schedule can be re-run in isolation; on failure each seeded case
+   prints the rerun incantation for exactly that schedule. *)
+let seeds_from_env default =
+  match Sys.getenv_opt "FLDS_TEST_SEED" with
+  | None -> default
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> [ n ]
+      | None ->
+          Printf.eprintf "FLDS_TEST_SEED=%S is not an integer; ignored\n%!" s;
+          default)
+
+let with_seed_reported seed f () =
+  try f ()
+  with e ->
+    Printf.eprintf
+      "seeded schedule failed — rerun just it with FLDS_TEST_SEED=%d\n%!" seed;
+    raise e
+
+let takeover_seeds = seeds_from_env [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+let bounded_wait_seeds = seeds_from_env [ 21; 22; 23 ]
+let chaos_seeds = seeds_from_env [ 41; 42 ]
 
 let () =
   Alcotest.run "faults"
@@ -658,7 +680,7 @@ let () =
             Alcotest.test_case
               (Printf.sprintf "stalled combiner, schedule %d" seed)
               `Slow
-              (with_clean_faults (test_takeover seed)))
+              (with_clean_faults (with_seed_reported seed (test_takeover seed))))
           takeover_seeds
         @ [
             Alcotest.test_case "dead combiner leaves lease held" `Slow
@@ -672,8 +694,10 @@ let () =
             Alcotest.test_case
               (Printf.sprintf "stalled fulfiller, schedule %d" seed)
               `Slow
-              (with_clean_faults (test_await_for_timeout_and_recovery seed)))
-          [ 21; 22; 23 ]
+              (with_clean_faults
+                 (with_seed_reported seed
+                    (test_await_for_timeout_and_recovery seed))))
+          bounded_wait_seeds
         @ [
             Alcotest.test_case "force_until ready/evaluator" `Quick
               (with_clean_faults test_force_until_ready_and_evaluator);
@@ -689,11 +713,13 @@ let () =
                   Alcotest.test_case
                     (Printf.sprintf "%s stack, chaos seed %d" name seed)
                     `Slow
-                    (with_clean_faults (test_stack_chaos name seed));
+                    (with_clean_faults
+                       (with_seed_reported seed (test_stack_chaos name seed)));
                   Alcotest.test_case
                     (Printf.sprintf "%s queue, chaos seed %d" name seed)
                     `Slow
-                    (with_clean_faults (test_queue_chaos name seed));
+                    (with_clean_faults
+                       (with_seed_reported seed (test_queue_chaos name seed)));
                 ])
               [ "strong"; "medium"; "weak" ])
           chaos_seeds );

@@ -286,6 +286,44 @@ let test_map_conservation_parallel () =
   Alcotest.(check int) "created - removed = live bindings" (ins - rem)
     (KV.size (WM.shared m))
 
+(* Two domains race to bind the same key. Bind-once means exactly one
+   insert future resolves [true] per round, and once both flushes are
+   done every lookup — including the loser's — observes the winner's
+   value. The per-round fresh map keeps rounds independent, so a single
+   lost race pins the failing round number. *)
+let test_map_bind_once_race () =
+  let rounds = 50 in
+  for round = 1 to rounds do
+    let m = WM.create () in
+    let barrier = Sync.Barrier.create 2 in
+    let racer i () =
+      let h = WM.handle m in
+      Sync.Barrier.wait barrier;
+      let won = WM.insert h 7 (100 + i) in
+      WM.flush h;
+      let seen = WM.find h 7 in
+      WM.flush h;
+      (force won, force seen)
+    in
+    let d0 = Domain.spawn (racer 0) in
+    let d1 = Domain.spawn (racer 1) in
+    let won0, seen0 = Domain.join d0 in
+    let won1, seen1 = Domain.join d1 in
+    let tag msg = Printf.sprintf "round %d: %s" round msg in
+    Alcotest.(check bool) (tag "exactly one bind wins") true (won0 <> won1);
+    let winner = if won0 then 100 else 101 in
+    Alcotest.(check (option int))
+      (tag "domain 0 observes the winner")
+      (Some winner) seen0;
+    Alcotest.(check (option int))
+      (tag "domain 1 observes the winner")
+      (Some winner) seen1;
+    Alcotest.(check (option int))
+      (tag "shared store holds the winner")
+      (Some winner)
+      (KV.find (WM.shared m) 7)
+  done
+
 let () =
   Alcotest.run "fl-map"
     [
@@ -308,5 +346,7 @@ let () =
             test_map_weak_fl_checked;
           Alcotest.test_case "conservation (4 domains)" `Slow
             test_map_conservation_parallel;
+          Alcotest.test_case "bind-once race (2 domains)" `Slow
+            test_map_bind_once_race;
         ] );
     ]

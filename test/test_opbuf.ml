@@ -170,6 +170,57 @@ let test_tombstones_parallel_rings () =
       tag
   done
 
+(* The property version of the same invariant: an arbitrary interleaving
+   of pushes, same-index deletes, and compactions applied to two rings —
+   deliberately created with different capacities, so growth and
+   wraparound happen at different times — must keep them index-aligned:
+   equal lengths, identical tombstone positions, and every live slot
+   still holding its partner's value. This is the alignment contract the
+   weak-stack flush path relies on when it cancels a window entry. *)
+let prop_parallel_rings_aligned =
+  QCheck.Test.make ~name:"parallel rings aligned under delete/compact"
+    ~count:400
+    QCheck.(list (pair (int_bound 5) (int_bound 30)))
+    (fun script ->
+      let vals = B.create ~capacity:2 () in
+      let tags = B.create ~capacity:16 () in
+      let counter = ref 0 in
+      let aligned () =
+        B.length vals = B.length tags
+        && B.live vals = B.live tags
+        &&
+        let ok = ref true in
+        for i = 0 to B.length vals - 1 do
+          if B.deleted vals i <> B.deleted tags i then ok := false
+          else if
+            (not (B.deleted vals i)) && B.get tags i <> B.get vals i * 10
+          then ok := false
+        done;
+        !ok
+      in
+      let step (kind, arg) =
+        match kind with
+        | 0 | 1 | 2 ->
+            (* Bias toward pushes so deletes and compactions have
+               something to chew on. *)
+            incr counter;
+            B.push vals !counter;
+            B.push tags (!counter * 10);
+            true
+        | 3 | 4 ->
+            let len = B.length vals in
+            if len > 0 then begin
+              let i = arg mod len in
+              B.delete vals i;
+              B.delete tags i
+            end;
+            true
+        | _ -> B.compact vals = B.compact tags
+      in
+      List.for_all (fun op -> step op && aligned ()) script
+      && B.compact vals = B.compact tags
+      && aligned ())
+
 (* -------------------- qcheck: list-model parity ---------------------- *)
 
 (* Script: true = push of the (fresh) counter value; false = one of the
@@ -350,7 +401,8 @@ let () =
             test_tombstones_pop_back_skips;
           Alcotest.test_case "parallel rings stay aligned" `Quick
             test_tombstones_parallel_rings;
-        ] );
+        ]
+        @ qsuite [ prop_parallel_rings_aligned ] );
       ( "allocation",
         [ Alcotest.test_case "weak-stack flush budget" `Quick test_alloc_budget ] );
       ( "slack",

@@ -52,6 +52,16 @@ bench-chaos-json:
 		--threads 1,2,4 --seed $(CHAOS_SEED) \
 		--json results/BENCH_chaos.json
 
+# Machine-readable sharded-store run: the perf panel (centralized weak
+# map vs the sharded store) plus scripted owner kills at each transfer
+# protocol step (shard.grant / shard.ship / shard.ack), recording the
+# transfer counters (requests/ships/acks/recovers/poisoned) per cell.
+bench-shard-json:
+	mkdir -p results
+	dune exec bench/main.exe -- shard --ops 2000 --repeats 2 \
+		--threads 1,2,4 --seed $(CHAOS_SEED) \
+		--json results/BENCH_shard.json
+
 # Fuzz gauntlet, PR-sized: a short campaign over every target, then the
 # intentionally-too-strong check (weak stack against Medium) which must
 # fail, shrink to a tiny program, and replay byte-for-byte. The `!`
@@ -82,4 +92,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test test-force bench-quick bench-full bench-json bench-trace chaos bench-chaos-json fuzz-smoke fuzz-soak doc clean
+.PHONY: all test test-force bench-quick bench-full bench-json bench-trace chaos bench-chaos-json bench-shard-json fuzz-smoke fuzz-soak doc clean

@@ -14,6 +14,8 @@
      micro                Bechamel single-op costs at slack 1 (paper §5.1)
      cas                  weak-queue CAS-per-op correlation (paper §5.2)
      extra                extension workloads (Zipf keys, asymmetric mix)
+     shard                sharded FL store: perf vs the centralized map,
+                          plus scripted kills at each transfer step
      chaos                seeded fault injection + recovery counters
      trace                cross-domain probe for the flight recorder
      all                  everything above (minus chaos and trace)
@@ -996,6 +998,200 @@ let chaos_bench cfg =
   else Workload.Report.print ppf table;
   Format.pp_print_newline ppf ()
 
+(* ------------------------------ shard ------------------------------- *)
+
+module ShardKey = struct
+  type t = int
+
+  let compare = Int.compare
+  let hash x = x
+end
+
+module Shard = Fl.Shard_map.Make (ShardKey)
+module BWM = Fl.Weak_map.Make (ShardKey)
+
+let shard_key_range = 1024
+let shard_lease = 0.01
+
+(* The sharded-store benchmark: a perf panel (centralized weak map vs the
+   sharded store at 2 and 8 buckets — sharding pays when handles mostly
+   stay in their own buckets and costs transfers when they collide) and a
+   chaos panel with a scripted kill at each transfer protocol step.
+   Workers never force their futures: issue, flush every 64 ops, and let
+   the transfer protocol route windows; teardown drains the map by
+   deadline recovery, so a killed endpoint's in-flight window is poisoned,
+   never leaked. *)
+let shard_bench cfg =
+  let seed = !chaos_seed in
+  Format.printf
+    "== Shard: sharded FL store (transfer protocol) — %d ops/thread, %d \
+     repeat(s), seed %d ==@.@."
+    cfg.ops cfg.repeats seed;
+  let weak_measure ~threads =
+    Workload.Runner.run ~threads ~repeats:cfg.repeats ~ops_per_thread:cfg.ops
+      ~setup:(fun () -> BWM.create ())
+      ~worker:(fun m ~thread ~ops ->
+        let h = BWM.handle m in
+        let rng = Workload.Rng.create ~seed:(0x5A4D + seed) ~stream:thread in
+        for i = 1 to ops do
+          let k = Workload.Rng.below rng shard_key_range in
+          (match Workload.Rng.below rng 3 with
+          | 0 -> ignore (BWM.insert h k i : bool Future.t)
+          | 1 -> ignore (BWM.find h k : int option Future.t)
+          | _ -> ignore (BWM.remove h k : int option Future.t));
+          if i mod 64 = 0 then BWM.flush h
+        done;
+        BWM.flush h)
+      ()
+  in
+  let insts : int Shard.t list ref = ref [] in
+  let shard_setup ~buckets () =
+    let m = Shard.create ~buckets ~lease:shard_lease ~grant_timeout:0.001 () in
+    insts := m :: !insts;
+    m
+  in
+  let shard_worker m ~thread ~ops =
+    let h = Shard.handle m in
+    Workload.Runner.set_abandon_hook (fun () -> Shard.abandon h);
+    let rng = Workload.Rng.create ~seed:(0x5A4D + seed) ~stream:thread in
+    for i = 1 to ops do
+      Workload.Runner.heartbeat ();
+      let k = Workload.Rng.below rng shard_key_range in
+      (match Workload.Rng.below rng 3 with
+      | 0 -> ignore (Shard.insert h k i : bool Future.t)
+      | 1 -> ignore (Shard.find h k : int option Future.t)
+      | _ -> ignore (Shard.remove h k : int option Future.t));
+      if i mod 64 = 0 then Shard.flush h
+    done;
+    Shard.flush h;
+    (* Linger as a cooperative owner: the grant pump only runs while a
+       handle flushes, so without this, a worker that finishes first
+       stops granting and every late cross-shard request waits out the
+       full lease and recovers instead of transferring. Killed victims
+       never get here — their buckets still take the recovery path. *)
+    let linger = Sync.Mono.now () +. (shard_lease /. 2.0) in
+    while Sync.Mono.now () < linger do
+      Shard.flush h;
+      Domain.cpu_relax ()
+    done
+  in
+  let drain m =
+    let dh = Shard.handle m in
+    let deadline = Sync.Mono.now () +. 2.0 in
+    while Shard.in_flight m > 0 && Sync.Mono.now () < deadline do
+      ignore (Shard.recover_all dh : int);
+      Unix.sleepf 0.0005
+    done
+  in
+  (* Measure one cell and return it with the protocol stats summed over
+     that cell's map instances (fresh per repeat). *)
+  let shard_measure ~buckets ?plan ~threads () =
+    insts := [];
+    let m =
+      Workload.Runner.run ~threads ~repeats:cfg.repeats
+        ~ops_per_thread:cfg.ops ~setup:(shard_setup ~buckets)
+        ~worker:shard_worker ~teardown:drain ?plan ~watchdog:0.002 ()
+    in
+    let sum f =
+      List.fold_left (fun a i -> a + f (Shard.stats i)) 0 !insts
+    in
+    let stats =
+      [
+        ("requests", sum (fun s -> s.Shard.requests));
+        ("grants", sum (fun s -> s.Shard.grants));
+        ("ships", sum (fun s -> s.Shard.ships));
+        ("acks", sum (fun s -> s.Shard.acks));
+        ("recovers", sum (fun s -> s.Shard.recovers));
+        ("retries", sum (fun s -> s.Shard.retries));
+        ("degraded_finds", sum (fun s -> s.Shard.degraded_finds));
+        ("proto_poisoned", sum (fun s -> s.Shard.poisoned));
+      ]
+    in
+    (m, stats)
+  in
+  let emit ~impl ~threads ?(extra = []) (m, stats) =
+    record ~bench:"shard" ~impl ~slack:0 ~domains:threads
+      (List.map (fun (k, v) -> (k, float_of_int v)) stats
+      @ [
+          ("seconds", m.Workload.Runner.seconds);
+          ("ops_per_s", m.Workload.Runner.throughput);
+          ("killed", float_of_int m.Workload.Runner.killed);
+          ("poisoned", float_of_int m.Workload.Runner.poisoned);
+          ("recovered", float_of_int m.Workload.Runner.recovered);
+        ]
+      @ extra);
+    (m, stats)
+  in
+  (* Perf panel. *)
+  let table =
+    Workload.Report.create
+      ~title:
+        "shard: centralized weak map vs sharded store (time; x = speedup \
+         vs weak-map; a=acks)"
+      ~columns:[ "weak-map"; "shard-2"; "shard-8" ]
+  in
+  List.iter
+    (fun threads ->
+      let mw = weak_measure ~threads in
+      record_measurement ~bench:"shard" ~impl:"weak-map" ~slack:0 mw;
+      let m2, _ =
+        emit ~impl:"shard-2" ~threads (shard_measure ~buckets:2 ~threads ())
+      in
+      let m8, _ =
+        emit ~impl:"shard-8" ~threads (shard_measure ~buckets:8 ~threads ())
+      in
+      let base = mw.Workload.Runner.seconds in
+      let cell (m : Workload.Runner.measurement) =
+        Printf.sprintf "%s (x%.2f)"
+          (Workload.Report.seconds m.Workload.Runner.seconds)
+          (base /. m.Workload.Runner.seconds)
+      in
+      Workload.Report.add_row table
+        ~label:(string_of_int threads)
+        ~cells:
+          [ Workload.Report.seconds base; cell m2; cell m8 ])
+    cfg.threads;
+  let ppf = Format.std_formatter in
+  if cfg.csv then Workload.Report.csv ppf table
+  else Workload.Report.print ppf table;
+  Format.pp_print_newline ppf ();
+  (* Chaos panel: a scripted kill at each protocol step, installed as a
+     Runner plan (and therefore uninstalled on every teardown path). The
+     victim is whichever domain hits the point third; the run must
+     complete with the loss counted, poisoned, and recovered — never a
+     hang. Single-thread rows are inert (no second handle, no transfer,
+     the kill never fires). *)
+  let kill_table =
+    Workload.Report.create
+      ~title:
+        (Printf.sprintf
+           "shard chaos, seed=%d: scripted kill per protocol step (time; \
+            k=killed p=poisoned r=recovered)"
+           seed)
+      ~columns:[ "shard.grant"; "shard.ship"; "shard.ack" ]
+  in
+  List.iter
+    (fun threads ->
+      let cellp pt =
+        let plan = [ { Faults.pt; at = 1; act = Faults.Kill } ] in
+        let m, _ =
+          emit ~impl:("kill-" ^ pt) ~threads
+            (shard_measure ~buckets:4 ~plan ~threads ())
+        in
+        Printf.sprintf "%s (%dk %dp %dr)"
+          (Workload.Report.seconds m.Workload.Runner.seconds)
+          m.Workload.Runner.killed m.Workload.Runner.poisoned
+          m.Workload.Runner.recovered
+      in
+      Workload.Report.add_row kill_table
+        ~label:(string_of_int threads)
+        ~cells:
+          [ cellp "shard.grant"; cellp "shard.ship"; cellp "shard.ack" ])
+    cfg.threads;
+  if cfg.csv then Workload.Report.csv ppf kill_table
+  else Workload.Report.print ppf kill_table;
+  Format.pp_print_newline ppf ()
+
 (* ------------------------------ fuzz -------------------------------- *)
 
 (* Conformance-fuzz smoke run: a short seeded campaign per target, the
@@ -1054,7 +1250,7 @@ let parse_int_list s = List.map int_of_string (String.split_on_char ',' s)
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [fig4|fig5|fig6|ablation|micro|cas|extra|chaos|trace|fuzz|all]... \
+     [fig4|fig5|fig6|ablation|micro|cas|extra|shard|chaos|trace|fuzz|all]... \
      [--quick|--full] [--ops N] [--repeats N] [--threads a,b,c] [--slacks \
      a,b,c] [--seed N] [--csv] [--json PATH] [--obs] [--trace PATH]";
   exit 2
@@ -1089,7 +1285,7 @@ let () =
     | cmd :: rest
       when List.mem cmd
              [ "fig4"; "fig5"; "fig6"; "ablation"; "micro"; "cas"; "extra";
-               "chaos"; "trace"; "fuzz"; "all" ]
+               "shard"; "chaos"; "trace"; "fuzz"; "all" ]
       ->
         parse cfg (cmd :: cmds) rest
     | _ -> usage ()
@@ -1113,6 +1309,7 @@ let () =
     | "micro" -> micro ()
     | "cas" -> cas_experiment cfg
     | "extra" -> extra cfg
+    | "shard" -> shard_bench cfg
     | "chaos" -> chaos_bench cfg
     | "trace" -> trace_probe ()
     | "fuzz" -> fuzz_bench cfg

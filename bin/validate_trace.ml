@@ -9,7 +9,15 @@
      - events are sorted by ts (the exporter merges per-domain rings);
      - [--min-domains N]: at least N distinct tids appear;
      - [--require PREFIX] (repeatable): some event name starts with
-       PREFIX.
+       PREFIX;
+     - shard transfer pairing: every [shard.ship] is eventually matched
+       (per bucket, in ts order) by a [shard.ack] or a [shard.recover],
+       and no [shard.ack] appears without an outstanding ship — a
+       shipped window that is neither applied nor recovered is exactly
+       the lost-update bug the protocol exists to prevent;
+     - [--min-transfers N]: at least N completed transfers
+       ([shard.ack] events) appear — the CI shard smoke's proof that
+       the run actually exercised the protocol.
 
    Exits 0 with a summary on success, 1 with a diagnostic on the first
    violation. The parser is hand-rolled: the repo deliberately has no
@@ -174,11 +182,12 @@ let () =
   let file = ref None in
   let min_domains = ref 1 in
   let min_events = ref 1 in
+  let min_transfers = ref 0 in
   let required = ref [] in
   let usage () =
     prerr_endline
       "usage: validate_trace FILE [--min-domains N] [--min-events N] \
-       [--require PREFIX]...";
+       [--min-transfers N] [--require PREFIX]...";
     exit 2
   in
   let rec parse_args = function
@@ -191,6 +200,11 @@ let () =
     | "--min-events" :: v :: rest ->
         (match int_of_string_opt v with
         | Some m when m >= 1 -> min_events := m
+        | _ -> usage ());
+        parse_args rest
+    | "--min-transfers" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some m when m >= 0 -> min_transfers := m
         | _ -> usage ());
         parse_args rest
     | "--require" :: p :: rest ->
@@ -236,6 +250,11 @@ let () =
       !min_events;
   let tids = Hashtbl.create 8 in
   let last_ts = ref neg_infinity in
+  (* Outstanding shipped windows per bucket, and completed transfers
+     (acks), maintained in ts order across the merged per-domain rings:
+     the ship fires on the granter's domain, the ack on the requester's. *)
+  let ships : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let transfers = ref 0 in
   List.iteri
     (fun idx ev ->
       let obj =
@@ -253,7 +272,8 @@ let () =
         | Some (Num v) -> v
         | _ -> fail "event %d: missing or non-number %S" idx k
       in
-      if str "name" = "" then fail "event %d: empty name" idx;
+      let name = str "name" in
+      if name = "" then fail "event %d: empty name" idx;
       if str "ph" <> "i" then fail "event %d: ph is not \"i\"" idx;
       let ts = num "ts" in
       if not (Float.is_finite ts) || ts < 0.0 then
@@ -266,11 +286,49 @@ let () =
         v
       in
       ignore (integral "pid" : float);
-      Hashtbl.replace tids (integral "tid") ())
+      Hashtbl.replace tids (integral "tid") ();
+      if name = "shard.ship" || name = "shard.ack" || name = "shard.recover"
+      then begin
+        let bucket =
+          match List.assoc_opt "args" obj with
+          | Some (Obj akvs) -> (
+              match List.assoc_opt "bucket" akvs with
+              | Some (Num b) when Float.rem b 1.0 = 0.0 -> int_of_float b
+              | _ -> fail "event %d: %s without integer args.bucket" idx name)
+          | _ -> fail "event %d: %s without args" idx name
+        in
+        let outstanding =
+          Option.value (Hashtbl.find_opt ships bucket) ~default:0
+        in
+        match name with
+        | "shard.ship" -> Hashtbl.replace ships bucket (outstanding + 1)
+        | "shard.ack" ->
+            if outstanding = 0 then
+              fail "event %d: shard.ack on bucket %d with no outstanding ship"
+                idx bucket;
+            incr transfers;
+            Hashtbl.replace ships bucket (outstanding - 1)
+        | _ ->
+            (* shard.recover: settles the lost in-flight window, if one
+               was shipped; a recover of a merely-expired lease is not a
+               pairing event. *)
+            if outstanding > 0 then Hashtbl.replace ships bucket (outstanding - 1)
+      end)
     events;
   let domains = Hashtbl.length tids in
   if domains < !min_domains then
     fail "only %d distinct tid(s), need at least %d" domains !min_domains;
+  Hashtbl.iter
+    (fun bucket k ->
+      if k > 0 then
+        fail
+          "bucket %d: %d shipped window(s) with no matching shard.ack or \
+           shard.recover"
+          bucket k)
+    ships;
+  if !transfers < !min_transfers then
+    fail "only %d completed transfer(s) (shard.ack), need at least %d"
+      !transfers !min_transfers;
   List.iter
     (fun p ->
       let found =
@@ -285,5 +343,5 @@ let () =
       in
       if not found then fail "no event with name prefix %S" p)
     (List.rev !required);
-  Printf.printf "%s: OK (%d events, %d domain(s))\n" file (List.length events)
-    domains
+  Printf.printf "%s: OK (%d events, %d domain(s), %d transfer(s))\n" file
+    (List.length events) domains !transfers

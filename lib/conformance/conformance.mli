@@ -63,3 +63,21 @@ val check_map :
 (** Same harness for the bind-once {!Fl.Weak_map} (int keys and values)
     against {!Lin.Spec.Map_spec}; default condition Weak, the condition
     the map claims. *)
+
+val check_shard_map :
+  ?threads:int ->
+  ?ops_per_thread:int ->
+  ?key_range:int ->
+  ?buckets:int ->
+  ?lease:float ->
+  ?condition:Lin.Order.condition ->
+  rounds:int ->
+  unit ->
+  outcome
+(** The {!check_map} harness against the sharded store
+    ({!Fl.Shard_map}). The recorded history is checked against the
+    {e centralized} [Map_spec], so a pass certifies refinement: bucket
+    ownership transfers, degraded reads and deadline recoveries are all
+    no-ops in the spec. [buckets] defaults to 2 and [lease] to 0.02 s,
+    small enough that every round drives the request/grant/ship/ack
+    transfer path. *)

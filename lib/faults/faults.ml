@@ -149,6 +149,13 @@ let install_plan steps =
           match Hashtbl.find_opt sub k with Some a -> a | None -> Nothing))
     tbl
 
+(* Inverse of [install_plan] for the same plan: clear exactly the points
+   the plan scripted (leaving unrelated scripts alone) and zero the
+   counters so the next plan's [at] indices count from a clean slate. *)
+let uninstall_plan steps =
+  List.iter clear (List.sort_uniq compare (List.map (fun s -> s.pt) steps));
+  reset_counters ()
+
 (* [FLDS_FAULTS=<seed>] arms schedule perturbation (never kills) for the
    whole process — the `make chaos` entry point. *)
 let () =

@@ -25,7 +25,11 @@
     Current points: [backoff.once], [spinlock.acquire], [future.fulfil],
     [future.force], [future.await], [fc.apply], [fc.pass], [fc.record],
     [elim.exchange], [elim.offer], [elim.park], [conformance.round],
-    [bench.op], [fuzz.step]. *)
+    [bench.op], [fuzz.step], and the sharded-map transfer protocol's
+    [shard.grant], [shard.ship], [shard.ack] (each fired immediately
+    before the corresponding ownership CAS, so a kill there is a death
+    {e between} protocol states and the surviving endpoint recovers by
+    lease deadline). *)
 
 exception Killed of string
 (** Simulated thread death, carrying the injection-point name. Raised
@@ -82,6 +86,13 @@ val install_plan : plan_step list -> unit
     with {!clear_all}. This is the replayable-schedule driver used by
     the fuzzer: a plan is pure data, so the same plan produces the same
     injected schedule. *)
+
+val uninstall_plan : plan_step list -> unit
+(** Undo {!install_plan} for the same plan: clear the scripts of exactly
+    the points the plan named (unrelated scripts keep firing) and zero
+    the hit counters. Every installer must pair [install_plan] with
+    [uninstall_plan] on all exit paths — the fuzzer's executor and the
+    {!Workload} runner do this under [Fun.protect]. *)
 
 val clear_all : unit -> unit
 (** Remove every script, disable seeded chaos, and zero hit counters:

@@ -64,6 +64,27 @@ module Make (K : Lockfree.Harris_list.KEY) = struct
         h.pending;
     h.count <- h.count + 1
 
+  (* Owner-death recovery: poison every un-applied future so waiters see
+     [Broken Orphaned] instead of hanging, and detach the window. Safe to
+     call from the watchdog/sweep of a dead owner's handle. *)
+  let abandon h =
+    let n = ref 0 in
+    let poison : 'a. 'a Future.t -> unit =
+     fun f -> if Future.poison f Future.Orphaned then incr n
+    in
+    KMap.iter
+      (fun _ ops ->
+        List.iter
+          (function
+            | Insert (_, f) -> poison f
+            | Find f -> poison f
+            | Remove f -> poison f)
+          ops)
+      h.pending;
+    h.pending <- KMap.empty;
+    h.count <- 0;
+    !n
+
   let insert h key v =
     let f = Future.create () in
     Future.set_evaluator f (fun () -> flush h);

@@ -31,5 +31,14 @@ module Make (K : Lockfree.Harris_list.KEY) : sig
 
   val flush : 'v handle -> unit
   val pending_count : 'v handle -> int
+
+  val abandon : 'v handle -> int
+  (** Poison every pending future with [Future.Orphaned] and empty the
+      window; returns the number poisoned. The recovery hook for a dead
+      owner's handle (see {!Workload}'s abandon machinery): orphaned
+      operations fail fast instead of hanging their waiters, and the
+      shared list is untouched — un-applied operations are lost, never
+      half-applied. *)
+
   val shared : 'v t -> 'v Lockfree.Harris_kv.Make(K).t
 end

@@ -16,6 +16,15 @@ end
 
 module WM = Fl.Weak_map.Make (IntKey)
 
+module IntKeyH = struct
+  type t = int
+
+  let compare = Int.compare
+  let hash x = x
+end
+
+module SM = Fl.Shard_map.Make (IntKeyH)
+
 type verdict = Pass | Violation of string
 
 type outcome = { verdict : verdict; ops : int; fsc_witness : bool }
@@ -28,6 +37,7 @@ type runner =
   | RMulti
   | RSlack
   | RFclease
+  | RShard
 
 type target = {
   name : string;
@@ -104,6 +114,16 @@ let targets =
         condition = Lin.Order.Strong;
         kill_plan = true;
         runner = RFclease;
+      };
+      (* Sharded-map liveness/refinement oracle: map programs against a
+         2-bucket store with short leases (so transfers actually occur);
+         plans may kill at any transfer protocol step. *)
+      {
+        name = "shardmap";
+        kind = P.Map;
+        condition = Lin.Order.Weak;
+        kill_plan = true;
+        runner = RShard;
       };
     ]
 
@@ -434,6 +454,97 @@ let fclease_run (prog : P.t) =
   in
   { verdict; ops = n + k; fsc_witness = false }
 
+(* Sharded-map oracle: Bind/Lookup/Unbind run against a 2-bucket store
+   with leases short enough that ownership transfers happen constantly;
+   plans may kill at [shard.grant]/[shard.ship]/[shard.ack] (and the
+   flat-combining points, which simply never fire here). A killed worker
+   abandons its handle — the domain is "dead", its windows poisoned, its
+   leases left to expire — and the drain below plays the surviving
+   process. Two properties, under any plan:
+
+   - liveness: after a bounded recovery drain, no tracked future is
+     still pending — every operation was applied, cancelled or poisoned;
+   - refinement: every binding in the surviving store was proposed by
+     some Bind of that exact (key, value) — transfers and recoveries
+     never invent or corrupt state. *)
+let shardmap_run (prog : P.t) =
+  let m : int SM.t =
+    SM.create ~buckets:2 ~lease:0.01 ~grant_timeout:0.0005 ()
+  in
+  let push cell x =
+    let rec go () =
+      let cur = Atomic.get cell in
+      if not (Atomic.compare_and_set cell cur (x :: cur)) then go ()
+    in
+    go ()
+  in
+  let proposed : (int * int) list Atomic.t = Atomic.make [] in
+  let pending : (unit -> bool) list Atomic.t = Atomic.make [] in
+  let ops = Atomic.make 0 in
+  List.iter
+    (fun phase ->
+      let threads = prog.P.threads in
+      let barrier = Sync.Barrier.create threads in
+      let worker i () =
+        let h = SM.handle m in
+        let track f = push pending (fun () -> Future.is_pending f) in
+        Sync.Barrier.wait barrier;
+        try
+          List.iter
+            (fun (st : P.step) ->
+              Faults.point "fuzz.step";
+              ignore (Atomic.fetch_and_add ops 1);
+              match st.P.op with
+              | P.Force -> SM.flush h
+              | P.Bind (k, v) ->
+                  push proposed (k, v);
+                  track (SM.insert h k v)
+              | P.Lookup k -> track (SM.find h k)
+              | P.Unbind k -> track (SM.remove h k)
+              | _ -> ())
+            phase.(i);
+          SM.flush h
+        with Faults.Killed _ -> ignore (SM.abandon h)
+      in
+      let ds = List.init threads (fun i -> Domain.spawn (worker i)) in
+      List.iter Domain.join ds)
+    prog.P.phases;
+  (* Recovery drain: windows shipped to (or granted by) dead handles sit
+     in transfer states until their deadline; sweep from a fresh handle
+     until every tracked future is terminal. Bounded, so a protocol hang
+     becomes a violation here instead of hanging the fuzzer. *)
+  let dh = SM.handle m in
+  let deadline = Sync.Mono.now () +. 5.0 in
+  let still () =
+    List.exists (fun is_pending -> is_pending ()) (Atomic.get pending)
+  in
+  let hung = ref false in
+  while still () && not !hung do
+    ignore (SM.recover_all dh);
+    if Sync.Mono.now () > deadline then hung := true else Unix.sleepf 0.0005
+  done;
+  let props = Atomic.get proposed in
+  let alien =
+    List.filter (fun (k, v) -> not (List.mem (k, v) props)) (SM.bindings m)
+  in
+  let verdict =
+    if !hung then
+      let n =
+        List.length
+          (List.filter (fun is_pending -> is_pending ()) (Atomic.get pending))
+      in
+      violation
+        "shardmap: %d future(s) still pending after the recovery drain \
+         deadline (stats: %d req / %d ship / %d ack / %d recover)"
+        n (SM.stats m).SM.requests (SM.stats m).SM.ships (SM.stats m).SM.acks
+        (SM.stats m).SM.recovers
+    else if alien <> [] then
+      violation "shardmap: %d surviving binding(s) never proposed by any Bind"
+        (List.length alien)
+    else Pass
+  in
+  { verdict; ops = Atomic.get ops; fsc_witness = false }
+
 (* ------------------------------ run ------------------------------- *)
 
 let run ?condition (t : target) (prog : P.t) (plan : Plan.t) =
@@ -442,12 +553,9 @@ let run ?condition (t : target) (prog : P.t) (plan : Plan.t) =
       ("Fuzz.Exec.run: kill plan against history-checked target " ^ t.name);
   let cond = Option.value condition ~default:t.condition in
   Faults.install_plan plan;
-  let finally () =
-    List.iter Faults.clear
-      (List.sort_uniq compare (List.map (fun s -> s.Faults.pt) plan));
-    Faults.reset_counters ()
-  in
-  Fun.protect ~finally (fun () ->
+  Fun.protect
+    ~finally:(fun () -> Faults.uninstall_plan plan)
+    (fun () ->
       match t.runner with
       | RStack i -> stack_run i cond prog
       | RQueue i -> queue_run i cond prog
@@ -455,4 +563,5 @@ let run ?condition (t : target) (prog : P.t) (plan : Plan.t) =
       | RMap -> map_run cond prog
       | RMulti -> multi_run cond prog
       | RSlack -> slack_run prog
-      | RFclease -> fclease_run prog)
+      | RFclease -> fclease_run prog
+      | RShard -> shardmap_run prog)

@@ -7,10 +7,13 @@
     flushing), every operation is recorded through {!Lin.History}, and
     the merged history is checked with the exact segmented search. Two
     are {e oracle} targets with no recorded history: [slack]
-    (exactly-once evaluation policy) and [fclease] (flat-combining
-    combiner-lease sum oracle — the only target whose plans may kill;
-    killed operations are ambiguous in a recorded history, so
-    history-checked targets reject kill plans). *)
+    (exactly-once evaluation policy), [fclease] (flat-combining
+    combiner-lease sum oracle) and [shardmap] (sharded-map transfer
+    protocol: liveness — no future outlives the recovery drain — and
+    store refinement under kills at every protocol step). Only oracle
+    targets with [kill_plan] accept kill plans: killed operations are
+    ambiguous in a recorded history, so history-checked targets reject
+    them. *)
 
 type verdict = Pass | Violation of string
 
@@ -36,8 +39,8 @@ type target = {
 
 val targets : target list
 (** Every registry implementation (stacks, queues, lists) plus
-    [map/weak], the Figure-3 two-queue shape ([fig3]), and the [slack]
-    and [fclease] oracles. *)
+    [map/weak], the Figure-3 two-queue shape ([fig3]), and the [slack],
+    [fclease] and [shardmap] oracles. *)
 
 val find : string -> target
 (** Raises [Invalid_argument] for unknown names. *)

@@ -25,9 +25,16 @@ let stall_points =
     "elim.park";
     "spinlock.acquire";
     "backoff.once";
+    "shard.grant";
+    "shard.ship";
+    "shard.ack";
   ]
 
-let kill_points = [ "fc.pass"; "fc.record" ]
+(* Kill points fire only in kill-plan targets' code paths: the fc.*
+   points in [fclease], the shard.* points in [shardmap]. A kill step
+   whose point the target never reaches is simply inert. *)
+let kill_points =
+  [ "fc.pass"; "fc.record"; "shard.grant"; "shard.ship"; "shard.ack" ]
 
 let pick rng l = List.nth l (Rng.below rng (List.length l))
 

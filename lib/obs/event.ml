@@ -27,7 +27,17 @@ let worker_killed = 12
 let worker_recovered = 13
 let worker_stalled = 14
 
-let tag_count = 15
+(* Sharded-map bucket transfers (Fl.Shard_map). [a] = bucket id.
+   shard_ship's [b] = shipped window size; shard_ack's [b] = transfer
+   latency (request -> ack) in ns; shard_recover's [b] = futures
+   poisoned out of the lost window. *)
+let shard_request = 15
+let shard_grant = 16
+let shard_ship = 17
+let shard_ack = 18
+let shard_recover = 19
+
+let tag_count = 20
 
 let name = function
   | 0 -> "future.created"
@@ -45,6 +55,11 @@ let name = function
   | 12 -> "worker.killed"
   | 13 -> "worker.recovered"
   | 14 -> "worker.stalled"
+  | 15 -> "shard.request"
+  | 16 -> "shard.grant"
+  | 17 -> "shard.ship"
+  | 18 -> "shard.ack"
+  | 19 -> "shard.recover"
   | t -> "unknown." ^ string_of_int t
 
 let is_terminal t = t = future_fulfilled || t = future_cancelled || t = future_poisoned
@@ -61,6 +76,7 @@ let k_medium_queue_deq = 7
 let k_weak_list = 8
 let k_slack_drain = 9
 let k_fc_pass = 10
+let k_shard = 11
 
 let kind_name = function
   | 0 -> "weak-stack-push"
@@ -74,4 +90,5 @@ let kind_name = function
   | 8 -> "weak-list"
   | 9 -> "slack-drain"
   | 10 -> "fc-pass"
+  | 11 -> "shard-window"
   | k -> "kind-" ^ string_of_int k

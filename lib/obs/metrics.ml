@@ -33,10 +33,16 @@ type t = {
   workers_killed : C.t;
   workers_recovered : C.t;
   workers_stalled : C.t;
+  shard_requests : C.t;
+  shard_grants : C.t;
+  shard_ships : C.t;
+  shard_acks : C.t;
+  shard_recovers : C.t;
   pendingness_ns : Histogram.t;
   force_ns : Histogram.t;
   splice_batch : Histogram.t;
   elim_wait_ns : Histogram.t;
+  transfer_ns : Histogram.t;
 }
 
 let create () =
@@ -57,10 +63,16 @@ let create () =
     workers_killed = C.create ();
     workers_recovered = C.create ();
     workers_stalled = C.create ();
+    shard_requests = C.create ();
+    shard_grants = C.create ();
+    shard_ships = C.create ();
+    shard_acks = C.create ();
+    shard_recovers = C.create ();
     pendingness_ns = Histogram.create ();
     force_ns = Histogram.create ();
     splice_batch = Histogram.create ();
     elim_wait_ns = Histogram.create ();
+    transfer_ns = Histogram.create ();
   }
 
 let global = create ()
@@ -73,10 +85,12 @@ let reset () =
       g.futures_cancelled; g.futures_poisoned; g.splices; g.splice_ops;
       g.elim_hits; g.elim_misses; g.combiner_acquires; g.combiner_takeovers;
       g.combiner_retires; g.backoff_exhausted; g.workers_killed;
-      g.workers_recovered; g.workers_stalled;
+      g.workers_recovered; g.workers_stalled; g.shard_requests;
+      g.shard_grants; g.shard_ships; g.shard_acks; g.shard_recovers;
     ];
   List.iter Histogram.reset
-    [ g.pendingness_ns; g.force_ns; g.splice_batch; g.elim_wait_ns ]
+    [ g.pendingness_ns; g.force_ns; g.splice_batch; g.elim_wait_ns;
+      g.transfer_ns ]
 
 (* ------------------------- recording hooks -------------------------- *)
 (* Called by the Obs wrappers with the switch already checked. *)
@@ -109,6 +123,15 @@ let on_backoff_exhausted () = C.incr global.backoff_exhausted
 let on_worker_killed () = C.incr global.workers_killed
 let on_worker_recovered () = C.incr global.workers_recovered
 let on_worker_stalled () = C.incr global.workers_stalled
+let on_shard_request () = C.incr global.shard_requests
+let on_shard_grant () = C.incr global.shard_grants
+let on_shard_ship () = C.incr global.shard_ships
+
+let on_shard_ack d =
+  C.incr global.shard_acks;
+  if d > 0 then Histogram.record global.transfer_ns d
+
+let on_shard_recover () = C.incr global.shard_recovers
 
 (* ---------------------------- snapshots ------------------------------ *)
 
@@ -129,10 +152,16 @@ type snapshot = {
   workers_killed : int;
   workers_recovered : int;
   workers_stalled : int;
+  shard_requests : int;
+  shard_grants : int;
+  shard_ships : int;
+  shard_acks : int;
+  shard_recovers : int;
   pendingness_ns : Histogram.s;
   force_ns : Histogram.s;
   splice_batch : Histogram.s;
   elim_wait_ns : Histogram.s;
+  transfer_ns : Histogram.s;
 }
 
 let snapshot () =
@@ -154,10 +183,16 @@ let snapshot () =
     workers_killed = C.total g.workers_killed;
     workers_recovered = C.total g.workers_recovered;
     workers_stalled = C.total g.workers_stalled;
+    shard_requests = C.total g.shard_requests;
+    shard_grants = C.total g.shard_grants;
+    shard_ships = C.total g.shard_ships;
+    shard_acks = C.total g.shard_acks;
+    shard_recovers = C.total g.shard_recovers;
     pendingness_ns = Histogram.snapshot g.pendingness_ns;
     force_ns = Histogram.snapshot g.force_ns;
     splice_batch = Histogram.snapshot g.splice_batch;
     elim_wait_ns = Histogram.snapshot g.elim_wait_ns;
+    transfer_ns = Histogram.snapshot g.transfer_ns;
   }
 
 let diff (later : snapshot) (earlier : snapshot) =
@@ -178,10 +213,16 @@ let diff (later : snapshot) (earlier : snapshot) =
     workers_killed = later.workers_killed - earlier.workers_killed;
     workers_recovered = later.workers_recovered - earlier.workers_recovered;
     workers_stalled = later.workers_stalled - earlier.workers_stalled;
+    shard_requests = later.shard_requests - earlier.shard_requests;
+    shard_grants = later.shard_grants - earlier.shard_grants;
+    shard_ships = later.shard_ships - earlier.shard_ships;
+    shard_acks = later.shard_acks - earlier.shard_acks;
+    shard_recovers = later.shard_recovers - earlier.shard_recovers;
     pendingness_ns = Histogram.diff later.pendingness_ns earlier.pendingness_ns;
     force_ns = Histogram.diff later.force_ns earlier.force_ns;
     splice_batch = Histogram.diff later.splice_batch earlier.splice_batch;
     elim_wait_ns = Histogram.diff later.elim_wait_ns earlier.elim_wait_ns;
+    transfer_ns = Histogram.diff later.transfer_ns earlier.transfer_ns;
   }
 
 (* --------------------------- derived views --------------------------- *)
@@ -192,6 +233,9 @@ let force_p50 s = Histogram.percentile_value s.force_ns 50.0
 let force_p99 s = Histogram.percentile_value s.force_ns 99.0
 let mean_splice_batch s = Histogram.mean_value s.splice_batch
 let elim_wait_p99 s = Histogram.percentile_value s.elim_wait_ns 99.0
+
+let transfer_p50 s = Histogram.percentile_value s.transfer_ns 50.0
+let transfer_p99 s = Histogram.percentile_value s.transfer_ns 99.0
 
 let elim_hit_rate s =
   let attempts = s.elim_hits + s.elim_misses in

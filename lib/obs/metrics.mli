@@ -34,6 +34,15 @@ val on_backoff_exhausted : unit -> unit
 val on_worker_killed : unit -> unit
 val on_worker_recovered : unit -> unit
 val on_worker_stalled : unit -> unit
+val on_shard_request : unit -> unit
+val on_shard_grant : unit -> unit
+val on_shard_ship : unit -> unit
+
+val on_shard_ack : int -> unit
+(** Argument: transfer latency (request → ack) in ns; [0] = untracked
+    (counted, not histogrammed). *)
+
+val on_shard_recover : unit -> unit
 
 (** {2 Snapshots} *)
 
@@ -54,10 +63,16 @@ type snapshot = {
   workers_killed : int;
   workers_recovered : int;
   workers_stalled : int;
+  shard_requests : int;
+  shard_grants : int;
+  shard_ships : int;
+  shard_acks : int;
+  shard_recovers : int;
   pendingness_ns : Histogram.s;
   force_ns : Histogram.s;
   splice_batch : Histogram.s;
   elim_wait_ns : Histogram.s;
+  transfer_ns : Histogram.s;
 }
 
 val snapshot : unit -> snapshot
@@ -72,6 +87,10 @@ val force_p50 : snapshot -> int
 val force_p99 : snapshot -> int
 val mean_splice_batch : snapshot -> float
 val elim_wait_p99 : snapshot -> int
+
+val transfer_p50 : snapshot -> int
+val transfer_p99 : snapshot -> int
+(** Bucket-transfer latency (request → ack), ns. *)
 
 val elim_hit_rate : snapshot -> float
 (** hits / (hits + misses); [0.] with no attempts. *)

@@ -132,3 +132,43 @@ let worker_stalled ~worker =
     Trace.emit Event.worker_stalled worker 0;
     Metrics.on_worker_stalled ()
   end
+
+(* ------------------------- bucket transfers -------------------------- *)
+
+(* [shard_request] returns the stamp the requester carries to [shard_ack]
+   so the transfer-latency histogram spans the whole protocol (0 when
+   off or when the transfer completed via a path that never stamped). *)
+let shard_request ~bucket =
+  if Switch.enabled () then begin
+    let ts = Trace.now_ns () in
+    Trace.emit_at ~ts Event.shard_request bucket 0;
+    Metrics.on_shard_request ();
+    ts
+  end
+  else 0
+
+let shard_grant ~bucket =
+  if Switch.enabled () then begin
+    Trace.emit Event.shard_grant bucket 0;
+    Metrics.on_shard_grant ()
+  end
+
+let shard_ship ~bucket ~n =
+  if Switch.enabled () then begin
+    Trace.emit Event.shard_ship bucket n;
+    Metrics.on_shard_ship ()
+  end
+
+let shard_ack ~bucket ~t0 =
+  if Switch.enabled () then begin
+    let ts = Trace.now_ns () in
+    let d = if t0 = 0 then 0 else ts - t0 in
+    Trace.emit_at ~ts Event.shard_ack bucket d;
+    Metrics.on_shard_ack d
+  end
+
+let shard_recover ~bucket ~poisoned =
+  if Switch.enabled () then begin
+    Trace.emit Event.shard_recover bucket poisoned;
+    Metrics.on_shard_recover ()
+  end

@@ -72,3 +72,23 @@ val backoff_exhausted : unit -> unit
 val worker_killed : worker:int -> unit
 val worker_recovered : worker:int -> poisoned:int -> unit
 val worker_stalled : worker:int -> unit
+
+(** {2 Bucket transfers (sharded map)} *)
+
+val shard_request : bucket:int -> int
+(** Record a transfer request and return the stamp to pass to
+    {!shard_ack} ([0] when off), so the transfer-latency histogram spans
+    request → ack. *)
+
+val shard_grant : bucket:int -> unit
+
+val shard_ship : bucket:int -> n:int -> unit
+(** [n] = ops in the sealed window being shipped. *)
+
+val shard_ack : bucket:int -> t0:int -> unit
+(** Transfer completed; latency now − [t0] goes to the transfer
+    histogram (skipped when [t0 = 0]). *)
+
+val shard_recover : bucket:int -> poisoned:int -> unit
+(** An expired bucket was usurped; [poisoned] = futures poisoned out of
+    a window lost in flight (0 when no window was in flight). *)

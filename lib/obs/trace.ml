@@ -122,6 +122,13 @@ let event_args e =
     [ ("worker", e.e_a) ]
   else if t = Event.worker_recovered then
     [ ("worker", e.e_a); ("poisoned", e.e_b) ]
+  else if t = Event.shard_request || t = Event.shard_grant then
+    [ ("bucket", e.e_a) ]
+  else if t = Event.shard_ship then [ ("bucket", e.e_a); ("window", e.e_b) ]
+  else if t = Event.shard_ack then
+    [ ("bucket", e.e_a); ("transfer_ns", e.e_b) ]
+  else if t = Event.shard_recover then
+    [ ("bucket", e.e_a); ("poisoned", e.e_b) ]
   else []
 
 let export oc =

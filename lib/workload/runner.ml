@@ -146,7 +146,7 @@ let watchdog_loop r ~interval ~stop =
   done
 
 let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total ?teardown
-    ?chaos ?watchdog () =
+    ?chaos ?plan ?watchdog () =
   if threads <= 0 then invalid_arg "Runner.run: threads must be positive";
   if repeats <= 0 then invalid_arg "Runner.run: repeats must be positive";
   (match watchdog with
@@ -162,6 +162,16 @@ let run ~threads ~repeats ~ops_per_thread ~setup ~worker ?cas_total ?teardown
   let recovered = ref 0 in
   let stall_warnings = ref 0 in
   for rep = 0 to repeats - 1 do
+    (* A scripted plan is (re)installed per repeat so its [at] indices
+       count from each repeat's first hit, and uninstalled on every exit
+       path — normal completion, a worker's genuine failure re-raised
+       below, and watchdog-recovered deaths alike — so a failing repeat
+       never leaks its fault script into the caller or the next run. *)
+    (match plan with Some p -> Faults.install_plan p | None -> ());
+    Fun.protect
+      ~finally:(fun () ->
+        match plan with Some p -> Faults.uninstall_plan p | None -> ())
+    @@ fun () ->
     let ctx = setup () in
     let barrier = Sync.Barrier.create (threads + 1) in
     let cas_before = match cas_total with Some f -> f ctx | None -> 0 in

@@ -93,6 +93,7 @@ val run :
   ?cas_total:('ctx -> int) ->
   ?teardown:('ctx -> unit) ->
   ?chaos:chaos ->
+  ?plan:Faults.plan_step list ->
   ?watchdog:float ->
   unit ->
   measurement
@@ -105,6 +106,12 @@ val run :
     only the first is re-raised, the rest are counted in
     [suppressed_failures] (and a note is printed to stderr). Chaos
     victims' {!Killed_worker} exceptions are counted in [killed] instead.
+    [plan] is a scripted fault schedule ({!Faults.install_plan}) installed
+    at the start of {e every} repeat and uninstalled — via
+    {!Faults.uninstall_plan} under [Fun.protect] — on every exit path,
+    including repeats whose workers died and were recovered by the
+    watchdog and repeats aborted by a re-raised genuine failure, so a
+    run never leaks its fault script into subsequent code.
     [watchdog] spawns a recovery domain polling worker liveness at that
     interval (seconds; must be positive) — see the module preamble.
     Note that a stalling victim calls [worker] twice in its domain

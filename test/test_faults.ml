@@ -576,6 +576,84 @@ let test_await_released_by_watchdog () =
   Alcotest.(check bool) "orphan poisoned" true
     (m.Workload.Runner.poisoned >= 1)
 
+(* ------------------------- plan teardown ----------------------------- *)
+
+(* Runner [?plan] owns its fault script's lifetime: installed at each
+   repeat's start, uninstalled (script cleared, counters reset) on every
+   exit path — normal completion, scripted kills, and a worker's genuine
+   failure re-raised to the caller — so a failing repeat never leaks its
+   script into later runs. *)
+
+let test_runner_plan_uninstalled_after_kills () =
+  let plan = [ { Faults.pt = "plan.t"; at = 0; act = Faults.Kill } ] in
+  let worker () ~thread:_ ~ops:_ = Faults.point "plan.t" in
+  let m =
+    Workload.Runner.run ~threads:2 ~repeats:2 ~ops_per_thread:1
+      ~setup:(fun () -> ())
+      ~worker ~plan ()
+  in
+  (* [at = 0] kills the first hit of each repeat: reinstallation per
+     repeat resets the hit indices, so exactly one worker dies per
+     repeat, not just in the first. *)
+  Alcotest.(check int) "one scripted kill per repeat" 2
+    m.Workload.Runner.killed;
+  Alcotest.(check int) "counters reset by uninstall" 0 (Faults.hits "plan.t");
+  Faults.point "plan.t";
+  Alcotest.(check int) "script cleared: the point is inert" 0
+    (Faults.hits "plan.t")
+
+let test_runner_plan_uninstalled_on_failure () =
+  let plan = [ { Faults.pt = "plan.f"; at = 0; act = Faults.Delay 1 } ] in
+  let worker () ~thread:_ ~ops:_ =
+    Faults.point "plan.f";
+    failwith "genuine worker failure"
+  in
+  (match
+     Workload.Runner.run ~threads:1 ~repeats:1 ~ops_per_thread:1
+       ~setup:(fun () -> ())
+       ~worker ~plan ()
+   with
+  | _ -> Alcotest.fail "genuine failure was not re-raised"
+  | exception Failure _ -> ());
+  Faults.point "plan.f";
+  Alcotest.(check int) "script cleared on the failure path" 0
+    (Faults.hits "plan.f");
+  (* The slate is clean for whoever installs next: a fresh script on the
+     same point sees hit indices from zero. *)
+  let seen = ref [] in
+  Faults.on "plan.f" (fun k ->
+      seen := k :: !seen;
+      Faults.Nothing);
+  Faults.point "plan.f";
+  Alcotest.(check (list int)) "fresh script counts from zero" [ 0 ] !seen
+
+let test_runner_plan_uninstalled_with_watchdog_recovery () =
+  (* The uninstall must also cover the watchdog-recovery path: the
+     victim dies at the scripted point, its abandon hook runs from the
+     watchdog, and the plan still comes down with the repeat. *)
+  let plan = [ { Faults.pt = "plan.w"; at = 0; act = Faults.Kill } ] in
+  let poisoned = ref 0 in
+  let worker () ~thread ~ops:_ =
+    let f : int Future.t = Future.create () in
+    Workload.Runner.set_abandon_hook (fun () ->
+        if Future.poison f Future.Orphaned then 1 else 0);
+    if thread = 0 then Faults.point "plan.w"
+    else Unix.sleepf 0.01
+  in
+  let m =
+    Workload.Runner.run ~threads:2 ~repeats:1 ~ops_per_thread:1
+      ~setup:(fun () -> ())
+      ~worker ~plan ~watchdog:0.002 ()
+  in
+  poisoned := m.Workload.Runner.poisoned;
+  Alcotest.(check int) "victim killed" 1 m.Workload.Runner.killed;
+  Alcotest.(check bool) "victim recovered" true
+    (m.Workload.Runner.recovered >= 1);
+  Alcotest.(check bool) "orphan poisoned" true (!poisoned >= 1);
+  Faults.point "plan.w";
+  Alcotest.(check int) "script cleared after watchdog recovery" 0
+    (Faults.hits "plan.w")
+
 (* ------------------------ cancellation windows ------------------------ *)
 
 let test_weak_stack_cancel_in_window () =
@@ -743,6 +821,14 @@ let () =
             (with_clean_faults (test_orphan_set "txn" 58));
           Alcotest.test_case "await released by watchdog" `Slow
             (with_clean_faults test_await_released_by_watchdog);
+          Alcotest.test_case "runner plan uninstalled after kills" `Quick
+            (with_clean_faults test_runner_plan_uninstalled_after_kills);
+          Alcotest.test_case "runner plan uninstalled on failure" `Quick
+            (with_clean_faults test_runner_plan_uninstalled_on_failure);
+          Alcotest.test_case "runner plan uninstalled after watchdog recovery"
+            `Slow
+            (with_clean_faults
+               test_runner_plan_uninstalled_with_watchdog_recovery);
           Alcotest.test_case "weak stack cancel in window" `Quick
             (with_clean_faults test_weak_stack_cancel_in_window);
           Alcotest.test_case "cancelled pop not eliminated" `Quick

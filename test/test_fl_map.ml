@@ -324,6 +324,87 @@ let test_map_bind_once_race () =
       (KV.find (WM.shared m) 7)
   done
 
+(* --------------------- abandon / orphan recovery --------------------- *)
+
+(* A worker dies with inserts pending and its handle never flushed; its
+   registered abandon hook (the handle's [abandon]) must poison exactly
+   those futures with [Orphaned] — fail fast, never hang — and discard
+   the window un-applied, so the dead worker's keys stay unbound and the
+   bind-once invariant survives into post-recovery use. *)
+let orphan_ops = 5
+
+let test_map_abandon_under_kill () =
+  Fun.protect ~finally:Faults.clear_all @@ fun () ->
+  Faults.clear_all ();
+  let m = WM.create () in
+  let victim_futs = Array.make orphan_ops None in
+  Faults.on "map.victim" (fun _ -> Faults.Kill);
+  let worker () ~thread ~ops =
+    let h = WM.handle m in
+    Workload.Runner.set_abandon_hook (fun () -> WM.abandon h);
+    if thread = 0 then begin
+      for j = 0 to orphan_ops - 1 do
+        victim_futs.(j) <- Some (WM.insert h (100 + j) j)
+      done;
+      Faults.point "map.victim";
+      Alcotest.fail "victim survived its kill"
+    end
+    else begin
+      for n = 1 to ops do
+        Workload.Runner.heartbeat ();
+        ignore (WM.insert h ((thread * 1000) + n) n : bool Future.t)
+      done;
+      WM.flush h
+    end
+  in
+  let r =
+    Workload.Runner.run ~threads:3 ~repeats:1 ~ops_per_thread:50
+      ~setup:(fun () -> ())
+      ~worker ~watchdog:0.002 ()
+  in
+  Alcotest.(check int) "victim killed" 1 r.Workload.Runner.killed;
+  Alcotest.(check int) "no unexplained failures" 0
+    r.Workload.Runner.suppressed_failures;
+  Alcotest.(check bool) "runner recovered the dead worker" true
+    (r.Workload.Runner.recovered >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "all %d orphans poisoned (got %d)" orphan_ops
+       r.Workload.Runner.poisoned)
+    true
+    (r.Workload.Runner.poisoned >= orphan_ops);
+  Array.iteri
+    (fun j f ->
+      match f with
+      | None -> Alcotest.failf "victim future %d never published" j
+      | Some f ->
+          Alcotest.check_raises
+            (Printf.sprintf "orphan %d raises" j)
+            (Future.Broken Future.Orphaned)
+            (fun () -> ignore (Future.force f : bool));
+          Alcotest.(check bool)
+            (Printf.sprintf "orphan %d poisoned" j)
+            true (Future.is_poisoned f))
+    victim_futs;
+  (* The discarded window never touched the shared list: the victim's
+     keys are unbound, and bind-once still works on them afterwards. *)
+  for j = 0 to orphan_ops - 1 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "victim key %d never bound" (100 + j))
+      None
+      (KV.find (WM.shared m) (100 + j))
+  done;
+  let h = WM.handle m in
+  let fresh = WM.insert h 100 42 in
+  let dup = WM.insert h 100 43 in
+  WM.flush h;
+  Alcotest.(check bool) "post-recovery bind succeeds" true (force fresh);
+  Alcotest.(check bool) "bind-once refusal survives recovery" false
+    (force dup);
+  (* Survivors' batches all landed. *)
+  Alcotest.(check int) "survivor bindings intact" (2 * 50)
+    (List.length
+       (List.filter (fun (k, _) -> k >= 1000) (KV.bindings (WM.shared m))))
+
 let () =
   Alcotest.run "fl-map"
     [
@@ -348,5 +429,7 @@ let () =
             test_map_conservation_parallel;
           Alcotest.test_case "bind-once race (2 domains)" `Slow
             test_map_bind_once_race;
+          Alcotest.test_case "abandon under runner kill (3 domains)" `Slow
+            test_map_abandon_under_kill;
         ] );
     ]

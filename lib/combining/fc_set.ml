@@ -22,6 +22,10 @@ module Make (K : Seqds.Seq_list.KEY) = struct
   let contains h k = Flat_combining.apply h (Contains k)
   let length t = S.length t.seq
   let to_list t = S.to_list t.seq
+  let pass_budget t = Flat_combining.pass_budget t.fc
+  let set_pass_budget t n = Flat_combining.set_pass_budget t.fc n
+  let scan_limit t = Flat_combining.scan_limit t.fc
+  let set_scan_limit t n = Flat_combining.set_scan_limit t.fc n
   let combiner_passes t = Flat_combining.combiner_passes t.fc
   let combiner_takeovers t = Flat_combining.combiner_takeovers t.fc
 end

@@ -28,6 +28,7 @@ type stack_instance = {
   s_drain : unit -> unit;
   s_cas_count : unit -> int;
   s_contents : unit -> int list;
+  s_dials : unit -> Tunable.dial list;
 }
 
 type stack_impl = { s_name : string; s_make : unit -> stack_instance }
@@ -49,6 +50,7 @@ let lockfree_stack () =
     s_drain = ignore;
     s_cas_count = (fun () -> Lockfree.Treiber_stack.cas_count s);
     s_contents = (fun () -> Lockfree.Treiber_stack.to_list s);
+    s_dials = (fun () -> []);
   }
 
 let weak_stack_with ?(exchange = false) ~elimination () =
@@ -68,6 +70,11 @@ let weak_stack_with ?(exchange = false) ~elimination () =
       (fun () -> Lockfree.Treiber_stack.cas_count (Weak_stack.shared s));
     s_contents =
       (fun () -> Lockfree.Treiber_stack.to_list (Weak_stack.shared s));
+    s_dials =
+      (fun () ->
+        match Weak_stack.exchanger s with
+        | Some ex -> Tunable.of_exchanger ~name:"weak-stack.elim" ex
+        | None -> []);
   }
 
 let weak_stack () = weak_stack_with ~elimination:true ()
@@ -91,6 +98,7 @@ let medium_stack () =
       (fun () -> Lockfree.Treiber_stack.cas_count (Medium_stack.shared s));
     s_contents =
       (fun () -> Lockfree.Treiber_stack.to_list (Medium_stack.shared s));
+    s_dials = (fun () -> []);
   }
 
 let strong_stack () =
@@ -107,6 +115,7 @@ let strong_stack () =
     s_drain = (fun () -> Strong_stack.drain s);
     s_cas_count = (fun () -> Strong_stack.pending_cas_count s);
     s_contents = (fun () -> Strong_stack.to_list s);
+    s_dials = (fun () -> []);
   }
 
 let fc_stack () =
@@ -129,6 +138,14 @@ let fc_stack () =
        not CAS on the structure; report 0. *)
     s_cas_count = (fun () -> 0);
     s_contents = (fun () -> Combining.Fc_stack.to_list s);
+    s_dials =
+      (fun () ->
+        Tunable.of_fc ~name:"fc-stack"
+          ~pass_budget:(fun () -> Combining.Fc_stack.pass_budget s)
+          ~set_pass_budget:(Combining.Fc_stack.set_pass_budget s)
+          ~scan_limit:(fun () -> Combining.Fc_stack.scan_limit s)
+          ~set_scan_limit:(Combining.Fc_stack.set_scan_limit s)
+          ());
   }
 
 let elim_stack () =
@@ -149,6 +166,7 @@ let elim_stack () =
     s_drain = ignore;
     s_cas_count = (fun () -> Lockfree.Elimination_stack.cas_count s);
     s_contents = (fun () -> Lockfree.Elimination_stack.to_list s);
+    s_dials = (fun () -> []);
   }
 
 let stack_impls =
@@ -177,6 +195,7 @@ type queue_instance = {
   q_drain : unit -> unit;
   q_cas_count : unit -> int;
   q_contents : unit -> int list;
+  q_dials : unit -> Tunable.dial list;
 }
 
 type queue_impl = { q_name : string; q_make : unit -> queue_instance }
@@ -198,6 +217,7 @@ let lockfree_queue () =
     q_drain = ignore;
     q_cas_count = (fun () -> Lockfree.Ms_queue.cas_count q);
     q_contents = (fun () -> Lockfree.Ms_queue.to_list q);
+    q_dials = (fun () -> []);
   }
 
 let weak_queue () =
@@ -216,6 +236,7 @@ let weak_queue () =
     q_cas_count =
       (fun () -> Lockfree.Ms_queue.cas_count (Weak_queue.shared q));
     q_contents = (fun () -> Lockfree.Ms_queue.to_list (Weak_queue.shared q));
+    q_dials = (fun () -> []);
   }
 
 let medium_queue () =
@@ -235,6 +256,7 @@ let medium_queue () =
       (fun () -> Lockfree.Ms_queue.cas_count (Medium_queue.shared q));
     q_contents =
       (fun () -> Lockfree.Ms_queue.to_list (Medium_queue.shared q));
+    q_dials = (fun () -> []);
   }
 
 let strong_queue () =
@@ -251,6 +273,7 @@ let strong_queue () =
     q_drain = (fun () -> Strong_queue.drain q);
     q_cas_count = (fun () -> Strong_queue.pending_cas_count q);
     q_contents = (fun () -> Strong_queue.to_list q);
+    q_dials = (fun () -> []);
   }
 
 let fc_queue () =
@@ -271,6 +294,14 @@ let fc_queue () =
     q_drain = ignore;
     q_cas_count = (fun () -> 0);
     q_contents = (fun () -> Combining.Fc_queue.to_list q);
+    q_dials =
+      (fun () ->
+        Tunable.of_fc ~name:"fc-queue"
+          ~pass_budget:(fun () -> Combining.Fc_queue.pass_budget q)
+          ~set_pass_budget:(Combining.Fc_queue.set_pass_budget q)
+          ~scan_limit:(fun () -> Combining.Fc_queue.scan_limit q)
+          ~set_scan_limit:(Combining.Fc_queue.set_scan_limit q)
+          ());
   }
 
 let queue_impls =
@@ -298,6 +329,7 @@ type set_instance = {
   l_drain : unit -> unit;
   l_cas_count : unit -> int;
   l_contents : unit -> int list;
+  l_dials : unit -> Tunable.dial list;
 }
 
 type set_impl = { l_name : string; l_make : unit -> set_instance }
@@ -317,6 +349,7 @@ let lockfree_set () =
     l_drain = ignore;
     l_cas_count = (fun () -> Harris.cas_count l);
     l_contents = (fun () -> Harris.to_list l);
+    l_dials = (fun () -> []);
   }
 
 let weak_set () =
@@ -335,6 +368,7 @@ let weak_set () =
     l_drain = ignore;
     l_cas_count = (fun () -> Harris.cas_count (WL.shared l));
     l_contents = (fun () -> Harris.to_list (WL.shared l));
+    l_dials = (fun () -> []);
   }
 
 let medium_set_with ~resume_hint =
@@ -353,6 +387,7 @@ let medium_set_with ~resume_hint =
     l_drain = ignore;
     l_cas_count = (fun () -> Harris.cas_count (ML.shared l));
     l_contents = (fun () -> Harris.to_list (ML.shared l));
+    l_dials = (fun () -> []);
   }
 
 let medium_set () = medium_set_with ~resume_hint:true
@@ -372,6 +407,7 @@ let strong_set_with ~sort_batch =
     l_drain = (fun () -> SL.drain l);
     l_cas_count = (fun () -> SL.pending_cas_count l);
     l_contents = (fun () -> SL.to_list l);
+    l_dials = (fun () -> []);
   }
 
 let strong_set () = strong_set_with ~sort_batch:true
@@ -392,6 +428,7 @@ let txn_set () =
     l_drain = ignore;
     l_cas_count = (fun () -> Harris.cas_count (TL.shared l));
     l_contents = (fun () -> Harris.to_list (TL.shared l));
+    l_dials = (fun () -> []);
   }
 
 let fc_set () =
@@ -410,6 +447,14 @@ let fc_set () =
     l_drain = ignore;
     l_cas_count = (fun () -> 0);
     l_contents = (fun () -> FCSet.to_list l);
+    l_dials =
+      (fun () ->
+        Tunable.of_fc ~name:"fc-set"
+          ~pass_budget:(fun () -> FCSet.pass_budget l)
+          ~set_pass_budget:(FCSet.set_pass_budget l)
+          ~scan_limit:(fun () -> FCSet.scan_limit l)
+          ~set_scan_limit:(FCSet.set_scan_limit l)
+          ());
   }
 
 let set_impls =

@@ -1,7 +1,7 @@
 type order = Newest_first | Oldest_first
 
 type t = {
-  slack : int;
+  mutable slack : int;
   order : order;
   window : (unit -> unit) Opbuf.t; (* oldest first *)
   (* Spare ring the window is detached into before any thunk runs: a
@@ -23,6 +23,15 @@ let create ?(order = Newest_first) slack =
   }
 
 let slack t = t.slack
+
+(* Retuning entry point (Tune controller). A [t] is owned by one thread,
+   but the controller writes from its own domain: a single immediate-int
+   store is atomic in OCaml, and the owner merely drains earlier or
+   later by one window — both orders are FL-correct, so no fence is
+   needed. Shrinking below the current fill takes effect at the owner's
+   next [note]. *)
+let set_slack t n = t.slack <- (if n < 1 then 1 else n)
+
 let pending t = Opbuf.length t.window
 
 (* Forcing newest first, the first force reaches the deepest pending

@@ -36,6 +36,8 @@ let shared t = t.stack
 let exchanged t =
   match t.exchange with None -> 0 | Some ex -> Lockfree.Exchanger.exchanged ex
 
+let exchanger t = t.exchange
+
 let handle owner =
   {
     owner;

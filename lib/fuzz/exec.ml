@@ -38,6 +38,7 @@ type runner =
   | RSlack
   | RFclease
   | RShard
+  | RTuned
 
 type target = {
   name : string;
@@ -125,6 +126,16 @@ let targets =
         kill_plan = true;
         runner = RShard;
       };
+      (* History-checked conformance under a live self-tuning
+         controller; kill plans can only reach the controller's
+         "tune.epoch" point (see [tuned_run]). *)
+      {
+        name = "tuned";
+        kind = P.Stack;
+        condition = Conformance.claimed_condition "weak-x";
+        kill_plan = true;
+        runner = RTuned;
+      };
     ]
 
 let find name =
@@ -195,8 +206,7 @@ let checked ~check_segmented ~pp_history ~name cond h =
   in
   { verdict; ops = Array.length h; fsc_witness = false }
 
-let stack_run (impl : R.stack_impl) cond prog =
-  let inst = impl.R.s_make () in
+let stack_run_inst (inst : R.stack_instance) ~name cond prog =
   let handler ~clock ~thread ~log =
     let o = inst.R.s_handle () in
     let step (st : P.step) =
@@ -222,8 +232,30 @@ let stack_run (impl : R.stack_impl) cond prog =
     ~check:
       (checked
          ~check_segmented:(fun c h -> CS.check_segmented c h)
-         ~pp_history:CS.pp_history
-         ~name:("stack/" ^ impl.R.s_name) cond)
+         ~pp_history:CS.pp_history ~name cond)
+
+let stack_run (impl : R.stack_impl) cond prog =
+  stack_run_inst (impl.R.s_make ()) ~name:("stack/" ^ impl.R.s_name) cond prog
+
+(* Live-retuning target: the weak exchanger stack runs an ordinary
+   history-checked program while a [Tune.Controller] on a fast epoch
+   retunes the structure's dials (elimination width bounds, plus a slack
+   window so every policy family is exercised) from live telemetry. The
+   one history-checked target that accepts kill plans: its operations
+   never pass a kill point — the only reachable one is the controller's
+   ["tune.epoch"] — so a kill murders the tuner, never an operation, and
+   the history must stay conformant with the last-good configuration
+   frozen in place. *)
+let tuned_run cond prog =
+  let inst = (R.find_stack "weak-x").R.s_make () in
+  let sl = Fl.Slack.create 8 in
+  let ctl = Tune.Controller.create ~epoch:0.0005 () in
+  Tune.Controller.add_dials ctl (inst.R.s_dials ());
+  Tune.Controller.add_dial ctl (Fl.Tunable.of_slack ~name:"tuned.slack" sl);
+  Tune.Controller.start ctl;
+  Fun.protect
+    ~finally:(fun () -> Tune.Controller.stop ctl)
+    (fun () -> stack_run_inst inst ~name:"tuned" cond prog)
 
 let queue_handler (o : R.queue_ops) ~clock ~thread =
   fun log (st : P.step) ->
@@ -564,4 +596,5 @@ let run ?condition (t : target) (prog : P.t) (plan : Plan.t) =
       | RMulti -> multi_run cond prog
       | RSlack -> slack_run prog
       | RFclease -> fclease_run prog
-      | RShard -> shardmap_run prog)
+      | RShard -> shardmap_run prog
+      | RTuned -> tuned_run cond prog)

@@ -5,15 +5,20 @@
     {e history-checked}: the program runs phase by phase (fresh domains
     per phase, completions deferred newest-first, [Force] steps
     flushing), every operation is recorded through {!Lin.History}, and
-    the merged history is checked with the exact segmented search. Two
+    the merged history is checked with the exact segmented search. A few
     are {e oracle} targets with no recorded history: [slack]
     (exactly-once evaluation policy), [fclease] (flat-combining
     combiner-lease sum oracle) and [shardmap] (sharded-map transfer
     protocol: liveness — no future outlives the recovery drain — and
-    store refinement under kills at every protocol step). Only oracle
-    targets with [kill_plan] accept kill plans: killed operations are
-    ambiguous in a recorded history, so history-checked targets reject
-    them. *)
+    store refinement under kills at every protocol step). Targets with
+    [kill_plan] accept kill plans; for history-checked targets that is
+    normally forbidden — killed operations are ambiguous in a recorded
+    history — with one exception: [tuned], which fuzzes the weak
+    exchanger stack while a live {!Tune.Controller} retunes its dials.
+    Its operations never pass a kill point (the only reachable one is
+    the controller's ["tune.epoch"]), so a kill can only take down the
+    tuner, and the history must stay conformant with the last-good
+    configuration left in place. *)
 
 type verdict = Pass | Violation of string
 
@@ -39,8 +44,9 @@ type target = {
 
 val targets : target list
 (** Every registry implementation (stacks, queues, lists) plus
-    [map/weak], the Figure-3 two-queue shape ([fig3]), and the [slack],
-    [fclease] and [shardmap] oracles. *)
+    [map/weak], the Figure-3 two-queue shape ([fig3]), the [slack],
+    [fclease] and [shardmap] oracles, and the live-retuning [tuned]
+    target. *)
 
 val find : string -> target
 (** Raises [Invalid_argument] for unknown names. *)

@@ -28,13 +28,24 @@ let stall_points =
     "shard.grant";
     "shard.ship";
     "shard.ack";
+    "tune.epoch";
   ]
 
 (* Kill points fire only in kill-plan targets' code paths: the fc.*
-   points in [fclease], the shard.* points in [shardmap]. A kill step
-   whose point the target never reaches is simply inert. *)
+   points in [fclease], the shard.* points in [shardmap], and
+   "tune.epoch" — the self-tuning controller's heartbeat — in [tuned]
+   (the one history-checked target that accepts kills: its operations
+   never pass a kill point, so a kill can only murder the controller).
+   A kill step whose point the target never reaches is simply inert. *)
 let kill_points =
-  [ "fc.pass"; "fc.record"; "shard.grant"; "shard.ship"; "shard.ack" ]
+  [
+    "fc.pass";
+    "fc.record";
+    "shard.grant";
+    "shard.ship";
+    "shard.ack";
+    "tune.epoch";
+  ]
 
 let pick rng l = List.nth l (Rng.below rng (List.length l))
 

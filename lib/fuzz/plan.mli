@@ -7,10 +7,11 @@
     replayable: the same plan stalls the same hits of the same points.
 
     Stall plans use only [Delay]/[Sleep]. [Kill] actions are generated
-    only when [kills] is set (the flat-combining lease target): a killed
-    operation may or may not have taken effect, which a recorded-history
-    checker cannot tell apart, so history-checked targets never see
-    kills. *)
+    only when [kills] is set: a killed operation may or may not have
+    taken effect, which a recorded-history checker cannot tell apart, so
+    history-checked targets never see kills — except [tuned], whose
+    operations never pass a kill point (the only reachable kill point is
+    the controller's ["tune.epoch"]). *)
 
 type t = Faults.plan_step list
 
@@ -19,7 +20,9 @@ val stall_points : string list
     before every program step). *)
 
 val kill_points : string list
-(** Points kill actions are restricted to ([fc.pass], [fc.record]). *)
+(** Points kill actions are restricted to: the flat-combining and shard
+    transfer protocol points, plus the self-tuning controller's
+    ["tune.epoch"]. *)
 
 val generate :
   ?intensity:int -> ?horizon:int -> ?kills:bool -> seed:int -> unit -> t

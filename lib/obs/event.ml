@@ -77,6 +77,7 @@ let k_weak_list = 8
 let k_slack_drain = 9
 let k_fc_pass = 10
 let k_shard = 11
+let kind_count = 12
 
 let kind_name = function
   | 0 -> "weak-stack-push"

@@ -111,10 +111,18 @@ type t = {
 
 let create () = { counts = Array.init buckets (fun _ -> Atomic.make 0); sum = Sync.Cas_counter.create () }
 
-let record t v =
-  let v = if v < 0 then 0 else v in
-  Atomic.incr t.counts.(bucket_of_value v);
-  Sync.Cas_counter.add t.sum v
+(* Weighted record: one sampled observation standing for [w] real ones.
+   The bucket gains [w] and the sum gains [v * w], so counts, means and
+   percentiles over a snapshot stay unbiased estimates of the unsampled
+   stream. [w = 1] is the exact (unsampled) path. *)
+let record_n t v ~w =
+  if w > 0 then begin
+    let v = if v < 0 then 0 else v in
+    ignore (Atomic.fetch_and_add t.counts.(bucket_of_value v) w);
+    Sync.Cas_counter.add t.sum (v * w)
+  end
+
+let record t v = record_n t v ~w:1
 
 let reset t =
   Array.iter (fun c -> Atomic.set c 0) t.counts;

@@ -37,6 +37,11 @@ val record : t -> int -> unit
 (** [record t v] files [v] (clamped at 0) into its bucket and adds it to
     the exact running sum. *)
 
+val record_n : t -> int -> w:int -> unit
+(** [record_n t v ~w] files one sampled observation of [v] standing for
+    [w] real ones: the bucket gains [w], the sum gains [v * w]. No-op
+    when [w <= 0]; [w = 1] is {!record}. *)
+
 val reset : t -> unit
 
 type s = { counts : int array; sum : int }

@@ -24,6 +24,12 @@ type t = {
   futures_poisoned : C.t;
   splices : C.t;
   splice_ops : C.t;
+  (* Per-splice-kind counters, indexed by Event.k_* (length
+     Event.kind_count). The controller needs to attribute batch sizes to
+     the knob that produced them — slack drains vs combining passes —
+     which the aggregate splice histogram cannot do. *)
+  splice_kind_splices : C.t array;
+  splice_kind_ops : C.t array;
   elim_hits : C.t;
   elim_misses : C.t;
   combiner_acquires : C.t;
@@ -54,6 +60,8 @@ let create () =
     futures_poisoned = C.create ();
     splices = C.create ();
     splice_ops = C.create ();
+    splice_kind_splices = Array.init Event.kind_count (fun _ -> C.create ());
+    splice_kind_ops = Array.init Event.kind_count (fun _ -> C.create ());
     elim_hits = C.create ();
     elim_misses = C.create ();
     combiner_acquires = C.create ();
@@ -88,6 +96,8 @@ let reset () =
       g.workers_recovered; g.workers_stalled; g.shard_requests;
       g.shard_grants; g.shard_ships; g.shard_acks; g.shard_recovers;
     ];
+  Array.iter C.reset g.splice_kind_splices;
+  Array.iter C.reset g.splice_kind_ops;
   List.iter Histogram.reset
     [ g.pendingness_ns; g.force_ns; g.splice_batch; g.elim_wait_ns;
       g.transfer_ns ]
@@ -95,22 +105,30 @@ let reset () =
 (* ------------------------- recording hooks -------------------------- *)
 (* Called by the Obs wrappers with the switch already checked. *)
 
-let on_future_created () = C.incr global.futures_created
+(* The future-lifecycle hooks carry a sampling weight [w] (the Obs
+   sampler's stride): one recorded lifecycle stands for [w] real ones,
+   so counters gain [w] and histograms use the weighted record. Every
+   other hook is unsampled ([w] would always be 1). *)
 
-let on_future_fulfilled d =
-  C.incr global.futures_fulfilled;
-  Histogram.record global.pendingness_ns d
+let on_future_created w = C.add global.futures_created w
 
-let on_future_forced d =
-  C.incr global.futures_forced;
-  Histogram.record global.force_ns d
+let on_future_fulfilled ~w d =
+  C.add global.futures_fulfilled w;
+  Histogram.record_n global.pendingness_ns d ~w
 
-let on_future_cancelled () = C.incr global.futures_cancelled
-let on_future_poisoned () = C.incr global.futures_poisoned
+let on_future_forced ~w d =
+  C.add global.futures_forced w;
+  Histogram.record_n global.force_ns d ~w
 
-let on_splice n =
+let on_future_cancelled w = C.add global.futures_cancelled w
+let on_future_poisoned w = C.add global.futures_poisoned w
+
+let on_splice ~kind n =
   C.incr global.splices;
   C.add global.splice_ops n;
+  let k = if kind < 0 || kind >= Event.kind_count then 0 else kind in
+  C.incr global.splice_kind_splices.(k);
+  C.add global.splice_kind_ops.(k) n;
   Histogram.record global.splice_batch n
 
 let on_elim_hit () = C.incr global.elim_hits
@@ -143,6 +161,8 @@ type snapshot = {
   futures_poisoned : int;
   splices : int;
   splice_ops : int;
+  splice_kind_splices : int array;
+  splice_kind_ops : int array;
   elim_hits : int;
   elim_misses : int;
   combiner_acquires : int;
@@ -174,6 +194,8 @@ let snapshot () =
     futures_poisoned = C.total g.futures_poisoned;
     splices = C.total g.splices;
     splice_ops = C.total g.splice_ops;
+    splice_kind_splices = Array.map C.total g.splice_kind_splices;
+    splice_kind_ops = Array.map C.total g.splice_kind_ops;
     elim_hits = C.total g.elim_hits;
     elim_misses = C.total g.elim_misses;
     combiner_acquires = C.total g.combiner_acquires;
@@ -204,6 +226,12 @@ let diff (later : snapshot) (earlier : snapshot) =
     futures_poisoned = later.futures_poisoned - earlier.futures_poisoned;
     splices = later.splices - earlier.splices;
     splice_ops = later.splice_ops - earlier.splice_ops;
+    splice_kind_splices =
+      Array.init Event.kind_count (fun i ->
+          later.splice_kind_splices.(i) - earlier.splice_kind_splices.(i));
+    splice_kind_ops =
+      Array.init Event.kind_count (fun i ->
+          later.splice_kind_ops.(i) - earlier.splice_kind_ops.(i));
     elim_hits = later.elim_hits - earlier.elim_hits;
     elim_misses = later.elim_misses - earlier.elim_misses;
     combiner_acquires = later.combiner_acquires - earlier.combiner_acquires;
@@ -241,3 +269,11 @@ let elim_hit_rate s =
   let attempts = s.elim_hits + s.elim_misses in
   if attempts = 0 then 0.0
   else float_of_int s.elim_hits /. float_of_int attempts
+
+(* Mean batch size attributed to one splice kind (an [Event.kind_name]
+   constant); [0.] when that kind recorded no splices. *)
+let kind_mean_batch s k =
+  if k < 0 || k >= Event.kind_count then
+    invalid_arg "Metrics.kind_mean_batch: kind out of range";
+  let n = s.splice_kind_splices.(k) in
+  if n = 0 then 0.0 else float_of_int s.splice_kind_ops.(k) /. float_of_int n

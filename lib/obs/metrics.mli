@@ -8,19 +8,24 @@ val reset : unit -> unit
 
 (** {2 Recording hooks (switch pre-checked by [Obs])} *)
 
-val on_future_created : unit -> unit
-val on_future_fulfilled : int -> unit
-(** Argument: pendingness (create→fulfil) in ns. *)
+val on_future_created : int -> unit
+(** Argument: sampling weight — how many real lifecycles this recorded
+    one stands for (the {!Obs} sampler's stride; [1] = unsampled). *)
 
-val on_future_forced : int -> unit
-(** Argument: force→return latency in ns. *)
+val on_future_fulfilled : w:int -> int -> unit
+(** Argument: pendingness (create→fulfil) in ns, weighted by [w]. *)
 
-val on_future_cancelled : unit -> unit
-val on_future_poisoned : unit -> unit
+val on_future_forced : w:int -> int -> unit
+(** Argument: force→return latency in ns, weighted by [w]. *)
 
-val on_splice : int -> unit
+val on_future_cancelled : int -> unit
+val on_future_poisoned : int -> unit
+(** Argument: sampling weight. *)
+
+val on_splice : kind:int -> int -> unit
 (** Argument: ops amortized by this single-CAS splice (or combining
-    pass). *)
+    pass); [kind] an {!Event.kind_name} constant attributing the batch
+    to the layer that produced it. *)
 
 val on_elim_hit : unit -> unit
 val on_elim_miss : unit -> unit
@@ -54,6 +59,8 @@ type snapshot = {
   futures_poisoned : int;
   splices : int;
   splice_ops : int;
+  splice_kind_splices : int array;
+  splice_kind_ops : int array;
   elim_hits : int;
   elim_misses : int;
   combiner_acquires : int;
@@ -94,3 +101,8 @@ val transfer_p99 : snapshot -> int
 
 val elim_hit_rate : snapshot -> float
 (** hits / (hits + misses); [0.] with no attempts. *)
+
+val kind_mean_batch : snapshot -> int -> float
+(** Mean batch size of the splices attributed to one {!Event} splice
+    kind; [0.] when that kind recorded none. Raises [Invalid_argument]
+    out of range. *)

@@ -13,17 +13,73 @@ let enabled = Switch.enabled
 let set_enabled = Switch.set_enabled
 let now_ns = Trace.now_ns
 
+(* ------------------------------ sampling ------------------------------ *)
+
+(* Per-domain countdown sampler over the future-lifecycle wrappers — the
+   only wrappers that fire once per operation and so dominate recording
+   cost. One in [sample_every] created futures (and one in
+   [sample_every] slow-path forces) is recorded; its counter and
+   histogram contributions carry the stride as a weight, keeping every
+   Metrics total an unbiased estimate. Unsampled futures reuse the
+   born = 0 "untracked" convention, so their terminal wrappers cost a
+   single branch. Structural events — splices, elimination, combining,
+   chaos, transfers — fire once per batch, not per op, and stay exact.
+   Stride 1 restores the exact PR-4 semantics. *)
+
+let sample_stride =
+  let v =
+    match Sys.getenv_opt "FLDS_OBS_SAMPLE" with
+    | None | Some "" -> 8
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> 8)
+  in
+  Atomic.make v
+
+let sample_every () = Atomic.get sample_stride
+
+type sampler = { mutable countdown : int }
+
+(* countdown = 1 so a fresh domain's first lifecycle is sampled — short
+   single-domain measurement windows see data immediately. *)
+let sampler_key = Domain.DLS.new_key (fun () -> { countdown = 1 })
+
+(* Weight this event carries: the stride on sampled ticks, 0 otherwise. *)
+let sample () =
+  let s = Domain.DLS.get sampler_key in
+  let c = s.countdown - 1 in
+  if c > 0 then begin
+    s.countdown <- c;
+    0
+  end
+  else begin
+    let stride = Atomic.get sample_stride in
+    s.countdown <- stride;
+    stride
+  end
+
+let set_sample_every n =
+  Atomic.set sample_stride (if n < 1 then 1 else n);
+  (* Re-arm the calling domain so the new stride takes effect on its
+     next lifecycle (other domains converge within one old stride). *)
+  (Domain.DLS.get sampler_key).countdown <- 1
+
 (* ------------------------- future lifecycle -------------------------- *)
 
 (* [future_created] returns the birth stamp the future carries (0 when
-   off — the terminal wrappers treat 0 as "untracked", so a future
-   created while obs was off never reports a garbage latency). *)
+   off or sampled out — the terminal wrappers treat 0 as "untracked", so
+   a future created while obs was off never reports a garbage latency). *)
 let future_created () =
   if Switch.enabled () then begin
-    let ts = Trace.now_ns () in
-    Trace.emit_at ~ts Event.future_created 0 0;
-    Metrics.on_future_created ();
-    ts
+    let w = sample () in
+    if w = 0 then 0
+    else begin
+      let ts = Trace.now_ns () in
+      Trace.emit_at ~ts Event.future_created 0 0;
+      Metrics.on_future_created w;
+      ts
+    end
   end
   else 0
 
@@ -32,31 +88,32 @@ let future_fulfilled ~born =
     let ts = Trace.now_ns () in
     let d = ts - born in
     Trace.emit_at ~ts Event.future_fulfilled d 0;
-    Metrics.on_future_fulfilled d
+    Metrics.on_future_fulfilled ~w:(Atomic.get sample_stride) d
   end
 
 let future_cancelled ~born =
   if born <> 0 && Switch.enabled () then begin
     let ts = Trace.now_ns () in
     Trace.emit_at ~ts Event.future_cancelled (ts - born) 0;
-    Metrics.on_future_cancelled ()
+    Metrics.on_future_cancelled (Atomic.get sample_stride)
   end
 
 let future_poisoned ~born =
   if born <> 0 && Switch.enabled () then begin
     let ts = Trace.now_ns () in
     Trace.emit_at ~ts Event.future_poisoned (ts - born) 0;
-    Metrics.on_future_poisoned ()
+    Metrics.on_future_poisoned (Atomic.get sample_stride)
   end
 
-let force_begin () = if Switch.enabled () then Trace.now_ns () else 0
+let force_begin () =
+  if Switch.enabled () && sample () <> 0 then Trace.now_ns () else 0
 
 let future_forced ~t0 =
   if t0 <> 0 && Switch.enabled () then begin
     let ts = Trace.now_ns () in
     let d = ts - t0 in
     Trace.emit_at ~ts Event.future_forced d 0;
-    Metrics.on_future_forced d
+    Metrics.on_future_forced ~w:(Atomic.get sample_stride) d
   end
 
 (* --------------------------- window splices -------------------------- *)
@@ -64,7 +121,7 @@ let future_forced ~t0 =
 let splice ~kind ~n =
   if n > 0 && Switch.enabled () then begin
     Trace.emit Event.window_splice n kind;
-    Metrics.on_splice n
+    Metrics.on_splice ~kind n
   end
 
 (* ---------------------------- elimination ---------------------------- *)
@@ -81,7 +138,8 @@ let elim_miss ~shard =
     Metrics.on_elim_miss ()
   end
 
-let elim_wait_begin = force_begin
+(* Parked-offer waits are rare (one per park, not per op): unsampled. *)
+let elim_wait_begin () = if Switch.enabled () then Trace.now_ns () else 0
 
 let elim_wait_end ~t0 =
   if t0 <> 0 && Switch.enabled () then

@@ -26,11 +26,27 @@ val set_enabled : bool -> unit
 val now_ns : unit -> int
 (** Monotonic nanoseconds ({!Sync.Mono}), the subsystem's time base. *)
 
+(** {2 Sampling}
+
+    The future-lifecycle wrappers (the only per-operation recording
+    sites) sample one in [sample_every] lifecycles per domain, weighting
+    each recorded one by the stride so {!Metrics} totals remain unbiased
+    estimates. Structural events (splices, elimination, combining,
+    chaos, transfers) fire per batch and are always exact. Initial
+    stride from [FLDS_OBS_SAMPLE] (default 8); stride 1 records
+    everything — the exact pre-sampling semantics. *)
+
+val sample_every : unit -> int
+val set_sample_every : int -> unit
+(** Set the lifecycle sampling stride (clamped to [>= 1]). Takes effect
+    immediately on the calling domain, within one old stride elsewhere. *)
+
 (** {2 Future lifecycle} *)
 
 val future_created : unit -> int
 (** Record a creation and return the birth stamp the future should carry
-    ([0] when off — terminal wrappers ignore untracked futures). *)
+    ([0] when off or sampled out — terminal wrappers ignore untracked
+    futures). *)
 
 val future_fulfilled : born:int -> unit
 val future_cancelled : born:int -> unit
@@ -40,10 +56,10 @@ val future_poisoned : born:int -> unit
     when [born = 0]. *)
 
 val force_begin : unit -> int
-(** Stamp the start of a force ([0] when off). Callers only stamp
-    forces that find the future unresolved: the force histogram
-    measures actual waiting/helping, and the common force of an
-    already-fulfilled future costs no clock reads. *)
+(** Stamp the start of a force ([0] when off or sampled out). Callers
+    only stamp forces that find the future unresolved: the force
+    histogram measures actual waiting/helping, and the common force of
+    an already-fulfilled future costs no clock reads. *)
 
 val future_forced : t0:int -> unit
 (** Record a force completion with latency now − [t0]; no-op when

@@ -1,0 +1,57 @@
+(** The online self-tuning controller.
+
+    A background domain wakes every [epoch] seconds, diffs the global
+    {!Obs.Metrics} against the previous epoch, and feeds the diff
+    through {!Policy.decide} for every registered dial — setting a dial
+    (through its own concurrent-safe, clamping setter) when the
+    hysteresis vote fires. One snapshot diff per epoch; nothing runs on
+    a structure hot path.
+
+    Kill-tolerant by construction: the knobs live in the structures, so
+    a controller that dies (e.g. an injected [Faults.Killed] at the
+    ["tune.epoch"] fault point) leaves the last-good configuration in
+    place and the structures running. *)
+
+type t
+
+val default_epoch : float
+(** 5 ms. *)
+
+val create : ?cfg:Policy.config -> ?epoch:float -> unit -> t
+(** Raises [Invalid_argument] if [epoch <= 0]. *)
+
+val add_dial : t -> Fl.Tunable.dial -> unit
+val add_dials : t -> Fl.Tunable.dial list -> unit
+(** Register dials to steer; safe from any domain, including while the
+    controller runs (it picks new dials up next epoch). Warm start: a
+    dial whose (kind, name) identity this controller has steered before
+    is immediately set to the last value it chose for that identity, so
+    newly-arriving workers inherit the converged configuration instead
+    of re-paying the search ramp. *)
+
+val dial_count : t -> int
+
+val start : t -> unit
+(** Spawn the controller domain. Turns the obs switch on if it was off
+    ({!stop} restores it). Raises [Invalid_argument] if already
+    running. *)
+
+val stop : t -> unit
+(** Flag the loop, join the domain (a no-op if the controller already
+    died), restore the obs switch. Idempotent. *)
+
+val running : t -> bool
+
+val step : t -> unit
+(** Run one control epoch synchronously — what the background domain
+    calls; exposed so tests drive the loop deterministically. Do not mix
+    manual [step]s with a running controller. *)
+
+(** {2 Counters (diagnostics)} *)
+
+val epochs : t -> int
+val decisions : t -> int
+
+val errors : t -> int
+(** Dial closures that raised plus controller-domain deaths; the loop
+    (or what remains of it) never propagates these. *)

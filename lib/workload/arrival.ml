@@ -1,0 +1,34 @@
+(* Arrival-process pacing for benchmark workers: steady back-to-back
+   issue, or bursts separated by idle gaps. Bursty arrivals are what an
+   adaptive runtime has to survive — the contention level the controller
+   tuned for keeps vanishing and returning — so the adapt benchmark
+   sweeps both. The pause spins on the monotonic clock rather than
+   sleeping: at microsecond scales the scheduler would round a sleep up
+   by orders of magnitude. *)
+
+type t = Steady | Bursty of { burst : int; pause_ns : int }
+
+let to_string = function
+  | Steady -> "steady"
+  | Bursty { burst; pause_ns } ->
+      Printf.sprintf "bursty-%dx%dus" burst (pause_ns / 1_000)
+
+(* Per-worker pacer state; one per worker thread, never shared. *)
+type pacer = { arrival : t; mutable issued : int }
+
+let pacer arrival = { arrival; issued = 0 }
+
+(* Call once per issued operation; blocks (spinning) when the burst is
+   over and the gap begins. *)
+let tick p =
+  match p.arrival with
+  | Steady -> ()
+  | Bursty { burst; pause_ns } ->
+      p.issued <- p.issued + 1;
+      if p.issued >= burst then begin
+        p.issued <- 0;
+        let deadline = Sync.Mono.now_ns_int () + pause_ns in
+        while Sync.Mono.now_ns_int () < deadline do
+          Domain.cpu_relax ()
+        done
+      end

@@ -1,0 +1,19 @@
+(** Arrival-process pacing: steady back-to-back issue, or bursts of
+    [burst] operations separated by [pause_ns] idle gaps (spun, not
+    slept — scheduler granularity would swamp microsecond gaps). The
+    adapt benchmark sweeps both regimes; bursty arrivals are the
+    stress case for an online controller, whose tuned-for contention
+    level keeps vanishing and returning. *)
+
+type t = Steady | Bursty of { burst : int; pause_ns : int }
+
+val to_string : t -> string
+
+type pacer
+(** Per-worker state; one per worker thread, never shared. *)
+
+val pacer : t -> pacer
+
+val tick : pacer -> unit
+(** Call once per issued operation; spins through the idle gap when a
+    burst ends. [Steady] ticks are free. *)

@@ -11,14 +11,19 @@ module T = Obs.Trace
 module M = Obs.Metrics
 
 (* Every test leaves the recorder exactly as it found it: switch off,
-   rings empty, counters zeroed, capacity back to the default. *)
+   rings empty, counters zeroed, capacity back to the default. Stride 1
+   disables lifecycle sampling so exact-count assertions hold; the
+   default stride is restored afterwards. *)
 let fresh f () =
+  let stride = Obs.sample_every () in
   Obs.set_enabled false;
+  Obs.set_sample_every 1;
   T.set_capacity T.default_capacity;
   T.clear ();
   M.reset ();
   Fun.protect f ~finally:(fun () ->
       Obs.set_enabled false;
+      Obs.set_sample_every stride;
       T.set_capacity T.default_capacity;
       T.clear ();
       M.reset ())
@@ -466,6 +471,48 @@ let test_poison_precedes_recovery () =
   Alcotest.(check bool) "recovery event reports the poison count" true
     (recovery.T.e_b >= orphans)
 
+(* Snapshot/diff under concurrent recording: counters are monotone and
+   snapshots read stripe-by-stripe, so successive diffs taken by one
+   reader are non-negative and telescope — summing every epoch's diff
+   (plus the final tail) must account for every recorded event exactly,
+   no losses and no double counting. *)
+let test_concurrent_snapshot_diff () =
+  Obs.set_enabled true;
+  let domains = 4 and per = 20_000 in
+  let done_ = Atomic.make 0 in
+  let worker () =
+    for _ = 1 to per do
+      let b = Obs.future_created () in
+      Obs.future_fulfilled ~born:b
+    done;
+    Atomic.incr done_
+  in
+  let created = ref 0 and fulfilled = ref 0 in
+  (* Baseline before any worker records, or head-of-run events would
+     fall outside every diff. *)
+  let last = ref (M.snapshot ()) in
+  let ds = List.init domains (fun _ -> Domain.spawn worker) in
+  let absorb () =
+    let now = M.snapshot () in
+    let d = M.diff now !last in
+    last := now;
+    Alcotest.(check bool) "created delta non-negative" true
+      (d.M.futures_created >= 0);
+    Alcotest.(check bool) "fulfilled delta non-negative" true
+      (d.M.futures_fulfilled >= 0);
+    created := !created + d.M.futures_created;
+    fulfilled := !fulfilled + d.M.futures_fulfilled
+  in
+  while Atomic.get done_ < domains do
+    absorb ()
+  done;
+  List.iter Domain.join ds;
+  absorb ();
+  Alcotest.(check int) "every creation accounted across epochs"
+    (domains * per) !created;
+  Alcotest.(check int) "every fulfilment accounted across epochs"
+    (domains * per) !fulfilled
+
 let () =
   Alcotest.run "obs"
     [
@@ -502,6 +549,9 @@ let () =
             (fresh test_untracked_future);
           Alcotest.test_case "splice events carry batch size" `Quick
             (fresh test_splice_batch);
+          Alcotest.test_case "snapshot/diff under concurrent recording"
+            `Quick
+            (fresh test_concurrent_snapshot_diff);
         ] );
       ( "chaos",
         [

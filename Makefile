@@ -76,6 +76,20 @@ bench-shard-json:
 		--threads 1,2,4 --seed $(CHAOS_SEED) \
 		--json results/BENCH_shard.json
 
+# Machine-readable open-loop service run: the saturation sweep (offered
+# load x backend, Poisson arrivals, admission controller live) plus the
+# bursty chaos panel with scripted controller/owner kills. The
+# --assert-service gate makes the exit status the claim: books balance,
+# zero sheds below the knee, admitted-op sojourn p999 bounded even past
+# it. validate_bench re-verifies those gates offline on the records.
+bench-service-json:
+	mkdir -p results
+	dune exec bench/main.exe -- service --ops 8000 --seed $(CHAOS_SEED) \
+		--assert-service --json results/BENCH_service.json
+	dune exec bin/validate_bench.exe -- results/BENCH_service.json \
+		--bench service --min-records 11 \
+		--service-p999-budget 60000000000 --service-knee 20000
+
 # Fuzz gauntlet, PR-sized: a short campaign over every target, then the
 # intentionally-too-strong check (weak stack against Medium) which must
 # fail, shrink to a tiny program, and replay byte-for-byte. The `!`
@@ -108,4 +122,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test test-force bench-quick bench-full bench-json bench-adapt-json bench-trace chaos bench-chaos-json bench-shard-json fuzz-smoke fuzz-soak doc clean
+.PHONY: all test test-force bench-quick bench-full bench-json bench-adapt-json bench-trace chaos bench-chaos-json bench-shard-json bench-service-json fuzz-smoke fuzz-soak doc clean

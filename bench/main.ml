@@ -18,6 +18,9 @@
                           plus scripted kills at each transfer step
      chaos                seeded fault injection + recovery counters
      trace                cross-domain probe for the flight recorder
+     service              open-loop service layer: saturation sweep over
+                          offered load x backends, plus overload chaos
+                          (bursty arrivals, scripted kills mid-overload)
      all                  everything above (minus chaos and trace)
    Options:
      --quick              small sizes for a fast smoke run
@@ -127,10 +130,14 @@ let obs_json_block () =
         i "futures_forced" s.Obs.Metrics.futures_forced;
         i "futures_cancelled" s.Obs.Metrics.futures_cancelled;
         i "futures_poisoned" s.Obs.Metrics.futures_poisoned;
+        i "futures_rejected" s.Obs.Metrics.futures_rejected;
         i "pendingness_p50_ns" (Obs.Metrics.pendingness_p50 s);
         i "pendingness_p99_ns" (Obs.Metrics.pendingness_p99 s);
+        i "pendingness_p999_ns" (Obs.Metrics.pendingness_p999 s);
         i "force_p50_ns" (Obs.Metrics.force_p50 s);
         i "force_p99_ns" (Obs.Metrics.force_p99 s);
+        i "force_p999_ns" (Obs.Metrics.force_p999 s);
+        i "transfer_p999_ns" (Obs.Metrics.transfer_p999 s);
         i "splices" s.Obs.Metrics.splices;
         i "splice_ops" s.Obs.Metrics.splice_ops;
         f "mean_splice_batch" (Obs.Metrics.mean_splice_batch s);
@@ -138,6 +145,7 @@ let obs_json_block () =
         i "elim_misses" s.Obs.Metrics.elim_misses;
         f "elim_hit_rate" (Obs.Metrics.elim_hit_rate s);
         i "elim_wait_p99_ns" (Obs.Metrics.elim_wait_p99 s);
+        i "elim_wait_p999_ns" (Obs.Metrics.elim_wait_p999 s);
         i "combiner_acquires" s.Obs.Metrics.combiner_acquires;
         i "combiner_takeovers" s.Obs.Metrics.combiner_takeovers;
         i "combiner_retires" s.Obs.Metrics.combiner_retires;
@@ -145,6 +153,13 @@ let obs_json_block () =
         i "workers_killed" s.Obs.Metrics.workers_killed;
         i "workers_recovered" s.Obs.Metrics.workers_recovered;
         i "workers_stalled" s.Obs.Metrics.workers_stalled;
+        i "shard_degraded_finds" s.Obs.Metrics.shard_degraded_finds;
+        i "service_admitted" s.Obs.Metrics.service_admitted;
+        i "service_shed" s.Obs.Metrics.service_shed;
+        i "service_degrades" s.Obs.Metrics.service_degrades;
+        i "service_p50_ns" (Obs.Metrics.service_p50 s);
+        i "service_p99_ns" (Obs.Metrics.service_p99 s);
+        i "service_p999_ns" (Obs.Metrics.service_p999 s);
       ]
     in
     Printf.sprintf ",\n  \"obs\": {\n    %s\n  }"
@@ -1597,6 +1612,210 @@ let adapt cfg =
           a_fc d_fc
       end)
 
+(* ----------------------------- service ------------------------------ *)
+
+(* Open-loop service saturation sweep (ROADMAP item 3). Per-worker
+   Poisson offered rates spanning both sides of the saturation knee
+   drive the session model (job queue + session store) for each backend;
+   the Overload controller watches the coordinated-omission-safe sojourn
+   tail and walks admit → squeeze → shed → degrade as the generator
+   outruns the service. Below the knee nothing is shed and the sojourn
+   tail is flat; past it the shed rate rises while the admitted subset
+   keeps completing — shed, not stalled.
+
+   A second panel replays overload chaos: bursty arrivals (the
+   arrival-rate step at micro scale) past the knee with scripted kills
+   at an admission decision, a transfer grant and the controller's own
+   epoch, under the runner's watchdog. The liveness claim is simply that
+   the panel terminates with its books balanced: every admitted op
+   completed, failed, or died with a counted kill.
+
+   [--assert-service] turns the gates into an exit code:
+   - the lowest offered rate sheds nothing (zero sheds below the knee);
+   - every cell's sojourn p999 stays under the liveness bound;
+   - chaos cells kill at least one worker and still terminate. *)
+
+module Svc = Workload.Service
+module Ovl = Workload.Overload
+
+let assert_service = ref false
+let service_failures = ref 0
+
+let service_fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if !assert_service then incr service_failures;
+      Printf.eprintf "SERVICE %s: %s\n%!"
+        (if !assert_service then "FAIL" else "note")
+        msg)
+    fmt
+
+(* Liveness bound on the recorded tail: a sojourn beyond this means an
+   admitted request effectively stalled rather than being shed. *)
+let service_p999_bound_ns = 60_000_000_000
+
+(* The sweep's overload budgets: generous force/pendingness budgets (we
+   are not tuning the structures here) and a sojourn budget that is the
+   open-loop signal. The budget must sit well above the worst single
+   stall a healthy service can see — one bucket-lease transfer (5 ms) —
+   or a lone transfer inside one epoch window reads as overload; 50 ms
+   (10 leases) only trips when a real backlog accumulates. *)
+let service_overload =
+  {
+    Ovl.default with
+    p99_budget_ns = 50_000_000;
+    pending_budget_ns = 500_000_000;
+    sojourn_budget_ns = 50_000_000;
+  }
+
+let service_rates cfg =
+  if cfg.ops <= 5_000 then [ 5_000.0; 50_000.0; 500_000.0 ]
+  else [ 5_000.0; 25_000.0; 125_000.0; 625_000.0; 3_125_000.0 ]
+
+let service_record ~impl ~rate ~workers (cfg_svc : Svc.config)
+    (r : Svc.result) =
+  record ~bench:"service" ~impl ~slack:cfg_svc.Svc.slack ~domains:workers
+    [
+      ("offered_rate_per_s", rate *. float_of_int workers);
+      ( "achieved_rate_per_s",
+        if r.Svc.measurement.Workload.Runner.seconds > 0.0 then
+          float_of_int r.Svc.completed
+          /. r.Svc.measurement.Workload.Runner.seconds
+        else 0.0 );
+      ("offered", float_of_int r.Svc.offered);
+      ("admitted", float_of_int r.Svc.admitted);
+      ("shed", float_of_int r.Svc.shed);
+      ("shed_rate", Svc.shed_rate r);
+      ("completed", float_of_int r.Svc.completed);
+      ("failed", float_of_int r.Svc.failed);
+      ("degraded_writes", float_of_int r.Svc.degraded_writes);
+      ("retries", float_of_int r.Svc.retries);
+      ("sojourn_p50_ns", float_of_int (Svc.sojourn_p r 50.0));
+      ("sojourn_p99_ns", float_of_int (Svc.sojourn_p r 99.0));
+      ("sojourn_p999_ns", float_of_int (Svc.sojourn_p r 99.9));
+      ("max_stage", float_of_int (Ovl.stage_index r.Svc.max_stage));
+      ("final_stage", float_of_int (Ovl.stage_index r.Svc.final_stage));
+      ("escalations", float_of_int r.Svc.escalations);
+      ("recoveries", float_of_int r.Svc.recoveries);
+      ("controller_epochs", float_of_int r.Svc.controller_epochs);
+      ("killed", float_of_int r.Svc.measurement.Workload.Runner.killed);
+      ("poisoned", float_of_int r.Svc.measurement.Workload.Runner.poisoned);
+    ]
+
+let service_bench cfg =
+  let workers = min 4 (List.fold_left max 2 cfg.threads) in
+  let requests = cfg.ops in
+  Format.printf
+    "== Service: open-loop saturation sweep — %d workers, %d requests/worker, \
+     %d repeat(s) ==@.@."
+    workers requests cfg.repeats;
+  let backends = [ Svc.Central; Svc.Sharded ] in
+  let rates = service_rates cfg in
+  let table =
+    Workload.Report.create
+      ~title:
+        "service: sojourn p999 (ms) / shed rate / deepest stage, by offered \
+         load"
+      ~columns:(List.map Svc.backend_name backends)
+  in
+  let sweep rate =
+    let cells =
+      List.map
+        (fun backend ->
+          let cfg_svc =
+            {
+              Svc.default_config with
+              Svc.workers;
+              requests_per_worker = requests;
+              process = Workload.Arrival.Poisson { rate };
+              backend;
+              overload = service_overload;
+              (* 10 ms epochs: long enough that one lease transfer does
+                 not dominate an epoch's percentile window. *)
+              epoch_s = 0.01;
+            }
+          in
+          let r = Svc.run ~repeats:cfg.repeats cfg_svc in
+          let impl =
+            Printf.sprintf "%s/%s" (Svc.backend_name backend)
+              (Workload.Arrival.process_to_string cfg_svc.Svc.process)
+          in
+          service_record ~impl ~rate ~workers cfg_svc r;
+          let p999 = Svc.sojourn_p r 99.9 in
+          let total = workers * requests * cfg.repeats in
+          if r.Svc.admitted + r.Svc.shed <> total then
+            service_fail "%s: admitted %d + shed %d <> %d requests" impl
+              r.Svc.admitted r.Svc.shed total;
+          (* Books balance: every admitted op either completed or failed
+             with a counted fate (a lease steal orphans the quiet
+             owner's in-flight window — rare, but a legal fate). *)
+          if r.Svc.completed + r.Svc.failed <> r.Svc.admitted then
+            service_fail "%s: %d admitted but %d completed + %d failed"
+              impl r.Svc.admitted r.Svc.completed r.Svc.failed;
+          if p999 > service_p999_bound_ns then
+            service_fail "%s: sojourn p999 %.1fs beyond the liveness bound"
+              impl
+              (float_of_int p999 /. 1e9);
+          if rate = List.hd rates && r.Svc.shed > 0 then
+            service_fail "%s: %d sheds below the knee" impl r.Svc.shed;
+          Printf.sprintf "%.2f / %.2f / %s"
+            (float_of_int p999 /. 1e6)
+            (Svc.shed_rate r)
+            (Ovl.stage_name r.Svc.max_stage))
+        backends
+    in
+    Workload.Report.add_row table
+      ~label:(Printf.sprintf "%.0f req/s" (rate *. float_of_int workers))
+      ~cells
+  in
+  List.iter sweep rates;
+  let ppf = Format.std_formatter in
+  if cfg.csv then Workload.Report.csv ppf table
+  else Workload.Report.print ppf table;
+  Format.pp_print_newline ppf ();
+  (* Overload chaos: bursty arrivals past the knee, scripted kills at an
+     admission decision, a bucket grant and the controller epoch. *)
+  Format.printf "service: overload chaos (bursty, scripted kills)@.";
+  let plan =
+    [
+      { Faults.pt = "service.admit"; at = 200; act = Faults.Kill };
+      { Faults.pt = "shard.grant"; at = 1; act = Faults.Kill };
+      { Faults.pt = "service.epoch"; at = 8; act = Faults.Kill };
+    ]
+  in
+  let cfg_svc =
+    {
+      Svc.default_config with
+      Svc.workers;
+      requests_per_worker = requests;
+      process =
+        Workload.Arrival.Burst
+          { rate = 500_000.0; burst = max 2 (requests / 10) };
+      backend = Svc.Sharded;
+      overload = service_overload;
+      epoch_s = 0.002;
+    }
+  in
+  let r = Svc.run ~plan ~watchdog:0.005 ~repeats:cfg.repeats cfg_svc in
+  service_record ~impl:"sharded/chaos-burst" ~rate:500_000.0 ~workers cfg_svc
+    r;
+  let killed = r.Svc.measurement.Workload.Runner.killed in
+  Printf.printf
+    "  %d offered, %d admitted, %d shed, %d completed, %d failed — %d \
+     killed, %d poisoned, deepest stage %s\n\n\
+     %!"
+    r.Svc.offered r.Svc.admitted r.Svc.shed r.Svc.completed r.Svc.failed
+    killed
+    r.Svc.measurement.Workload.Runner.poisoned
+    (Ovl.stage_name r.Svc.max_stage);
+  if killed < 1 then
+    service_fail "chaos: the kill plan killed nobody (plan did not fire)";
+  if r.Svc.completed > r.Svc.admitted then
+    service_fail "chaos: more completions (%d) than admissions (%d)"
+      r.Svc.completed r.Svc.admitted;
+  if Svc.sojourn_p r 99.9 > service_p999_bound_ns then
+    service_fail "chaos: sojourn p999 beyond the liveness bound"
+
 (* ------------------------------ main -------------------------------- *)
 
 let parse_int_list s = List.map int_of_string (String.split_on_char ',' s)
@@ -1604,10 +1823,10 @@ let parse_int_list s = List.map int_of_string (String.split_on_char ',' s)
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [fig4|fig5|fig6|ablation|micro|cas|extra|shard|chaos|trace|fuzz|adapt|all]... \
+     [fig4|fig5|fig6|ablation|micro|cas|extra|shard|chaos|trace|fuzz|adapt|service|all]... \
      [--quick|--full] [--ops N] [--repeats N] [--threads a,b,c] [--slacks \
      a,b,c] [--seed N] [--csv] [--json PATH] [--obs] [--trace PATH] \
-     [--assert-tolerance PCT] [--assert-beats]";
+     [--assert-tolerance PCT] [--assert-beats] [--assert-service]";
   exit 2
 
 let () =
@@ -1639,6 +1858,9 @@ let () =
     | "--assert-beats" :: rest ->
         assert_beats := true;
         parse cfg cmds rest
+    | "--assert-service" :: rest ->
+        assert_service := true;
+        parse cfg cmds rest
     | "--trace" :: path :: rest ->
         Obs.set_enabled true;
         trace_path := Some path;
@@ -1646,7 +1868,7 @@ let () =
     | cmd :: rest
       when List.mem cmd
              [ "fig4"; "fig5"; "fig6"; "ablation"; "micro"; "cas"; "extra";
-               "shard"; "chaos"; "trace"; "fuzz"; "adapt"; "all" ]
+               "shard"; "chaos"; "trace"; "fuzz"; "adapt"; "service"; "all" ]
       ->
         parse cfg (cmd :: cmds) rest
     | _ -> usage ()
@@ -1675,6 +1897,7 @@ let () =
     | "trace" -> trace_probe ()
     | "fuzz" -> fuzz_bench cfg
     | "adapt" -> adapt cfg
+    | "service" -> service_bench cfg
     | "all" ->
         (* chaos is deliberately not part of [all]: its injected delays
            would contaminate the figure timings run in the same process. *)
@@ -1692,5 +1915,9 @@ let () =
   write_trace ();
   if !adapt_failures > 0 then begin
     Printf.eprintf "adapt: %d regime(s) outside tolerance\n%!" !adapt_failures;
+    exit 1
+  end;
+  if !service_failures > 0 then begin
+    Printf.eprintf "service: %d gate(s) failed\n%!" !service_failures;
     exit 1
   end

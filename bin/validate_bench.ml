@@ -18,7 +18,15 @@
        ratio reproduces rel_vs_best, [--max-rel X] bounds rel_vs_best
        over every summary (the tolerance gate, re-checked offline), and
        a [--require-beats] run must contain a [*/beats-default] record
-       with beats = 1.
+       with beats = 1;
+     - service records get theirs: books must balance (completed +
+       failed <= admitted, admitted + shed <= offered, shed_rate
+       reproduces shed / offered), [--service-p999-budget NS] bounds
+       every sweep record's sojourn_p999_ns (the admitted-op tail must
+       stay under budget even past the knee), and [--service-knee RATE]
+       requires records offered at or below RATE req/s to shed nothing
+       (the open-loop knee: below saturation, admission control must be
+       invisible).
 
    Exits 0 with a summary on success, 1 with a diagnostic on the first
    violation. The parser is hand-rolled: the repo deliberately has no
@@ -181,11 +189,14 @@ let () =
   let min_records = ref 1 in
   let max_rel = ref None in
   let require_beats = ref false in
+  let service_p999_budget = ref None in
+  let service_knee = ref None in
   let benches = ref [] in
   let usage () =
     prerr_endline
       "usage: validate_bench FILE [--min-records N] [--bench NAME]... \
-       [--max-rel X] [--require-beats]";
+       [--max-rel X] [--require-beats] [--service-p999-budget NS] \
+       [--service-knee RATE]";
     exit 2
   in
   let rec parse_args = function
@@ -202,6 +213,16 @@ let () =
         parse_args rest
     | "--require-beats" :: rest ->
         require_beats := true;
+        parse_args rest
+    | "--service-p999-budget" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some x when x > 0.0 -> service_p999_budget := Some x
+        | _ -> usage ());
+        parse_args rest
+    | "--service-knee" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some x when x > 0.0 -> service_knee := Some x
+        | _ -> usage ());
         parse_args rest
     | "--bench" :: b :: rest ->
         benches := b :: !benches;
@@ -312,6 +333,37 @@ let () =
             fail "%s: beats flag contradicts the totals" impl;
           if beats = 1.0 then beats_ok := true
         end
+      end;
+      if bench = "service" then begin
+        let offered = num r "offered"
+        and admitted = num r "admitted"
+        and shed = num r "shed"
+        and completed = num r "completed"
+        and failed = num r "failed"
+        and shed_rate = num r "shed_rate" in
+        if completed +. failed > admitted then
+          fail "service %s: completed + failed exceeds admitted" impl;
+        if admitted +. shed > offered then
+          fail "service %s: admitted + shed exceeds offered" impl;
+        let expect_rate = if offered = 0.0 then 0.0 else shed /. offered in
+        if Float.abs (shed_rate -. expect_rate) > 1e-3 then
+          fail "service %s: shed_rate %.4f does not match shed/offered %.4f"
+            impl shed_rate expect_rate;
+        let p50 = num r "sojourn_p50_ns"
+        and p99 = num r "sojourn_p99_ns"
+        and p999 = num r "sojourn_p999_ns" in
+        if not (p50 <= p99 && p99 <= p999) then
+          fail "service %s: sojourn percentiles not monotone" impl;
+        (match !service_p999_budget with
+        | Some budget when p999 > budget ->
+            fail "service %s: sojourn_p999_ns %.0f exceeds budget %.0f" impl
+              p999 budget
+        | _ -> ());
+        match !service_knee with
+        | Some knee when num r "offered_rate_per_s" <= knee && shed > 0.0 ->
+            fail "service %s: %d shed(s) below the knee (%.0f req/s)" impl
+              (int_of_float shed) knee
+        | _ -> ()
       end)
     records;
   List.iter

@@ -25,11 +25,16 @@
     Current points: [backoff.once], [spinlock.acquire], [future.fulfil],
     [future.force], [future.await], [fc.apply], [fc.pass], [fc.record],
     [elim.exchange], [elim.offer], [elim.park], [conformance.round],
-    [bench.op], [fuzz.step], and the sharded-map transfer protocol's
-    [shard.grant], [shard.ship], [shard.ack] (each fired immediately
-    before the corresponding ownership CAS, so a kill there is a death
-    {e between} protocol states and the surviving endpoint recovers by
-    lease deadline). *)
+    [bench.op], [fuzz.step], [tune.epoch], the sharded-map transfer
+    protocol's [shard.grant], [shard.ship], [shard.ack] (each fired
+    immediately before the corresponding ownership CAS, so a kill there
+    is a death {e between} protocol states and the surviving endpoint
+    recovers by lease deadline), and the service layer's
+    [service.admit] (every admission decision), [service.shed] (every
+    refusal), [service.degrade] (the transition into read-only degraded
+    service) and [service.epoch] (top of each admission-controller
+    epoch — a kill there strands the last-good overload stage, which
+    the service must survive). *)
 
 exception Killed of string
 (** Simulated thread death, carrying the injection-point name. Raised

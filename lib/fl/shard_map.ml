@@ -216,7 +216,10 @@ module Make (K : KEY) = struct
         match Opbuf.get w idx with
         | Find (k, f) when Future.is_pending f && not (mutation_on k) ->
             let r = M.find sh.kv k in
-            if Future.try_fulfil f r then Atomic.incr t.c_degraded;
+            if Future.try_fulfil f r then begin
+              Atomic.incr t.c_degraded;
+              Obs.shard_degraded ~bucket:i
+            end;
             Opbuf.delete w idx
         | _ -> ()
     done

@@ -22,6 +22,7 @@ exception Timeout
 exception Cancelled
 exception Broken of exn
 exception Orphaned
+exception Rejected
 
 let create () =
   { state = Atomic.make Pending; evaluator = None; born = Obs.future_created () }
@@ -54,6 +55,17 @@ let poison t e =
   if won then Obs.future_poisoned ~born:t.born;
   won
 
+(* Admission control's terminal fate: the op was never accepted, so
+   unlike [cancel] (owner withdrew) and [poison] (owner died) there is
+   nothing to withdraw or recover — the caller may resubmit. *)
+let reject t =
+  let won = Atomic.compare_and_set t.state Pending (Terminated Rejected) in
+  if won then Obs.future_rejected ~born:t.born;
+  won
+
+let rejected () =
+  { state = Atomic.make (Terminated Rejected); evaluator = None; born = 0 }
+
 let is_ready t =
   match Atomic.get t.state with Ready _ -> true | Pending | Terminated _ -> false
 
@@ -68,6 +80,11 @@ let is_cancelled t =
 let is_poisoned t =
   match Atomic.get t.state with
   | Terminated (Broken _) -> true
+  | Pending | Ready _ | Terminated _ -> false
+
+let is_rejected t =
+  match Atomic.get t.state with
+  | Terminated Rejected -> true
   | Pending | Ready _ | Terminated _ -> false
 
 let peek t =
@@ -200,6 +217,7 @@ let terminate t e =
   if Atomic.compare_and_set t.state Pending (Terminated e) then
     match e with
     | Broken _ -> Obs.future_poisoned ~born:t.born
+    | Rejected -> Obs.future_rejected ~born:t.born
     | _ -> Obs.future_cancelled ~born:t.born
 
 let map f fut =
@@ -207,7 +225,7 @@ let map f fut =
   set_evaluator t (fun () ->
       match force fut with
       | v -> fulfil t (f v)
-      | exception ((Cancelled | Broken _) as e) ->
+      | exception ((Cancelled | Broken _ | Rejected) as e) ->
           terminate t e;
           raise e);
   t
@@ -221,7 +239,7 @@ let both a b =
         (va, vb)
       with
       | pair -> fulfil t pair
-      | exception ((Cancelled | Broken _) as e) ->
+      | exception ((Cancelled | Broken _ | Rejected) as e) ->
           terminate t e;
           raise e);
   t
@@ -231,7 +249,29 @@ let all fs =
   set_evaluator t (fun () ->
       match List.map force fs with
       | vs -> fulfil t vs
-      | exception ((Cancelled | Broken _) as e) ->
+      | exception ((Cancelled | Broken _ | Rejected) as e) ->
           terminate t e;
           raise e);
   t
+
+(* ------------------------ bounded resubmission ----------------------- *)
+
+(* The retry path for [Rejected] — and only [Rejected]: a cancelled or
+   poisoned future names an op that was accepted and then withdrawn or
+   lost, where blind resubmission could double-apply it; a rejected one
+   was never accepted, so resubmitting is always safe. Each attempt that
+   comes back already-rejected backs off (with the yielding Backoff, so
+   a shedding service is not hammered by its own clients) and tries
+   again; the last attempt's future is returned as-is, rejected or not. *)
+let retry ?(attempts = 3) f =
+  if attempts < 1 then invalid_arg "Future.retry: attempts must be >= 1";
+  let b = Sync.Backoff.create () in
+  let rec go n =
+    let t = f () in
+    if n > 1 && is_rejected t then begin
+      Sync.Backoff.once b;
+      go (n - 1)
+    end
+    else t
+  in
+  go attempts

@@ -23,11 +23,12 @@
               +----------- fulfil ----------> applied   (Ready v)
       pending +----------- cancel ----------> cancelled (raises Cancelled)
               +----------- poison ----------> poisoned  (raises Broken e)
+              +----------- reject ----------> rejected  (raises Rejected)
     v}
 
-    [fulfil], [cancel] and [poison] race cleanly: exactly one wins, the
-    losers observe [false]. Every wait ([force]/[await]/[await_for]/
-    [force_until]) on a cancelled or poisoned future raises its terminal
+    [fulfil], [cancel], [poison] and [reject] race cleanly: exactly one
+    wins, the losers observe [false]. Every wait ([force]/[await]/
+    [await_for]/[force_until]) on a terminated future raises its terminal
     exception instead of spinning, so no waiter ever hangs on an op that
     will never be applied. *)
 
@@ -69,6 +70,13 @@ exception Orphaned
     owner died before the op could be applied, and a recovery hook
     ([abandon] on the owner's handle) poisoned the future. *)
 
+exception Rejected
+(** Terminal state of a future refused by admission control before its
+    op was ever accepted into a pending window. Distinct from
+    [Cancelled] (the owner withdrew an accepted op) and [Broken] (an
+    accepted op was lost): a rejected op left no trace in any structure,
+    so resubmitting it — see {!retry} — is always safe. *)
+
 val cancel : 'a t -> bool
 (** [cancel t] withdraws the pending operation: CAS pending → cancelled.
     Returns [false] if the future was already applied, cancelled or
@@ -83,6 +91,16 @@ val poison : 'a t -> exn -> bool
     it marks an op whose owner is gone so waiters stop spinning).
     Returns [false] if the future already reached a terminal state. *)
 
+val reject : 'a t -> bool
+(** [reject t] refuses the op at admission: CAS pending → rejected.
+    Called by the overload-control layer on a future whose op it never
+    admitted; waiters raise [Rejected]. Returns [false] if the future
+    already reached a terminal state. *)
+
+val rejected : unit -> 'a t
+(** A born-rejected future — what an admission gate hands back when it
+    sheds a request before any structure saw the op. *)
+
 val is_ready : 'a t -> bool
 (** The paper's [resultReady] test: does a result exist yet? Cancelled
     and poisoned futures are not ready. *)
@@ -92,6 +110,7 @@ val is_pending : 'a t -> bool
 
 val is_cancelled : 'a t -> bool
 val is_poisoned : 'a t -> bool
+val is_rejected : 'a t -> bool
 
 val peek : 'a t -> 'a option
 (** The result if ready, without forcing. *)
@@ -139,6 +158,17 @@ val await_for : 'a t -> seconds:float -> 'a
 
 val set_evaluator : 'a t -> (unit -> unit) -> unit
 (** Install or replace the evaluator. Owner thread only. *)
+
+val retry : ?attempts:int -> (unit -> 'a t) -> 'a t
+(** [retry ~attempts f] is the bounded-resubmission path for [Rejected]
+    — and only [Rejected]: cancelled and poisoned futures name ops that
+    were accepted, where blind resubmission could double-apply. [f] is
+    called up to [attempts] (default 3) times; after each future that
+    comes back already rejected the caller backs off (yielding, so a
+    shedding service is not hammered by its own clients) and resubmits.
+    The last attempt's future is returned as-is — still rejected if the
+    admission gate never relented. Raises [Invalid_argument] if
+    [attempts < 1]. *)
 
 (** {2 Combinators}
 

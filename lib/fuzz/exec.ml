@@ -39,6 +39,7 @@ type runner =
   | RFclease
   | RShard
   | RTuned
+  | RService
 
 type target = {
   name : string;
@@ -135,6 +136,18 @@ let targets =
         condition = Conformance.claimed_condition "weak-x";
         kill_plan = true;
         runner = RTuned;
+      };
+      (* Admission-controlled session path: every map op passes an
+         Overload gate held in the shedding regime; admitted ops are
+         history-checked (kill-free plans) and shed ops must leave no
+         trace in the surviving store. Plans may kill at the service
+         points (admit/shed/degrade/epoch) and the transfer protocol. *)
+      {
+        name = "service";
+        kind = P.Map;
+        condition = Lin.Order.Weak;
+        kill_plan = true;
+        runner = RService;
       };
     ]
 
@@ -577,6 +590,183 @@ let shardmap_run (prog : P.t) =
   in
   { verdict; ops = Atomic.get ops; fsc_witness = false }
 
+(* Service oracle: the admission-controlled session path. Map programs
+   run against a 2-bucket sharded store behind a live [Overload]
+   controller forced into the shedding regime (hysteresis effectively
+   infinite, so chaos cannot quietly recover it): every Bind/Lookup/
+   Unbind first asks [Overload.admit] — and mutations additionally
+   respect [writes_degraded] — so each op is either {e admitted}
+   (executed and recorded) or {e shed} (refused before any structure
+   call: no future, no history entry, no store effect). Plans may kill
+   at the service points ([service.admit]/[service.shed]/
+   [service.degrade]/[service.epoch]) and at the shard transfer points;
+   a killed worker abandons its handle like a real dead domain.
+
+   Properties, under any plan:
+
+   - liveness: after a bounded recovery drain, no tracked future of an
+     admitted op is still pending — shed or not, nothing hangs;
+   - shed exclusion: every binding in the surviving store was proposed
+     by an {e admitted} Bind — shed ops leave no trace;
+   - conformance (kill-free plans only): the recorded history of the
+     admitted subset is FL-conformant against the map spec. A killed
+     worker's recorded entries are ambiguous (applied or not), so kill
+     plans rest on the two oracle properties, like [fclease]/[shardmap]. *)
+let service_run cond (prog : P.t) ~with_kills =
+  let m : int SM.t =
+    SM.create ~buckets:2 ~lease:0.01 ~grant_timeout:0.0005 ()
+  in
+  let ov =
+    Workload.Overload.create
+      ~cfg:{ Workload.Overload.default with hysteresis = max_int }
+      ~epoch:0.001 ()
+  in
+  Workload.Overload.force_stage ov Workload.Overload.Shed;
+  let push cell x =
+    let rec go () =
+      let cur = Atomic.get cell in
+      if not (Atomic.compare_and_set cell cur (x :: cur)) then go ()
+    in
+    go ()
+  in
+  let admitted_binds : (int * int) list Atomic.t = Atomic.make [] in
+  let pending : (unit -> bool) list Atomic.t = Atomic.make [] in
+  let logs = Atomic.make [] in
+  let admitted = Atomic.make 0 in
+  let shed = Atomic.make 0 in
+  let clock = H.clock () in
+  Workload.Overload.start ov;
+  Fun.protect
+    ~finally:(fun () -> Workload.Overload.stop ov)
+    (fun () ->
+      List.iter
+        (fun phase ->
+          let threads = prog.P.threads in
+          let barrier = Sync.Barrier.create threads in
+          let worker i () =
+            let h = SM.handle m in
+            let log = H.log () in
+            push logs log;
+            let completions = ref [] in
+            let flush () =
+              SM.flush h;
+              List.iter (fun k -> k ()) !completions;
+              completions := []
+            in
+            (* Gate one op. Refusal happens before any structure call, so
+               a shed op cannot appear in the history or the store. *)
+            let gate ~write =
+              if write && Workload.Overload.writes_degraded ov then begin
+                ignore (Atomic.fetch_and_add shed 1);
+                false
+              end
+              else if Workload.Overload.admit ov then begin
+                ignore (Atomic.fetch_and_add admitted 1);
+                true
+              end
+              else begin
+                ignore (Atomic.fetch_and_add shed 1);
+                false
+              end
+            in
+            let call st mk f =
+              let fut, c =
+                H.recorded_call log clock ~thread:i ~obj:st.P.obj f
+              in
+              push pending (fun () -> Future.is_pending fut);
+              completions :=
+                (fun () ->
+                  try ignore (c mk)
+                  with Future.Cancelled | Future.Broken _ | Future.Rejected ->
+                    (* Collateral of a kill elsewhere: the entry stays
+                       unfiled; kill plans skip the history check. *)
+                    ())
+                :: !completions
+            in
+            Sync.Barrier.wait barrier;
+            try
+              List.iter
+                (fun (st : P.step) ->
+                  Faults.point "fuzz.step";
+                  match st.P.op with
+                  | P.Force -> flush ()
+                  | P.Bind (k, v) ->
+                      if gate ~write:true then begin
+                        push admitted_binds (k, v);
+                        call st
+                          (fun r -> Lin.Spec.Map_spec.Insert (k, v, r))
+                          (fun () -> SM.insert h k v)
+                      end
+                  | P.Lookup k ->
+                      if gate ~write:false then
+                        call st
+                          (fun r -> Lin.Spec.Map_spec.Find (k, r))
+                          (fun () -> SM.find h k)
+                  | P.Unbind k ->
+                      if gate ~write:true then
+                        call st
+                          (fun r -> Lin.Spec.Map_spec.Remove (k, r))
+                          (fun () -> SM.remove h k)
+                  | _ -> ())
+                phase.(i);
+              flush ()
+            with Faults.Killed _ -> ignore (SM.abandon h)
+          in
+          let ds = List.init threads (fun i -> Domain.spawn (worker i)) in
+          List.iter Domain.join ds)
+        prog.P.phases;
+      (* Liveness: sweep expired buckets from a fresh handle until every
+         tracked future is terminal, under a hard deadline. *)
+      let dh = SM.handle m in
+      let deadline = Sync.Mono.now () +. 5.0 in
+      let still () =
+        List.exists (fun is_pending -> is_pending ()) (Atomic.get pending)
+      in
+      let hung = ref false in
+      while still () && not !hung do
+        ignore (SM.recover_all dh);
+        if Sync.Mono.now () > deadline then hung := true
+        else Unix.sleepf 0.0005
+      done;
+      let binds = Atomic.get admitted_binds in
+      let alien =
+        List.filter (fun (k, v) -> not (List.mem (k, v) binds)) (SM.bindings m)
+      in
+      let verdict =
+        if !hung then
+          let n =
+            List.length
+              (List.filter
+                 (fun is_pending -> is_pending ())
+                 (Atomic.get pending))
+          in
+          violation
+            "service: %d admitted future(s) still pending after the recovery \
+             drain deadline (stage %s, %d admitted / %d shed)"
+            n
+            (Workload.Overload.stage_name (Workload.Overload.stage ov))
+            (Atomic.get admitted) (Atomic.get shed)
+        else if alien <> [] then
+          violation
+            "service: %d surviving binding(s) never proposed by an admitted \
+             Bind — shed ops must leave no trace"
+            (List.length alien)
+        else if not with_kills then begin
+          let h = H.merge (Atomic.get logs) in
+          if CM.check_segmented cond h then Pass
+          else
+            violation "service: admitted-op history is not %s:@.%a"
+              (Lin.Order.condition_name cond)
+              CM.pp_history h
+        end
+        else Pass
+      in
+      {
+        verdict;
+        ops = Atomic.get admitted + Atomic.get shed;
+        fsc_witness = false;
+      })
+
 (* ------------------------------ run ------------------------------- *)
 
 let run ?condition (t : target) (prog : P.t) (plan : Plan.t) =
@@ -597,4 +787,5 @@ let run ?condition (t : target) (prog : P.t) (plan : Plan.t) =
       | RSlack -> slack_run prog
       | RFclease -> fclease_run prog
       | RShard -> shardmap_run prog
-      | RTuned -> tuned_run cond prog)
+      | RTuned -> tuned_run cond prog
+      | RService -> service_run cond prog ~with_kills:(Plan.has_kills plan))

@@ -18,7 +18,17 @@
     Its operations never pass a kill point (the only reachable one is
     the controller's ["tune.epoch"]), so a kill can only take down the
     tuner, and the history must stay conformant with the last-good
-    configuration left in place. *)
+    configuration left in place.
+
+    The [service] target fuzzes the admission-controlled session path:
+    map ops pass a live {!Workload.Overload} gate held in the shedding
+    regime before touching a sharded store, so every op is either
+    admitted (executed, history-checked on kill-free plans) or shed
+    (refused before any structure call — no future, no history entry,
+    no store effect). It accepts kill plans at the service.* and
+    shard.* points; under kills the oracle is liveness (no admitted
+    future outlives the recovery drain) plus shed exclusion (every
+    surviving binding came from an admitted Bind). *)
 
 type verdict = Pass | Violation of string
 

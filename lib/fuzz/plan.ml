@@ -29,14 +29,19 @@ let stall_points =
     "shard.ship";
     "shard.ack";
     "tune.epoch";
+    "service.admit";
+    "service.shed";
+    "service.epoch";
   ]
 
 (* Kill points fire only in kill-plan targets' code paths: the fc.*
-   points in [fclease], the shard.* points in [shardmap], and
-   "tune.epoch" — the self-tuning controller's heartbeat — in [tuned]
-   (the one history-checked target that accepts kills: its operations
-   never pass a kill point, so a kill can only murder the controller).
-   A kill step whose point the target never reaches is simply inert. *)
+   points in [fclease], the shard.* points in [shardmap], "tune.epoch"
+   — the self-tuning controller's heartbeat — in [tuned] (the one
+   history-checked target that accepts kills: its operations never pass
+   a kill point, so a kill can only murder the controller), and the
+   service.* points in [service] (admit/shed kill a worker mid-request,
+   degrade/epoch kill the admission controller). A kill step whose
+   point the target never reaches is simply inert. *)
 let kill_points =
   [
     "fc.pass";
@@ -45,6 +50,10 @@ let kill_points =
     "shard.ship";
     "shard.ack";
     "tune.epoch";
+    "service.admit";
+    "service.shed";
+    "service.degrade";
+    "service.epoch";
   ]
 
 let pick rng l = List.nth l (Rng.below rng (List.length l))

@@ -37,7 +37,21 @@ let shard_ship = 17
 let shard_ack = 18
 let shard_recover = 19
 
-let tag_count = 20
+(* Service layer (Workload.Service / Workload.Overload). future_rejected
+   is the fourth terminal future fate: admission control refused the op.
+   service_shed's [a] = overload stage at shed time; service_stage's
+   [a]/[b] = old/new stage; service_complete's [a] = request sojourn
+   (intended arrival -> result forced) in ns — the coordinated-omission-
+   safe latency. shard_degraded's [a] = bucket id answering a read-only
+   find while the bucket is in flight. *)
+let future_rejected = 20
+let service_admit = 21
+let service_shed = 22
+let service_stage = 23
+let service_complete = 24
+let shard_degraded = 25
+
+let tag_count = 26
 
 let name = function
   | 0 -> "future.created"
@@ -60,9 +74,17 @@ let name = function
   | 17 -> "shard.ship"
   | 18 -> "shard.ack"
   | 19 -> "shard.recover"
+  | 20 -> "future.rejected"
+  | 21 -> "service.admit"
+  | 22 -> "service.shed"
+  | 23 -> "service.stage"
+  | 24 -> "service.complete"
+  | 25 -> "shard.degraded"
   | t -> "unknown." ^ string_of_int t
 
-let is_terminal t = t = future_fulfilled || t = future_cancelled || t = future_poisoned
+let is_terminal t =
+  t = future_fulfilled || t = future_cancelled || t = future_poisoned
+  || t = future_rejected
 
 (* Splice kinds: which pending window a batch was spliced out of. *)
 let k_weak_stack_push = 0

@@ -22,6 +22,7 @@ type t = {
   futures_forced : C.t;
   futures_cancelled : C.t;
   futures_poisoned : C.t;
+  futures_rejected : C.t;
   splices : C.t;
   splice_ops : C.t;
   (* Per-splice-kind counters, indexed by Event.k_* (length
@@ -44,11 +45,16 @@ type t = {
   shard_ships : C.t;
   shard_acks : C.t;
   shard_recovers : C.t;
+  shard_degraded_finds : C.t;
+  service_admitted : C.t;
+  service_shed : C.t;
+  service_degrades : C.t;
   pendingness_ns : Histogram.t;
   force_ns : Histogram.t;
   splice_batch : Histogram.t;
   elim_wait_ns : Histogram.t;
   transfer_ns : Histogram.t;
+  service_ns : Histogram.t;
 }
 
 let create () =
@@ -58,6 +64,7 @@ let create () =
     futures_forced = C.create ();
     futures_cancelled = C.create ();
     futures_poisoned = C.create ();
+    futures_rejected = C.create ();
     splices = C.create ();
     splice_ops = C.create ();
     splice_kind_splices = Array.init Event.kind_count (fun _ -> C.create ());
@@ -76,11 +83,16 @@ let create () =
     shard_ships = C.create ();
     shard_acks = C.create ();
     shard_recovers = C.create ();
+    shard_degraded_finds = C.create ();
+    service_admitted = C.create ();
+    service_shed = C.create ();
+    service_degrades = C.create ();
     pendingness_ns = Histogram.create ();
     force_ns = Histogram.create ();
     splice_batch = Histogram.create ();
     elim_wait_ns = Histogram.create ();
     transfer_ns = Histogram.create ();
+    service_ns = Histogram.create ();
   }
 
 let global = create ()
@@ -90,17 +102,20 @@ let reset () =
   List.iter C.reset
     [
       g.futures_created; g.futures_fulfilled; g.futures_forced;
-      g.futures_cancelled; g.futures_poisoned; g.splices; g.splice_ops;
+      g.futures_cancelled; g.futures_poisoned; g.futures_rejected;
+      g.splices; g.splice_ops;
       g.elim_hits; g.elim_misses; g.combiner_acquires; g.combiner_takeovers;
       g.combiner_retires; g.backoff_exhausted; g.workers_killed;
       g.workers_recovered; g.workers_stalled; g.shard_requests;
       g.shard_grants; g.shard_ships; g.shard_acks; g.shard_recovers;
+      g.shard_degraded_finds; g.service_admitted; g.service_shed;
+      g.service_degrades;
     ];
   Array.iter C.reset g.splice_kind_splices;
   Array.iter C.reset g.splice_kind_ops;
   List.iter Histogram.reset
     [ g.pendingness_ns; g.force_ns; g.splice_batch; g.elim_wait_ns;
-      g.transfer_ns ]
+      g.transfer_ns; g.service_ns ]
 
 (* ------------------------- recording hooks -------------------------- *)
 (* Called by the Obs wrappers with the switch already checked. *)
@@ -122,6 +137,7 @@ let on_future_forced ~w d =
 
 let on_future_cancelled w = C.add global.futures_cancelled w
 let on_future_poisoned w = C.add global.futures_poisoned w
+let on_future_rejected w = C.add global.futures_rejected w
 
 let on_splice ~kind n =
   C.incr global.splices;
@@ -150,6 +166,15 @@ let on_shard_ack d =
   if d > 0 then Histogram.record global.transfer_ns d
 
 let on_shard_recover () = C.incr global.shard_recovers
+let on_shard_degraded () = C.incr global.shard_degraded_finds
+let on_service_admit () = C.incr global.service_admitted
+let on_service_shed () = C.incr global.service_shed
+let on_service_degrade () = C.incr global.service_degrades
+
+(* Request sojourn: intended arrival -> result forced, ns. Unsampled —
+   the service layer records one per admitted request it completes, and
+   the tail (p999) is exactly what sampling would erase. *)
+let on_service_complete d = Histogram.record global.service_ns d
 
 (* ---------------------------- snapshots ------------------------------ *)
 
@@ -159,6 +184,7 @@ type snapshot = {
   futures_forced : int;
   futures_cancelled : int;
   futures_poisoned : int;
+  futures_rejected : int;
   splices : int;
   splice_ops : int;
   splice_kind_splices : int array;
@@ -177,11 +203,16 @@ type snapshot = {
   shard_ships : int;
   shard_acks : int;
   shard_recovers : int;
+  shard_degraded_finds : int;
+  service_admitted : int;
+  service_shed : int;
+  service_degrades : int;
   pendingness_ns : Histogram.s;
   force_ns : Histogram.s;
   splice_batch : Histogram.s;
   elim_wait_ns : Histogram.s;
   transfer_ns : Histogram.s;
+  service_ns : Histogram.s;
 }
 
 let snapshot () =
@@ -192,6 +223,7 @@ let snapshot () =
     futures_forced = C.total g.futures_forced;
     futures_cancelled = C.total g.futures_cancelled;
     futures_poisoned = C.total g.futures_poisoned;
+    futures_rejected = C.total g.futures_rejected;
     splices = C.total g.splices;
     splice_ops = C.total g.splice_ops;
     splice_kind_splices = Array.map C.total g.splice_kind_splices;
@@ -210,11 +242,16 @@ let snapshot () =
     shard_ships = C.total g.shard_ships;
     shard_acks = C.total g.shard_acks;
     shard_recovers = C.total g.shard_recovers;
+    shard_degraded_finds = C.total g.shard_degraded_finds;
+    service_admitted = C.total g.service_admitted;
+    service_shed = C.total g.service_shed;
+    service_degrades = C.total g.service_degrades;
     pendingness_ns = Histogram.snapshot g.pendingness_ns;
     force_ns = Histogram.snapshot g.force_ns;
     splice_batch = Histogram.snapshot g.splice_batch;
     elim_wait_ns = Histogram.snapshot g.elim_wait_ns;
     transfer_ns = Histogram.snapshot g.transfer_ns;
+    service_ns = Histogram.snapshot g.service_ns;
   }
 
 let diff (later : snapshot) (earlier : snapshot) =
@@ -224,6 +261,7 @@ let diff (later : snapshot) (earlier : snapshot) =
     futures_forced = later.futures_forced - earlier.futures_forced;
     futures_cancelled = later.futures_cancelled - earlier.futures_cancelled;
     futures_poisoned = later.futures_poisoned - earlier.futures_poisoned;
+    futures_rejected = later.futures_rejected - earlier.futures_rejected;
     splices = later.splices - earlier.splices;
     splice_ops = later.splice_ops - earlier.splice_ops;
     splice_kind_splices =
@@ -246,24 +284,38 @@ let diff (later : snapshot) (earlier : snapshot) =
     shard_ships = later.shard_ships - earlier.shard_ships;
     shard_acks = later.shard_acks - earlier.shard_acks;
     shard_recovers = later.shard_recovers - earlier.shard_recovers;
+    shard_degraded_finds =
+      later.shard_degraded_finds - earlier.shard_degraded_finds;
+    service_admitted = later.service_admitted - earlier.service_admitted;
+    service_shed = later.service_shed - earlier.service_shed;
+    service_degrades = later.service_degrades - earlier.service_degrades;
     pendingness_ns = Histogram.diff later.pendingness_ns earlier.pendingness_ns;
     force_ns = Histogram.diff later.force_ns earlier.force_ns;
     splice_batch = Histogram.diff later.splice_batch earlier.splice_batch;
     elim_wait_ns = Histogram.diff later.elim_wait_ns earlier.elim_wait_ns;
     transfer_ns = Histogram.diff later.transfer_ns earlier.transfer_ns;
+    service_ns = Histogram.diff later.service_ns earlier.service_ns;
   }
 
 (* --------------------------- derived views --------------------------- *)
 
 let pendingness_p50 s = Histogram.percentile_value s.pendingness_ns 50.0
 let pendingness_p99 s = Histogram.percentile_value s.pendingness_ns 99.0
+let pendingness_p999 s = Histogram.percentile_value s.pendingness_ns 99.9
 let force_p50 s = Histogram.percentile_value s.force_ns 50.0
 let force_p99 s = Histogram.percentile_value s.force_ns 99.0
+let force_p999 s = Histogram.percentile_value s.force_ns 99.9
 let mean_splice_batch s = Histogram.mean_value s.splice_batch
 let elim_wait_p99 s = Histogram.percentile_value s.elim_wait_ns 99.0
+let elim_wait_p999 s = Histogram.percentile_value s.elim_wait_ns 99.9
 
 let transfer_p50 s = Histogram.percentile_value s.transfer_ns 50.0
 let transfer_p99 s = Histogram.percentile_value s.transfer_ns 99.0
+let transfer_p999 s = Histogram.percentile_value s.transfer_ns 99.9
+
+let service_p50 s = Histogram.percentile_value s.service_ns 50.0
+let service_p99 s = Histogram.percentile_value s.service_ns 99.0
+let service_p999 s = Histogram.percentile_value s.service_ns 99.9
 
 let elim_hit_rate s =
   let attempts = s.elim_hits + s.elim_misses in

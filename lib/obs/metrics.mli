@@ -20,6 +20,7 @@ val on_future_forced : w:int -> int -> unit
 
 val on_future_cancelled : int -> unit
 val on_future_poisoned : int -> unit
+val on_future_rejected : int -> unit
 (** Argument: sampling weight. *)
 
 val on_splice : kind:int -> int -> unit
@@ -48,6 +49,19 @@ val on_shard_ack : int -> unit
     (counted, not histogrammed). *)
 
 val on_shard_recover : unit -> unit
+val on_shard_degraded : unit -> unit
+(** A read-only find answered while its bucket was in flight. *)
+
+val on_service_admit : unit -> unit
+val on_service_shed : unit -> unit
+
+val on_service_degrade : unit -> unit
+(** An overload-stage escalation (admission controller moved one stage
+    toward degraded service). *)
+
+val on_service_complete : int -> unit
+(** Argument: request sojourn (intended arrival → result forced) in ns.
+    Unsampled — the tail is the point. *)
 
 (** {2 Snapshots} *)
 
@@ -57,6 +71,7 @@ type snapshot = {
   futures_forced : int;
   futures_cancelled : int;
   futures_poisoned : int;
+  futures_rejected : int;
   splices : int;
   splice_ops : int;
   splice_kind_splices : int array;
@@ -75,11 +90,16 @@ type snapshot = {
   shard_ships : int;
   shard_acks : int;
   shard_recovers : int;
+  shard_degraded_finds : int;
+  service_admitted : int;
+  service_shed : int;
+  service_degrades : int;
   pendingness_ns : Histogram.s;
   force_ns : Histogram.s;
   splice_batch : Histogram.s;
   elim_wait_ns : Histogram.s;
   transfer_ns : Histogram.s;
+  service_ns : Histogram.s;
 }
 
 val snapshot : unit -> snapshot
@@ -90,14 +110,24 @@ val diff : snapshot -> snapshot -> snapshot
 
 val pendingness_p50 : snapshot -> int
 val pendingness_p99 : snapshot -> int
+val pendingness_p999 : snapshot -> int
 val force_p50 : snapshot -> int
 val force_p99 : snapshot -> int
+val force_p999 : snapshot -> int
 val mean_splice_batch : snapshot -> float
 val elim_wait_p99 : snapshot -> int
+val elim_wait_p999 : snapshot -> int
 
 val transfer_p50 : snapshot -> int
 val transfer_p99 : snapshot -> int
+val transfer_p999 : snapshot -> int
 (** Bucket-transfer latency (request → ack), ns. *)
+
+val service_p50 : snapshot -> int
+val service_p99 : snapshot -> int
+val service_p999 : snapshot -> int
+(** Request sojourn (intended arrival → result forced), ns — the
+    coordinated-omission-safe service latency. *)
 
 val elim_hit_rate : snapshot -> float
 (** hits / (hits + misses); [0.] with no attempts. *)

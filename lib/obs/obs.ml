@@ -105,6 +105,13 @@ let future_poisoned ~born =
     Metrics.on_future_poisoned (Atomic.get sample_stride)
   end
 
+let future_rejected ~born =
+  if born <> 0 && Switch.enabled () then begin
+    let ts = Trace.now_ns () in
+    Trace.emit_at ~ts Event.future_rejected (ts - born) 0;
+    Metrics.on_future_rejected (Atomic.get sample_stride)
+  end
+
 let force_begin () =
   if Switch.enabled () && sample () <> 0 then Trace.now_ns () else 0
 
@@ -229,4 +236,39 @@ let shard_recover ~bucket ~poisoned =
   if Switch.enabled () then begin
     Trace.emit Event.shard_recover bucket poisoned;
     Metrics.on_shard_recover ()
+  end
+
+let shard_degraded ~bucket =
+  if Switch.enabled () then begin
+    Trace.emit Event.shard_degraded bucket 0;
+    Metrics.on_shard_degraded ()
+  end
+
+(* --------------------------- service layer --------------------------- *)
+
+(* Admission decisions fire once per offered request; they are counted
+   exactly (no sampling) because the shed-rate arithmetic — sheds over
+   offered — must balance against the service layer's own bookkeeping. *)
+let service_admit () =
+  if Switch.enabled () then begin
+    Trace.emit Event.service_admit 0 0;
+    Metrics.on_service_admit ()
+  end
+
+let service_shed ~stage =
+  if Switch.enabled () then begin
+    Trace.emit Event.service_shed stage 0;
+    Metrics.on_service_shed ()
+  end
+
+let service_stage ~from ~to_ =
+  if Switch.enabled () then begin
+    Trace.emit Event.service_stage from to_;
+    if to_ > from then Metrics.on_service_degrade ()
+  end
+
+let service_complete ~sojourn_ns =
+  if sojourn_ns >= 0 && Switch.enabled () then begin
+    Trace.emit Event.service_complete sojourn_ns 0;
+    Metrics.on_service_complete sojourn_ns
   end

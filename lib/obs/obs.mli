@@ -51,6 +51,7 @@ val future_created : unit -> int
 val future_fulfilled : born:int -> unit
 val future_cancelled : born:int -> unit
 val future_poisoned : born:int -> unit
+val future_rejected : born:int -> unit
 (** Record a terminal transition; the pendingness (now − [born]) goes to
     the trace and, for fulfilment, the pendingness histogram. No-ops
     when [born = 0]. *)
@@ -108,3 +109,27 @@ val shard_ack : bucket:int -> t0:int -> unit
 val shard_recover : bucket:int -> poisoned:int -> unit
 (** An expired bucket was usurped; [poisoned] = futures poisoned out of
     a window lost in flight (0 when no window was in flight). *)
+
+val shard_degraded : bucket:int -> unit
+(** A pending find answered read-only against the local segment while
+    its bucket was owned elsewhere or in flight. *)
+
+(** {2 Service layer (open-loop workload)} *)
+
+val service_admit : unit -> unit
+(** An offered request passed admission control. Unsampled: shed-rate
+    arithmetic must balance exactly. *)
+
+val service_shed : stage:int -> unit
+(** An offered request was refused; [stage] is the overload stage the
+    controller was in ({!Workload.Overload} encoding). *)
+
+val service_stage : from:int -> to_:int -> unit
+(** The admission controller moved between overload stages; escalations
+    ([to_ > from]) bump the degrade counter. *)
+
+val service_complete : sojourn_ns:int -> unit
+(** An admitted request's result was forced; [sojourn_ns] is measured
+    from the request's {e intended} arrival time, so queueing delay the
+    generator could not issue through is charged to the system
+    (coordinated-omission-safe). Negative values are dropped. *)

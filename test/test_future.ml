@@ -384,6 +384,128 @@ module _ : Fl.Fl_intf.HANDLE_SET with module Key := Int_key =
 module _ : Fl.Fl_intf.HANDLE_SET with module Key := Int_key =
   Fl.Txn_list.Make (Int_key)
 
+(* Rejection: the admission-control fate. Distinct from Cancelled (the
+   waiter gave up) and Broken (the op was accepted, then lost) — a
+   rejected op was never accepted, so resubmission is safe. *)
+let test_reject_basic () =
+  let f : int Future.t = Future.create () in
+  Alcotest.(check bool) "reject wins the race" true (Future.reject f);
+  Alcotest.(check bool) "rejected" true (Future.is_rejected f);
+  Alcotest.(check bool) "not cancelled" false (Future.is_cancelled f);
+  Alcotest.(check bool) "not ready" false (Future.is_ready f);
+  Alcotest.(check bool) "not pending" false (Future.is_pending f);
+  Alcotest.(check (option int)) "peek empty" None (Future.peek f);
+  Alcotest.(check bool) "second reject loses" false (Future.reject f);
+  Alcotest.(check bool) "cancel after reject loses" false (Future.cancel f);
+  Alcotest.(check bool) "try_fulfil after reject loses" false
+    (Future.try_fulfil f 1);
+  Alcotest.check_raises "force raises" Future.Rejected (fun () ->
+      ignore (Future.force f));
+  Alcotest.check_raises "await raises" Future.Rejected (fun () ->
+      ignore (Future.await f));
+  Alcotest.check_raises "await_for raises, not Timeout" Future.Rejected
+    (fun () -> ignore (Future.await_for f ~seconds:10.0))
+
+let test_reject_loses_races () =
+  let f = Future.create () in
+  Future.fulfil f 5;
+  Alcotest.(check bool) "reject after fulfil loses" false (Future.reject f);
+  Alcotest.(check int) "value kept" 5 (Future.force f);
+  let g : int Future.t = Future.create () in
+  Alcotest.(check bool) "cancel first" true (Future.cancel g);
+  Alcotest.(check bool) "reject after cancel loses" false (Future.reject g);
+  Alcotest.(check bool) "fate unchanged" true (Future.is_cancelled g)
+
+let test_rejected_constructor () =
+  let f : int Future.t = Future.rejected () in
+  Alcotest.(check bool) "born rejected" true (Future.is_rejected f);
+  Alcotest.check_raises "force raises" Future.Rejected (fun () ->
+      ignore (Future.force f))
+
+let test_map_propagates_reject () =
+  let f : int Future.t = Future.create () in
+  let g = Future.map (fun x -> x + 1) f in
+  ignore (Future.reject f);
+  Alcotest.check_raises "derived raises Rejected" Future.Rejected (fun () ->
+      ignore (Future.force g));
+  Alcotest.(check bool) "derived is rejected" true (Future.is_rejected g)
+
+let test_retry_eventually_accepted () =
+  let refusals = ref 2 in
+  let calls = ref 0 in
+  let f =
+    Future.retry ~attempts:5 (fun () ->
+        incr calls;
+        if !refusals > 0 then begin
+          decr refusals;
+          Future.rejected ()
+        end
+        else Future.of_value 42)
+  in
+  Alcotest.(check int) "two refusals, then accepted" 3 !calls;
+  Alcotest.(check int) "accepted value" 42 (Future.force f)
+
+let test_retry_exhausts_attempts () =
+  let calls = ref 0 in
+  let f : int Future.t =
+    Future.retry ~attempts:3 (fun () ->
+        incr calls;
+        Future.rejected ())
+  in
+  Alcotest.(check int) "bounded: exactly attempts calls" 3 !calls;
+  Alcotest.(check bool) "final fate is rejected" true (Future.is_rejected f)
+
+(* retry only resubmits Rejected: a Cancelled or Broken future was an
+   accepted op, and resubmitting it could double-apply the effect. *)
+let test_retry_only_retries_rejected () =
+  let calls = ref 0 in
+  let f : int Future.t =
+    Future.retry ~attempts:5 (fun () ->
+        incr calls;
+        let g = Future.create () in
+        ignore (Future.cancel g);
+        g)
+  in
+  Alcotest.(check int) "cancelled not resubmitted" 1 !calls;
+  Alcotest.(check bool) "cancelled fate kept" true (Future.is_cancelled f);
+  let broken_calls = ref 0 in
+  let b : int Future.t =
+    Future.retry ~attempts:5 (fun () ->
+        incr broken_calls;
+        let g = Future.create () in
+        ignore (Future.poison g Future.Orphaned);
+        g)
+  in
+  Alcotest.(check int) "broken not resubmitted" 1 !broken_calls;
+  Alcotest.(check bool) "broken fate kept" true (Future.is_poisoned b);
+  Alcotest.check_raises "attempts must be >= 1"
+    (Invalid_argument "Future.retry: attempts must be >= 1") (fun () ->
+      ignore (Future.retry ~attempts:0 (fun () -> Future.of_value 0)))
+
+(* Concurrent reject vs fulfil: exactly one side wins, and the loser
+   observes the winner's fate. *)
+let test_reject_fulfil_race () =
+  for _ = 1 to 200 do
+    let f = Future.create () in
+    let barrier = Atomic.make 0 in
+    let d =
+      Domain.spawn (fun () ->
+          Atomic.incr barrier;
+          while Atomic.get barrier < 2 do
+            Domain.cpu_relax ()
+          done;
+          Future.try_fulfil f 1)
+    in
+    Atomic.incr barrier;
+    while Atomic.get barrier < 2 do
+      Domain.cpu_relax ()
+    done;
+    let rejected = Future.reject f in
+    let fulfilled = Domain.join d in
+    Alcotest.(check bool) "exactly one winner" true (rejected <> fulfilled);
+    Alcotest.(check bool) "fate matches winner" fulfilled (Future.is_ready f)
+  done
+
 let () =
   Alcotest.run "future"
     [
@@ -442,6 +564,24 @@ let () =
             test_all_propagates_terminal;
           Alcotest.test_case "poison wakes waiter" `Quick
             test_poison_wakes_waiter;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "reject matrix" `Quick test_reject_basic;
+          Alcotest.test_case "reject loses races" `Quick
+            test_reject_loses_races;
+          Alcotest.test_case "rejected constructor" `Quick
+            test_rejected_constructor;
+          Alcotest.test_case "map propagates reject" `Quick
+            test_map_propagates_reject;
+          Alcotest.test_case "retry eventually accepted" `Quick
+            test_retry_eventually_accepted;
+          Alcotest.test_case "retry exhausts attempts" `Quick
+            test_retry_exhausts_attempts;
+          Alcotest.test_case "retry only retries rejected" `Quick
+            test_retry_only_retries_rejected;
+          Alcotest.test_case "reject vs fulfil race" `Quick
+            test_reject_fulfil_race;
         ] );
       ( "combinators",
         [

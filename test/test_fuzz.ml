@@ -353,6 +353,34 @@ let test_shardmap_survives_kills seed () =
       Alcotest.fail
         (Printf.sprintf "shardmap seed %d: oracle violated: %s" seed msg)
 
+(* The admission-controlled session path: kill-free plans get the full
+   FL-conformance check on the admitted subset; kill plans (workers and
+   the controller itself murdered at the service.* and shard.* points)
+   still demand liveness and shed exclusion. *)
+let test_service_conformance seed () =
+  let t = E.find "service" in
+  let prog = P.generate t.E.kind ~seed in
+  let plan = Pl.generate ~seed () in
+  let o = E.run t prog plan in
+  match o.E.verdict with
+  | E.Pass -> ()
+  | E.Violation msg ->
+      Alcotest.fail
+        (Printf.sprintf "service seed %d: admitted subset violated: %s" seed
+           msg)
+
+let test_service_survives_kills seed () =
+  let t = E.find "service" in
+  Alcotest.(check bool) "service declares kill plans" true t.E.kill_plan;
+  let prog = P.generate t.E.kind ~seed in
+  let plan = Pl.generate ~kills:true ~seed () in
+  let o = E.run t prog plan in
+  match o.E.verdict with
+  | E.Pass -> ()
+  | E.Violation msg ->
+      Alcotest.fail
+        (Printf.sprintf "service seed %d: oracle violated: %s" seed msg)
+
 (* ------------------- the gauntlet, end to end ------------------------ *)
 
 let test_buggy_target_shrinks_and_replays seed () =
@@ -468,7 +496,11 @@ let () =
         @ seeded "fclease sum oracle under kills" kill_seeds
             test_fclease_survives_kills
         @ seeded "shardmap oracle under kills" kill_seeds
-            test_shardmap_survives_kills );
+            test_shardmap_survives_kills
+        @ seeded "service admitted-subset conformance" kill_seeds
+            test_service_conformance
+        @ seeded "service oracle under kills" kill_seeds
+            test_service_survives_kills );
       ( "gauntlet",
         seeded "buggy check shrinks and replays" gauntlet_seeds
           test_buggy_target_shrinks_and_replays

@@ -186,6 +186,58 @@ let test_degraded_find_and_expiry_recovery () =
   Alcotest.(check bool) "ownership recovered at lease expiry" true
     (s.SM.recovers >= 1)
 
+(* Degraded reads during a shed window: with the overload controller at
+   Shed and a bucket still owned by a handle that never services (in
+   flight from the requester's point of view), finds that the admission
+   gate lets through must be answered from the degraded read-only path —
+   and both the store's stats and the global obs metrics must count
+   them. *)
+let test_degraded_find_during_shed_window () =
+  let obs_was = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled obs_was)
+    (fun () ->
+      let before = Obs.Metrics.snapshot () in
+      let ov = Workload.Overload.create () in
+      Workload.Overload.force_stage ov Workload.Overload.Shed;
+      let m : int SM.t =
+        SM.create ~buckets:1 ~lease:0.02 ~grant_timeout:0.001 ()
+      in
+      let a = SM.handle m in
+      ignore (SM.insert a 1 10 : bool Future.t);
+      SM.flush a;
+      (* [a] owns the only bucket and goes quiet; [b]'s finds can only be
+         answered degraded until the lease expires. *)
+      let b = SM.handle m in
+      let found = ref 0 in
+      let shed = ref 0 in
+      for _ = 1 to 100 do
+        if Workload.Overload.admit ov then begin
+          let f = SM.find b 1 in
+          with_timeout "shed-window flush" (fun () -> SM.flush b);
+          Alcotest.(check (option int)) "degraded find answered" (Some 10)
+            (force f);
+          incr found
+        end
+        else incr shed
+      done;
+      Alcotest.(check bool) "the window shed some arrivals" true (!shed > 0);
+      Alcotest.(check bool) "admitted finds were served" true (!found > 0);
+      (* Only finds inside the owner's lease are served degraded; once it
+         expires, [b] recovers ownership and serves normally — so the
+         counters need at least one degraded serve, not one per find. *)
+      let s = SM.stats m in
+      Alcotest.(check bool) "stats counted degraded serves" true
+        (s.SM.degraded_finds >= 1);
+      let d = Obs.Metrics.diff (Obs.Metrics.snapshot ()) before in
+      Alcotest.(check bool) "obs counted degraded serves" true
+        (d.Obs.Metrics.shard_degraded_finds >= 1);
+      Alcotest.(check int) "obs and stats agree" s.SM.degraded_finds
+        (d.Obs.Metrics.shard_degraded_finds);
+      Alcotest.(check bool) "obs counted the sheds" true
+        (d.Obs.Metrics.service_shed >= !shed))
+
 (* Live transfer: the owner keeps servicing (flushing) while the second
    domain's flush routes request → grant → ship → ack; the transfer must
    complete by protocol, not by waiting out the lease. *)
@@ -412,6 +464,8 @@ let () =
             test_shard_bindings;
           Alcotest.test_case "degraded find + expiry recovery" `Quick
             test_degraded_find_and_expiry_recovery;
+          Alcotest.test_case "degraded finds during a shed window" `Quick
+            test_degraded_find_during_shed_window;
           Alcotest.test_case "two-domain transfer (2 domains)" `Slow
             test_two_domain_transfer;
         ] );

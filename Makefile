@@ -90,6 +90,35 @@ bench-service-json:
 		--bench service --min-records 11 \
 		--service-p999-budget 60000000000 --service-knee 20000
 
+# Conformance smoke: the service sweep with sampled completed-operation
+# events on (1-in-8 by value residue) and the trace exported, then the
+# offline monitor certifying the capture — schema, shard pairing, and
+# FL-conformance of the job queue's enqueue/dequeue events; then the
+# conformance panel (monitor throughput + sampling overhead, 10% gate).
+conformance-smoke:
+	mkdir -p results
+	dune exec bench/main.exe -- service --ops 2000 --repeats 1 \
+		--threads 1,2,4 --conformance-stride 8 \
+		--trace results/TRACE_conformance.json
+	dune exec bin/validate_trace.exe -- results/TRACE_conformance.json \
+		--conformance --min-domains 2 --require op.enq --require op.deq
+	dune exec bench/main.exe -- conformance --quick --assert-service
+
+# Mega-history fuzz: one uncapped single-phase program (about 100k
+# recorded ops at the default 2000 steps x 3 threads x ~17 ops/step)
+# certified by the streaming checker, then a seeded-corruption campaign
+# that must find, shrink and replay a violation. The `!` inverts the
+# exit status: rejecting the corrupted history is the pass.
+fuzz-mega:
+	mkdir -p results/fuzz
+	dune exec bin/flbench.exe -- fuzz --target mega/queue/strong \
+		--seed $(FUZZ_SEED) --iters 2 --out results/fuzz
+	! dune exec bin/flbench.exe -- fuzz --target mega/queue/strong@0x2a \
+		--threads 1 --mega 400 --seed $(FUZZ_SEED) --iters 3 \
+		--out results/fuzz
+	dune exec bin/flbench.exe -- \
+		fuzz --replay results/fuzz/$(FUZZ_SEED)-mega.repro
+
 # Fuzz gauntlet, PR-sized: a short campaign over every target, then the
 # intentionally-too-strong check (weak stack against Medium) which must
 # fail, shrink to a tiny program, and replay byte-for-byte. The `!`
@@ -122,4 +151,4 @@ doc:
 clean:
 	dune clean
 
-.PHONY: all test test-force bench-quick bench-full bench-json bench-adapt-json bench-trace chaos bench-chaos-json bench-shard-json bench-service-json fuzz-smoke fuzz-soak doc clean
+.PHONY: all test test-force bench-quick bench-full bench-json bench-adapt-json bench-trace chaos bench-chaos-json bench-shard-json bench-service-json conformance-smoke fuzz-mega fuzz-smoke fuzz-soak doc clean

@@ -21,6 +21,9 @@
      service              open-loop service layer: saturation sweep over
                           offered load x backends, plus overload chaos
                           (bursty arrivals, scripted kills mid-overload)
+     conformance          online-conformance panel: Lin.Stream monitor
+                          throughput and the service sweep's sampling
+                          overhead (10% gate under --assert-service)
      all                  everything above (minus chaos and trace)
    Options:
      --quick              small sizes for a fast smoke run
@@ -29,7 +32,11 @@
      --obs                turn the observability subsystem on (same as
                           FLDS_OBS=1); adds an "obs" block to --json
      --trace PATH         implies --obs; at exit export the flight
-                          recorder to PATH as Chrome trace_event JSON *)
+                          recorder to PATH as Chrome trace_event JSON
+     --conformance-stride N
+                          implies --obs; record completed-op events for
+                          values with residue 0 mod N (same as
+                          FLDS_OBS_CONFORMANCE=1/N) *)
 
 module Future = Futures.Future
 module R = Fl.Registry
@@ -1774,7 +1781,12 @@ let service_bench cfg =
   else Workload.Report.print ppf table;
   Format.pp_print_newline ppf ();
   (* Overload chaos: bursty arrivals past the knee, scripted kills at an
-     admission decision, a bucket grant and the controller epoch. *)
+     admission decision, a bucket grant and the controller epoch.
+     Conformance recording is suspended for the panel: a killed worker
+     can apply an enqueue whose completion event was never emitted, so
+     kill histories are not certifiable (DESIGN.md §15). *)
+  let conf_stride = Obs.conformance_stride () in
+  Obs.set_conformance_stride 0;
   Format.printf "service: overload chaos (bursty, scripted kills)@.";
   let plan =
     [
@@ -1814,7 +1826,123 @@ let service_bench cfg =
     service_fail "chaos: more completions (%d) than admissions (%d)"
       r.Svc.completed r.Svc.admitted;
   if Svc.sojourn_p r 99.9 > service_p999_bound_ns then
-    service_fail "chaos: sojourn p999 beyond the liveness bound"
+    service_fail "chaos: sojourn p999 beyond the liveness bound";
+  Obs.set_conformance_stride conf_stride
+
+(* --------------------------- conformance ----------------------------- *)
+
+(* Online-conformance panel (DESIGN.md §15):
+
+   1. monitor throughput — synthetic completed-operation streams of
+      growing length through one Lin.Stream monitor, certifying at the
+      end: the events/s the offline [validate_trace --conformance] path
+      and the fuzz mega mode lean on;
+   2. sampling overhead — the service sweep's middle cell run twice,
+      conformance recording off vs on at the given stride, identical
+      otherwise. With [--assert-service] an overhead above 10% fails
+      the run: the sampled monitor must be cheap enough to leave on. *)
+
+let conformance_overhead_gate = 10.0
+
+let conformance_bench cfg =
+  Format.printf "== Conformance: monitor throughput + sampling overhead ==@.@.";
+  (* Monitor throughput. A queue stream interleaving adds and removes
+     with a running backlog, fed then finalized; every value distinct so
+     the order-respecting certificates stay on their fast path. *)
+  let throughput n =
+    let m = Lin.Stream.create Lin.Stream.Fifo in
+    let t0 = Unix.gettimeofday () in
+    (* Alternating enqueue/FIFO-order dequeue with overlapping
+       intervals: valid, every value distinct, backlog bounded. *)
+    for i = 0 to n - 1 do
+      let start = (i * 3) + 1 in
+      let stop = start + 4 in
+      let ev =
+        if i mod 2 = 0 then Lin.Stream.Add (i / 2)
+        else Lin.Stream.Remove (i / 2)
+      in
+      Lin.Stream.feed m ~start ~stop ev
+    done;
+    (match Lin.Stream.finalize m with
+    | Lin.Stream.Accept -> ()
+    | Lin.Stream.Reject { reason; _ } ->
+        service_fail "conformance: synthetic stream rejected (%s)" reason);
+    let dt = Unix.gettimeofday () -. t0 in
+    let rate = if dt > 0.0 then float_of_int n /. dt else 0.0 in
+    record ~bench:"conformance" ~impl:"stream-monitor" ~slack:0 ~domains:1
+      [ ("events", float_of_int n); ("events_per_s", rate) ];
+    Printf.printf "  stream monitor: %9d events in %6.3f s  (%.2e events/s)\n%!"
+      n dt rate;
+    rate
+  in
+  ignore (throughput 10_000 : float);
+  ignore (throughput 100_000 : float);
+  let rate = throughput 1_000_000 in
+  (* The acceptance bar: a million-event trace must certify in well
+     under a minute — at the measured rate, with generous slop. *)
+  if rate < 1_000_000.0 /. 60.0 then
+    service_fail "conformance: %.0f events/s cannot certify 1M events in 60s"
+      rate;
+  (* Sampling overhead on the service path: the sweep's saturating rate
+     (arrival-paced cells hide per-op cost behind the generator's
+     waits), conformance off vs on at the current stride (or 8 if
+     recording was off), same seed, same arrivals. Min-of-k on both
+     sides after a warmup: the gate compares best-case to best-case so
+     a single noisy repeat on a shared runner does not trip it. *)
+  let workers = min 4 (List.fold_left max 2 cfg.threads) in
+  let requests = max 10_000 cfg.ops in
+  let rates = service_rates cfg in
+  let rate_top = List.nth rates (List.length rates - 1) in
+  let cfg_svc =
+    {
+      Svc.default_config with
+      Svc.workers;
+      requests_per_worker = requests;
+      process = Workload.Arrival.Poisson { rate = rate_top };
+      backend = Svc.Sharded;
+      overload = service_overload;
+      epoch_s = 0.01;
+    }
+  in
+  let stride =
+    match Obs.conformance_stride () with 0 -> 8 | n -> n
+  in
+  let was = Obs.conformance_stride () in
+  let timed conf =
+    Obs.set_conformance_stride (if conf then stride else 0);
+    let r = Svc.run ~repeats:1 cfg_svc in
+    Obs.set_conformance_stride 0;
+    r.Svc.measurement.Workload.Runner.seconds
+  in
+  ignore (timed false : float);
+  let reps = max 3 cfg.repeats in
+  let min_of conf =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      best := Float.min !best (timed conf)
+    done;
+    !best
+  in
+  let base = min_of false in
+  let conf = min_of true in
+  Obs.set_conformance_stride was;
+  let overhead =
+    if base > 0.0 then (conf -. base) /. base *. 100.0 else 0.0
+  in
+  record ~bench:"conformance" ~impl:"service-overhead" ~slack:0
+    ~domains:workers
+    [
+      ("stride", float_of_int stride);
+      ("base_seconds", base);
+      ("conformance_seconds", conf);
+      ("overhead_pct", overhead);
+    ];
+  Printf.printf
+    "  service overhead: stride 1/%d — %.3f s off, %.3f s on  (%+.1f%%)\n\n%!"
+    stride base conf overhead;
+  if overhead > conformance_overhead_gate then
+    service_fail "conformance: sampling overhead %.1f%% beyond the %.0f%% gate"
+      overhead conformance_overhead_gate
 
 (* ------------------------------ main -------------------------------- *)
 
@@ -1823,10 +1951,11 @@ let parse_int_list s = List.map int_of_string (String.split_on_char ',' s)
 let usage () =
   prerr_endline
     "usage: main.exe \
-     [fig4|fig5|fig6|ablation|micro|cas|extra|shard|chaos|trace|fuzz|adapt|service|all]... \
+     [fig4|fig5|fig6|ablation|micro|cas|extra|shard|chaos|trace|fuzz|adapt|service|conformance|all]... \
      [--quick|--full] [--ops N] [--repeats N] [--threads a,b,c] [--slacks \
      a,b,c] [--seed N] [--csv] [--json PATH] [--obs] [--trace PATH] \
-     [--assert-tolerance PCT] [--assert-beats] [--assert-service]";
+     [--conformance-stride N] [--assert-tolerance PCT] [--assert-beats] \
+     [--assert-service]";
   exit 2
 
 let () =
@@ -1865,10 +1994,21 @@ let () =
         Obs.set_enabled true;
         trace_path := Some path;
         parse cfg cmds rest
+    | "--conformance-stride" :: n :: rest ->
+        (* Same as FLDS_OBS_CONFORMANCE=1/N; implies --obs so the op
+           events actually reach the rings. Conformance traces must be
+           lossless (a dropped completion event reads as a violation or
+           an uncertifiable trace), so rings created from here on get
+           room for every event of a smoke-sized run. *)
+        Obs.set_enabled true;
+        Obs.set_conformance_stride (int_of_string n);
+        Obs.Trace.set_capacity 65_536;
+        parse cfg cmds rest
     | cmd :: rest
       when List.mem cmd
              [ "fig4"; "fig5"; "fig6"; "ablation"; "micro"; "cas"; "extra";
-               "shard"; "chaos"; "trace"; "fuzz"; "adapt"; "service"; "all" ]
+               "shard"; "chaos"; "trace"; "fuzz"; "adapt"; "service";
+               "conformance"; "all" ]
       ->
         parse cfg (cmd :: cmds) rest
     | _ -> usage ()
@@ -1898,6 +2038,7 @@ let () =
     | "fuzz" -> fuzz_bench cfg
     | "adapt" -> adapt cfg
     | "service" -> service_bench cfg
+    | "conformance" -> conformance_bench cfg
     | "all" ->
         (* chaos is deliberately not part of [all]: its injected delays
            would contaminate the figure timings run in the same process. *)

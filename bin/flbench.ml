@@ -281,6 +281,18 @@ let fuzz_steps_arg =
     & info [ "steps" ] ~docv:"N"
         ~doc:"Steps per thread per phase (0 = default 5).")
 
+let fuzz_mega_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "mega" ] ~docv:"STEPS"
+        ~doc:
+          "Steps per thread for mega targets (0 = default 2000). Mega \
+           targets are named mega/<stack|queue>/<impl>[@SEED]: one \
+           uncapped single-phase program whose recorded history is \
+           certified by the streaming monitor instead of the exact \
+           checker; the optional @SEED corrupts the history \
+           deterministically and expects a rejection.")
+
 let fuzz_out_arg =
   Arg.(
     value
@@ -307,40 +319,66 @@ let fuzz_cmd =
      histories checked against each target's claimed condition, failures \
      shrunk to a minimal .repro."
   in
-  let run targets seed iters budget condition threads phases steps out
+  let run targets seed iters budget condition threads phases steps mega out
       replay =
+    let die msg =
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+    in
     match replay with
     | Some path -> (
-        let r, out =
-          try Fuzz.Driver.replay path
-          with
-          | Invalid_argument msg | Sys_error msg ->
-            Printf.eprintf "error: %s\n" msg;
-            exit 2
+        let repro =
+          try Fuzz.Repro.load path
+          with Invalid_argument msg | Sys_error msg -> die msg
         in
-        match out.Fuzz.Exec.verdict with
-        | Fuzz.Exec.Violation msg ->
-            print_endline msg;
-            Printf.printf
-              "replay %s: violation of %s reproduced (%d ops)\n" path
-              (Lin.Order.condition_name r.Fuzz.Repro.condition)
-              out.Fuzz.Exec.ops
-        | Fuzz.Exec.Pass ->
-            Printf.printf
-              "replay %s: PASSED — the recorded violation did not \
-               reproduce (%d ops)\n"
-              path out.Fuzz.Exec.ops;
-            exit 1)
+        if Fuzz.Mega.is_mega_name repro.Fuzz.Repro.target then begin
+          let _, out =
+            try Fuzz.Mega.replay path
+            with Invalid_argument msg | Sys_error msg -> die msg
+          in
+          match out.Fuzz.Mega.verdict with
+          | Lin.Stream.Reject { index; reason } ->
+              print_endline reason;
+              Printf.printf
+                "replay %s: streaming violation reproduced at event %d \
+                 (%d ops)\n"
+                path index out.Fuzz.Mega.ops
+          | Lin.Stream.Accept ->
+              Printf.printf
+                "replay %s: PASSED — the recorded violation did not \
+                 reproduce (%d ops)\n"
+                path out.Fuzz.Mega.ops;
+              exit 1
+        end
+        else
+          let r, out =
+            try Fuzz.Driver.replay path
+            with Invalid_argument msg | Sys_error msg -> die msg
+          in
+          match out.Fuzz.Exec.verdict with
+          | Fuzz.Exec.Violation msg ->
+              print_endline msg;
+              Printf.printf
+                "replay %s: violation of %s reproduced (%d ops)\n" path
+                (Lin.Order.condition_name r.Fuzz.Repro.condition)
+                out.Fuzz.Exec.ops
+          | Fuzz.Exec.Pass ->
+              Printf.printf
+                "replay %s: PASSED — the recorded violation did not \
+                 reproduce (%d ops)\n"
+                path out.Fuzz.Exec.ops;
+              exit 1)
     | None ->
         let names = if targets = [] then fuzz_target_names else targets in
+        let mega_names, exec_names =
+          List.partition Fuzz.Mega.is_mega_name names
+        in
         let ts =
           List.map
             (fun n ->
               try Fuzz.Exec.find n
-              with Invalid_argument msg ->
-                Printf.eprintf "error: %s\n" msg;
-                exit 2)
-            names
+              with Invalid_argument msg -> die msg)
+            exec_names
         in
         let size =
           let d = Fuzz.Program.default_size in
@@ -353,8 +391,48 @@ let fuzz_cmd =
             }
         in
         let budget = if budget > 0. then budget else infinity in
-        let multi = List.length ts > 1 in
+        let multi = List.length names > 1 in
         let failed = ref false in
+        List.iter
+          (fun name ->
+            let t =
+              try Fuzz.Mega.target_of_string name
+              with Invalid_argument msg -> die msg
+            in
+            let file =
+              if multi then
+                Some (Printf.sprintf "%d-%s.repro" seed (sanitize name))
+              else None
+            in
+            let r =
+              Fuzz.Mega.fuzz
+                ~threads:(if threads > 0 then threads else 3)
+                ~steps:(if mega > 0 then mega else 2000)
+                ?condition ~iters ~out_dir:out ?file ~seed t
+            in
+            match r.Fuzz.Mega.first_failure with
+            | None ->
+                Printf.printf
+                  "fuzz %-14s [%s]: %d iters, %d ops, ok \
+                   (streaming-certified)\n"
+                  r.Fuzz.Mega.target
+                  (Lin.Order.condition_name r.Fuzz.Mega.condition)
+                  r.Fuzz.Mega.iters r.Fuzz.Mega.total_ops
+            | Some msg ->
+                failed := true;
+                print_endline msg;
+                Printf.printf
+                  "fuzz %s [%s]: VIOLATION at iter %d — shrunk to %d ops, \
+                   violating event %s, repro: %s\n"
+                  r.Fuzz.Mega.target
+                  (Lin.Order.condition_name r.Fuzz.Mega.condition)
+                  r.Fuzz.Mega.iters
+                  (Option.value ~default:0 r.Fuzz.Mega.shrunk_ops)
+                  (match r.Fuzz.Mega.violating_index with
+                  | Some i -> string_of_int i
+                  | None -> "?")
+                  (Option.value ~default:"?" r.Fuzz.Mega.repro_path))
+          mega_names;
         List.iter
           (fun t ->
             let file =
@@ -395,7 +473,8 @@ let fuzz_cmd =
     Term.(
       const run $ fuzz_targets_arg $ fuzz_seed_arg $ fuzz_iters_arg
       $ fuzz_budget_arg $ fuzz_condition_arg $ fuzz_threads_arg
-      $ fuzz_phases_arg $ fuzz_steps_arg $ fuzz_out_arg $ fuzz_replay_arg)
+      $ fuzz_phases_arg $ fuzz_steps_arg $ fuzz_mega_arg $ fuzz_out_arg
+      $ fuzz_replay_arg)
 
 let () =
   let doc = "Futures-based shared data structures (PODC 2014 reproduction)." in

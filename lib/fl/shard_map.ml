@@ -246,9 +246,13 @@ module Make (K : KEY) = struct
               let pkg = Opbuf.create () in
               Opbuf.swap pkg h.wins.(i);
               let n = Opbuf.live pkg in
+              (* Stamp before the publishing CAS: the requester acks as
+                 soon as Shipped is visible, and its ack must not sort
+                 before this ship in the exported trace. *)
+              let ship_ts = Obs.now_ns () in
               if Bucket.try_ship sh.b ~me:h.me ~pkg then begin
                 Atomic.incr t.c_ships;
-                Obs.shard_ship ~bucket:i ~n
+                Obs.shard_ship ~ts:ship_ts ~bucket:i ~n
               end
               else
                 (* The transfer expired under us and a recoverer owns the

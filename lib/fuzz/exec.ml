@@ -219,7 +219,7 @@ let checked ~check_segmented ~pp_history ~name cond h =
   in
   { verdict; ops = Array.length h; fsc_witness = false }
 
-let stack_run_inst (inst : R.stack_instance) ~name cond prog =
+let stack_record_inst (inst : R.stack_instance) prog =
   let handler ~clock ~thread ~log =
     let o = inst.R.s_handle () in
     let step (st : P.step) =
@@ -242,10 +242,13 @@ let stack_run_inst (inst : R.stack_instance) ~name cond prog =
   in
   recorded prog ~handler
     ~drain:(fun () -> inst.R.s_drain ())
-    ~check:
-      (checked
-         ~check_segmented:(fun c h -> CS.check_segmented c h)
-         ~pp_history:CS.pp_history ~name cond)
+    ~check:(fun h -> h)
+
+let stack_run_inst (inst : R.stack_instance) ~name cond prog =
+  checked
+    ~check_segmented:(fun c h -> CS.check_segmented c h)
+    ~pp_history:CS.pp_history ~name cond
+    (stack_record_inst inst prog)
 
 let stack_run (impl : R.stack_impl) cond prog =
   stack_run_inst (impl.R.s_make ()) ~name:("stack/" ^ impl.R.s_name) cond prog
@@ -287,8 +290,7 @@ let queue_handler (o : R.queue_ops) ~clock ~thread =
        Some (fun () -> ignore (c (fun r -> Lin.Spec.Queue_spec.Deq r)))
    | _ -> None
 
-let queue_run (impl : R.queue_impl) cond prog =
-  let inst = impl.R.q_make () in
+let queue_record_inst (inst : R.queue_instance) prog =
   let handler ~clock ~thread ~log =
     let o = inst.R.q_handle () in
     let step st = queue_handler o ~clock ~thread log st in
@@ -296,11 +298,23 @@ let queue_run (impl : R.queue_impl) cond prog =
   in
   recorded prog ~handler
     ~drain:(fun () -> inst.R.q_drain ())
-    ~check:
-      (checked
-         ~check_segmented:(fun c h -> CQ.check_segmented c h)
-         ~pp_history:CQ.pp_history
-         ~name:("queue/" ^ impl.R.q_name) cond)
+    ~check:(fun h -> h)
+
+let queue_run (impl : R.queue_impl) cond prog =
+  checked
+    ~check_segmented:(fun c h -> CQ.check_segmented c h)
+    ~pp_history:CQ.pp_history
+    ~name:("queue/" ^ impl.R.q_name) cond
+    (queue_record_inst (impl.R.q_make ()) prog)
+
+(* Raw recorded histories for the mega-history mode: run the program
+   against a registry implementation and hand back the merged history
+   instead of judging it — {!Mega} checks it with the streaming
+   monitor. *)
+let record_stack ~impl prog =
+  stack_record_inst ((R.find_stack impl).R.s_make ()) prog
+
+let record_queue ~impl prog = queue_record_inst ((R.find_queue impl).R.q_make ()) prog
 
 let set_run (impl : R.set_impl) cond prog =
   let inst = impl.R.l_make () in

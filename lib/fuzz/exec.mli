@@ -61,6 +61,21 @@ val targets : target list
 val find : string -> target
 (** Raises [Invalid_argument] for unknown names. *)
 
+val record_stack :
+  impl:string ->
+  Program.t ->
+  Lin.Spec.Stack_spec.op Lin.History.entry array
+(** Execute a (stack-kind) program against the named registry
+    implementation and return the merged recorded history unjudged —
+    the raw material of the {!Mega} streaming-checked mode. Raises
+    [Invalid_argument] for unknown implementation names. *)
+
+val record_queue :
+  impl:string ->
+  Program.t ->
+  Lin.Spec.Queue_spec.op Lin.History.entry array
+(** Queue counterpart of {!record_stack}. *)
+
 val run : ?condition:Lin.Order.condition -> target -> Program.t -> Plan.t -> outcome
 (** Execute the program under the installed plan and judge it.
     [condition] overrides the target's claimed condition (how the

@@ -1,0 +1,305 @@
+module Rng = Faults.Rng
+module H = Lin.History
+module P = Program
+
+type target = { family : P.kind; impl : string; corrupt : int option }
+
+let target_to_string t =
+  Printf.sprintf "mega/%s/%s%s" (P.kind_name t.family) t.impl
+    (match t.corrupt with Some s -> Printf.sprintf "@0x%x" s | None -> "")
+
+let is_mega_name s =
+  String.length s >= 5 && String.sub s 0 5 = "mega/"
+
+let target_of_string s =
+  let fail () = invalid_arg ("Fuzz.Mega.target_of_string: " ^ s) in
+  match String.split_on_char '/' s with
+  | [ "mega"; fam; rest ] ->
+      let impl, corrupt =
+        match String.index_opt rest '@' with
+        | None -> (rest, None)
+        | Some i -> (
+            let impl = String.sub rest 0 i in
+            let cs = String.sub rest (i + 1) (String.length rest - i - 1) in
+            match int_of_string_opt cs with
+            | Some n -> (impl, Some n)
+            | None -> fail ())
+      in
+      let family =
+        match fam with
+        | "stack" -> P.Stack
+        | "queue" -> P.Queue
+        | _ -> fail ()
+      in
+      if impl = "" then fail ();
+      { family; impl; corrupt }
+  | _ -> fail ()
+
+type outcome = { verdict : Lin.Stream.verdict; ops : int }
+
+(* --------------------------- corruption --------------------------- *)
+
+let stamps (e : _ H.entry) =
+  let s = [ e.H.create_inv; e.H.create_res ] in
+  let s = match e.H.eval_inv with Some t -> t :: s | None -> s in
+  match e.H.eval_res with Some t -> t :: s | None -> s
+
+(* Deterministic seeded corruption of a recorded history. Preferred
+   shape: find two matched add/remove pairs whose recorded lifetimes are
+   strictly ordered (every stamp of one precedes every stamp of the
+   other) and swap the two removes' values — the swapped-in remove now
+   provably completes before its add begins, a violation under any FL
+   condition. Fallback when the history has matched pairs but no ordered
+   two: retarget one remove at a value that was never added. A history
+   with no matched remove at all is returned unchanged (nothing to
+   corrupt — the campaign moves on). *)
+let corrupt_history ~seed ~value_of_add ~value_of_remove ~with_remove_value h =
+  let adds = Hashtbl.create 997 and rems = Hashtbl.create 997 in
+  let maxv = ref 0 in
+  Array.iteri
+    (fun i (e : _ H.entry) ->
+      (match value_of_add e.H.op with
+      | Some v ->
+          Hashtbl.replace adds v i;
+          maxv := max !maxv v
+      | None -> ());
+      match value_of_remove e.H.op with
+      | Some v ->
+          Hashtbl.replace rems v i;
+          maxv := max !maxv v
+      | None -> ())
+    h;
+  let pairs =
+    Hashtbl.fold
+      (fun v ai acc ->
+        match Hashtbl.find_opt rems v with
+        | Some ri -> (v, ai, ri) :: acc
+        | None -> acc)
+      adds []
+  in
+  let life (_, ai, ri) =
+    let ss = stamps h.(ai) @ stamps h.(ri) in
+    (List.fold_left min max_int ss, List.fold_left max min_int ss)
+  in
+  let parr =
+    Array.of_list
+      (List.sort (fun p q -> compare (life p, p) (life q, q)) pairs)
+  in
+  let rng = Rng.create ~seed ~stream:0xc0de in
+  let h' = Array.copy h in
+  (* Candidate ordered pairs-of-pairs: with pairs sorted by lifetime
+     start, scan forward from each for a few whose start clears its
+     end. *)
+  let candidates = ref [] in
+  Array.iteri
+    (fun i p ->
+      let _, hi = life p in
+      let rec scan j k =
+        if j < Array.length parr && k > 0 then begin
+          let lo, _ = life parr.(j) in
+          if lo > hi then begin
+            candidates := (i, j) :: !candidates;
+            scan (j + 1) (k - 1)
+          end
+          else scan (j + 1) k
+        end
+      in
+      scan (i + 1) 3)
+    parr;
+  match Array.of_list (List.rev !candidates) with
+  | [||] ->
+      if Array.length parr = 0 then h'
+      else begin
+        let _, _, ri = parr.(Rng.below rng (Array.length parr)) in
+        h'.(ri) <-
+          {
+            (h'.(ri)) with
+            H.op =
+              with_remove_value h'.(ri).H.op (!maxv + 1 + Rng.below rng 64);
+          };
+        h'
+      end
+  | cs ->
+      let i, j = cs.(Rng.below rng (Array.length cs)) in
+      let v1, _, r1 = parr.(i) and v2, _, r2 = parr.(j) in
+      h'.(r1) <- { (h'.(r1)) with H.op = with_remove_value h'.(r1).H.op v2 };
+      h'.(r2) <- { (h'.(r2)) with H.op = with_remove_value h'.(r2).H.op v1 };
+      h'
+
+let q_add = function Lin.Spec.Queue_spec.Enq v -> Some v | _ -> None
+
+let q_rem = function
+  | Lin.Spec.Queue_spec.Deq (Some v) -> Some v
+  | _ -> None
+
+let q_set op v =
+  match op with
+  | Lin.Spec.Queue_spec.Deq (Some _) -> Lin.Spec.Queue_spec.Deq (Some v)
+  | _ -> op
+
+let s_add = function Lin.Spec.Stack_spec.Push v -> Some v | _ -> None
+
+let s_rem = function
+  | Lin.Spec.Stack_spec.Pop (Some v) -> Some v
+  | _ -> None
+
+let s_set op v =
+  match op with
+  | Lin.Spec.Stack_spec.Pop (Some _) -> Lin.Spec.Stack_spec.Pop (Some v)
+  | _ -> op
+
+(* ------------------------------ run ------------------------------- *)
+
+let run ?condition (t : target) prog plan =
+  if Plan.has_kills plan then
+    invalid_arg "Fuzz.Mega.run: kill plans are not allowed in mega mode";
+  let cond =
+    match condition with
+    | Some c -> c
+    | None -> Conformance.claimed_condition t.impl
+  in
+  (match cond with
+  | Lin.Order.Strong | Lin.Order.Weak -> ()
+  | c ->
+      invalid_arg
+        ("Fuzz.Mega.run: mega histories need the streaming certificates, \
+          which cover Strong and Weak only (got "
+        ^ Lin.Order.condition_name c ^ ")"));
+  Faults.install_plan plan;
+  Fun.protect
+    ~finally:(fun () -> Faults.uninstall_plan plan)
+    (fun () ->
+      match t.family with
+      | P.Queue ->
+          let h = Exec.record_queue ~impl:t.impl prog in
+          let h =
+            match t.corrupt with
+            | Some seed ->
+                corrupt_history ~seed ~value_of_add:q_add ~value_of_remove:q_rem
+                  ~with_remove_value:q_set h
+            | None -> h
+          in
+          {
+            verdict = Lin.Stream.check_queue_history cond h;
+            ops = Array.length h;
+          }
+      | P.Stack ->
+          let h = Exec.record_stack ~impl:t.impl prog in
+          let h =
+            match t.corrupt with
+            | Some seed ->
+                corrupt_history ~seed ~value_of_add:s_add ~value_of_remove:s_rem
+                  ~with_remove_value:s_set h
+            | None -> h
+          in
+          {
+            verdict = Lin.Stream.check_stack_history cond h;
+            ops = Array.length h;
+          }
+      | _ ->
+          invalid_arg
+            "Fuzz.Mega.run: mega targets are stack or queue families only")
+
+(* ---------------------------- campaign ---------------------------- *)
+
+type report = {
+  target : string;
+  condition : Lin.Order.condition;
+  iters : int;
+  total_ops : int;
+  violating_index : int option;
+  repro_path : string option;
+  shrunk_ops : int option;
+  first_failure : string option;
+}
+
+let derived ~seed ~iter =
+  let rng = Rng.create ~seed ~stream:(0x6d65 + iter) in
+  let prog_seed = Rng.next rng in
+  let plan_seed = Rng.next rng in
+  (prog_seed, plan_seed)
+
+let fuzz ?(threads = 3) ?(steps = 2000) ?condition ?(iters = 5)
+    ?(plan_intensity = 12) ?(shrink_tries = 2) ?(max_shrink_evals = 200)
+    ?(out_dir = Driver.default_out_dir) ?file ~seed (t : target) =
+  let condition =
+    match condition with
+    | Some c -> c
+    | None -> Conformance.claimed_condition t.impl
+  in
+  let total_ops = ref 0 in
+  let rec loop i =
+    if i >= iters then None
+    else begin
+      let prog_seed, plan_seed = derived ~seed ~iter:i in
+      let prog = P.generate_mega ~threads t.family ~steps ~seed:prog_seed in
+      let plan =
+        Plan.generate ~kills:false ~intensity:plan_intensity ~seed:plan_seed ()
+      in
+      let out = run ~condition t prog plan in
+      total_ops := !total_ops + out.ops;
+      match out.verdict with
+      | Lin.Stream.Accept -> loop (i + 1)
+      | Lin.Stream.Reject { reason; _ } -> Some (i, prog, plan, reason)
+    end
+  in
+  match loop 0 with
+  | None ->
+      {
+        target = target_to_string t;
+        condition;
+        iters;
+        total_ops = !total_ops;
+        violating_index = None;
+        repro_path = None;
+        shrunk_ops = None;
+        first_failure = None;
+      }
+  | Some (i, prog, plan, reason) ->
+      let fails p pl =
+        let rec go k =
+          k < shrink_tries
+          &&
+          match (run ~condition t p pl).verdict with
+          | Lin.Stream.Reject _ -> true
+          | Lin.Stream.Accept -> go (k + 1)
+        in
+        go 0
+      in
+      let prog, plan, _stats =
+        Shrink.minimize ~fails ~max_evals:max_shrink_evals prog plan
+      in
+      let violating_index =
+        match (run ~condition t prog plan).verdict with
+        | Lin.Stream.Reject { index; _ } -> Some index
+        | Lin.Stream.Accept -> None
+      in
+      let file =
+        match file with
+        | Some f -> f
+        | None -> string_of_int seed ^ "-mega.repro"
+      in
+      let path = Filename.concat out_dir file in
+      Repro.save ~path
+        {
+          Repro.target = target_to_string t;
+          condition;
+          seed;
+          program = prog;
+          plan;
+        };
+      {
+        target = target_to_string t;
+        condition;
+        iters = i + 1;
+        total_ops = !total_ops;
+        violating_index;
+        repro_path = Some path;
+        shrunk_ops = Some (P.recorded_ops prog);
+        first_failure = Some reason;
+      }
+
+let replay path =
+  let r = Repro.load path in
+  let t = target_of_string r.Repro.target in
+  (r, run ~condition:r.Repro.condition t r.Repro.program r.Repro.plan)

@@ -1,0 +1,80 @@
+(** Mega-history fuzz mode: streaming-checked conformance at scale.
+
+    Ordinary fuzz targets are judged by the exact segmented checker and
+    therefore live under the 62-op-per-segment bound. A {e mega} target
+    runs one uncapped single-phase program (100k+ recorded operations)
+    against a registry stack or queue and certifies the merged history
+    with the {!Lin.Stream} order-respecting certificates — histories no
+    reachable-state search could ever decide.
+
+    Because real implementations essentially never fail, the negative
+    path is {e seeded corruption}: a target of the form
+    [mega/queue/strong@0x2a] records the history and then corrupts it
+    deterministically (swapping the values of two provably-ordered
+    matched remove operations, or retargeting a remove at a value never
+    added), which the monitor must reject. The corruption, the violating
+    index, and — for single-threaded programs — the entire history are
+    pure functions of the repro contents, so a saved [.repro] replays to
+    the same verdict {e and the same violating index}. *)
+
+type target = {
+  family : Program.kind;  (** [Stack] or [Queue] only *)
+  impl : string;  (** registry implementation name, e.g. ["strong"] *)
+  corrupt : int option;  (** corruption seed; [None] = honest run *)
+}
+
+val target_of_string : string -> target
+(** Parse ["mega/<stack|queue>/<impl>"], optionally suffixed
+    ["@<seed>"] (decimal or [0x] hex) for seeded corruption. Raises
+    [Invalid_argument] on anything else (including non-mega names). *)
+
+val target_to_string : target -> string
+
+val is_mega_name : string -> bool
+(** Does the name start with ["mega/"]? (Cheap dispatch predicate; the
+    full parse can still reject it.) *)
+
+type outcome = { verdict : Lin.Stream.verdict; ops : int }
+
+val run :
+  ?condition:Lin.Order.condition -> target -> Program.t -> Plan.t -> outcome
+(** Execute and judge one program. [condition] defaults to the
+    implementation's claimed condition and must be [Strong] or [Weak]
+    (the certificate conditions — anything else raises
+    [Invalid_argument], as do kill plans and non-stack/queue kinds). *)
+
+type report = {
+  target : string;
+  condition : Lin.Order.condition;
+  iters : int;
+  total_ops : int;
+  violating_index : int option;
+      (** feed index reported by the monitor for the shrunk repro *)
+  repro_path : string option;
+  shrunk_ops : int option;
+  first_failure : string option;
+}
+
+val fuzz :
+  ?threads:int ->
+  ?steps:int ->
+  ?condition:Lin.Order.condition ->
+  ?iters:int ->
+  ?plan_intensity:int ->
+  ?shrink_tries:int ->
+  ?max_shrink_evals:int ->
+  ?out_dir:string ->
+  ?file:string ->
+  seed:int ->
+  target ->
+  report
+(** Campaign loop in the style of {!Driver.fuzz}: iteration [i]'s
+    program and plan seeds derive from [(seed, i)]; the first rejection
+    is shrunk with the twin {!Shrink.minimize} (a candidate {e fails}
+    when the streaming monitor still rejects its corrupted history) and
+    saved as a [.repro] whose [target] line round-trips the corruption
+    seed. [steps] (default 2000) is per thread. *)
+
+val replay : string -> Repro.t * outcome
+(** Load a mega [.repro] and re-execute its exact program and plan —
+    corruption included — under its recorded condition. *)

@@ -120,6 +120,29 @@ let generate ?(size = default_size) kind ~seed =
   in
   { kind; threads = size.threads; phases }
 
+(* Mega programs: one phase, uncapped steps — histories far beyond the
+   62-op exact-search bound, certifiable only by the streaming monitor
+   (Lin.Stream). Value uniqueness matters even more here: the
+   certificates require pairwise-distinct added values. *)
+let generate_mega ?(threads = 3) kind ~steps ~seed =
+  let threads = max 1 (min 8 threads) in
+  let rng = Rng.create ~seed ~stream:0x3e6a in
+  let uid =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      !c
+  in
+  let nobjs = objects kind in
+  let phase = Array.make threads [] in
+  for ti = 0 to threads - 1 do
+    phase.(ti) <-
+      init_list steps (fun _ ->
+          let obj = if nobjs = 1 then 0 else Rng.below rng nobjs in
+          { obj; op = gen_op kind rng ~uid })
+  done;
+  { kind; threads; phases = [ phase ] }
+
 (* ------------------------- serialization -------------------------- *)
 
 let op_to_string = function
@@ -223,10 +246,15 @@ let shrink_candidates (t : t) =
                         ]
                       end
                     in
-                    halves
-                    @ init_list n (fun si ->
-                          with_steps t ~phase:pi ~thread:ti
-                            (List.filteri (fun i _ -> i <> si) steps))
+                    (* Single-step drops are O(steps²) candidates to even
+                       materialize; on mega-sized threads stick to halving
+                       until the list is small enough to pick at. *)
+                    if n > 64 then halves
+                    else
+                      halves
+                      @ init_list n (fun si ->
+                            with_steps t ~phase:pi ~thread:ti
+                              (List.filteri (fun i _ -> i <> si) steps))
                   end))
             t.phases))
   in

@@ -59,6 +59,12 @@ val generate : ?size:size -> kind -> seed:int -> t
     enqueued and bound values are unique within the program so the
     checker cannot credit a result to the wrong operation. *)
 
+val generate_mega : ?threads:int -> kind -> steps:int -> seed:int -> t
+(** One phase, [steps] per thread, {e no} 62-op cap: histories only the
+    streaming monitor ({!Lin.Stream}) can certify. Deterministic in
+    [(threads, kind, steps, seed)]; values are unique as in
+    {!generate}. [threads] defaults to 3 (clamped to [1, 8]). *)
+
 val recorded_ops : t -> int
 (** Number of non-[Force] steps — the operations the history records. *)
 

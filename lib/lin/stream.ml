@@ -1,0 +1,559 @@
+(* Streaming conformance: order-respecting certificates instead of
+   reachable-state search. A monitor keeps one summary record per value
+   (the four stamps of its add/remove lifetimes plus feed indices) and a
+   list of empty-removals; integrity violations reject at feed time and
+   the order/emptiness certificates are settled by O(n log n) sweeps at
+   finalize. The bad patterns checked are the classical complete set for
+   differentiated (distinct-value) histories whose precedence is an
+   interval order — which FL Strong and Weak precedence is, being defined
+   by stamp intervals. Conditions with cross-interval program-order
+   edges (Medium, Fsc) are not interval orders, so the history front-ends
+   route them to the exact segmented checker.
+
+   Bad patterns, with X ≺ Y meaning X.stop < Y.start:
+   - remove of a value never added (settled at finalize: the add may
+     complete later in the stream);
+   - a value added or removed twice (feed time; a duplicate add makes
+     the certificate unsound, so it is rejected rather than guessed at —
+     the history front-ends fall back to the exact checker instead);
+   - remove(v) ≺ add(v) (feed time, when the pair completes);
+   - Fifo crossing: add(v1) ≺ add(v2) ∧ remove(v2) ≺ remove(v1), where a
+     missing remove(v1) sits at +∞ (so an unmatched older value also
+     trips it);
+   - Lifo crossing: add(v1) ≺ add(v2) ≺ remove(v1) ∧
+     remove(v1) ≺ remove(v2), a missing remove(v2) again at +∞;
+   - empty-removal coverage (both families): remove-empty d with some v
+     such that add(v) ≺ d and d ≺ remove(v) (or v never removed) — v is
+     provably inside the structure for every admissible point of d. *)
+
+type verdict = Accept | Reject of { index : int; reason : string }
+type family = Fifo | Lifo
+type event = Add of int | Remove of int | Remove_empty
+
+let add_name = function Fifo -> "enq" | Lifo -> "push"
+let remove_name = function Fifo -> "deq" | Lifo -> "pop"
+
+(* Per-value lifetime summary. max_int stands for "not (yet) observed":
+   comparisons below are all strict, so +∞ never satisfies a ≺. *)
+type vrec = {
+  v : int;
+  mutable a_seen : bool;
+  mutable a_start : int;
+  mutable a_stop : int;
+  mutable a_idx : int;
+  mutable r_seen : bool;
+  mutable r_start : int;
+  mutable r_stop : int;
+  mutable r_idx : int;
+}
+
+type t = {
+  family : family;
+  tbl : (int, vrec) Hashtbl.t;
+  mutable empties : (int * int * int) list; (* start, stop, idx *)
+  mutable count : int;
+  mutable last_stop : int;
+  mutable eager : (int * string) option; (* first feed-time rejection *)
+  mutable settled : verdict option;
+}
+
+let create family =
+  {
+    family;
+    tbl = Hashtbl.create 1024;
+    empties = [];
+    count = 0;
+    last_stop = min_int;
+    eager = None;
+    settled = None;
+  }
+
+let events t = t.count
+
+let vrec t v =
+  match Hashtbl.find_opt t.tbl v with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          v;
+          a_seen = false;
+          a_start = max_int;
+          a_stop = max_int;
+          a_idx = -1;
+          r_seen = false;
+          r_start = max_int;
+          r_stop = max_int;
+          r_idx = -1;
+        }
+      in
+      Hashtbl.add t.tbl v r;
+      r
+
+(* Feeds arrive in stop order, so the first eager rejection is the
+   earliest one; later feeds cannot produce a smaller index. *)
+let reject_eager t index reason =
+  if t.eager = None then t.eager <- Some (index, reason)
+
+let feed t ?index ~start ~stop ev =
+  if t.settled <> None then invalid_arg "Stream.feed: monitor is finalized";
+  if stop < t.last_stop then
+    invalid_arg "Stream.feed: events must arrive in completion (stop) order";
+  t.last_stop <- stop;
+  let index = match index with Some i -> i | None -> t.count in
+  t.count <- t.count + 1;
+  match ev with
+  | Add v ->
+      let r = vrec t v in
+      if r.a_seen then
+        reject_eager t index
+          (Printf.sprintf
+             "duplicate %s(%d) (events %d and %d): certificates require \
+              distinct values"
+             (add_name t.family) v r.a_idx index)
+      else begin
+        r.a_seen <- true;
+        r.a_start <- start;
+        r.a_stop <- stop;
+        r.a_idx <- index;
+        if r.r_seen && r.r_stop < start then
+          reject_eager t index
+            (Printf.sprintf "%s(%d) completed before %s(%d) began"
+               (remove_name t.family) v (add_name t.family) v)
+      end
+  | Remove v ->
+      let r = vrec t v in
+      if r.r_seen then
+        reject_eager t index
+          (Printf.sprintf "value %d %sped twice (events %d and %d)"
+             v
+             (match t.family with Fifo -> "dequeue" | Lifo -> "pop")
+             r.r_idx index)
+      else begin
+        r.r_seen <- true;
+        r.r_start <- start;
+        r.r_stop <- stop;
+        r.r_idx <- index;
+        if r.a_seen && stop < r.a_start then
+          reject_eager t index
+            (Printf.sprintf "%s(%d) completed before %s(%d) began"
+               (remove_name t.family) v (add_name t.family) v)
+      end
+  | Remove_empty -> t.empties <- (start, stop, index) :: t.empties
+
+(* ------------------------------ finalize ------------------------------ *)
+
+(* Witness index of a violation: the latest-fed event among its
+   operations — the stream position at which the violation became
+   checkable. Candidates across all sweeps race for the smallest one. *)
+
+let pair_idx r = Stdlib.max r.a_idx r.r_idx
+
+(* Witness index contributed by a record: where its last constraint-
+   bearing event sits in the feed. *)
+let wit_idx r = if r.r_seen then pair_idx r else r.a_idx
+
+(* Fenwick tree over positions 1..m keeping a running max with a witness;
+   negate keys for a running min. Positions are reversed coordinate
+   ranks, so a prefix query answers "over all coordinates > x". *)
+module Fen = struct
+  type 'w t = { key : int array; wit : 'w option array }
+
+  let create m = { key = Array.make (m + 1) min_int; wit = Array.make (m + 1) None }
+
+  let update t i k w =
+    let i = ref i in
+    let m = Array.length t.key - 1 in
+    while !i <= m do
+      if k > t.key.(!i) then begin
+        t.key.(!i) <- k;
+        t.wit.(!i) <- Some w
+      end;
+      i := !i + (!i land - !i)
+    done
+
+  let query t i =
+    let best = ref min_int and w = ref None in
+    let i = ref i in
+    while !i > 0 do
+      if t.key.(!i) > !best then begin
+        best := t.key.(!i);
+        w := t.wit.(!i)
+      end;
+      i := !i - (!i land - !i)
+    done;
+    (!best, !w)
+end
+
+(* Reversed-rank index over a multiset of coordinates: [pos x] is the
+   Fenwick position of coordinate [x] (largest coordinate = position 1),
+   [rank_gt x] the prefix length covering all coordinates > [x]. *)
+let coord_index coords =
+  Array.sort compare coords;
+  let m = Array.length coords in
+  let search pred x =
+    let lo = ref 0 and hi = ref m in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if pred coords.(mid) x then lo := mid + 1 else hi := mid
+    done;
+    m - !lo
+  in
+  let pos x = search (fun c x -> c < x) x in
+  let rank_gt x = search (fun c x -> c <= x) x in
+  (m, pos, rank_gt)
+
+let finalize t =
+  match t.settled with
+  | Some v -> v
+  | None ->
+      let verdict =
+        match t.eager with
+        | Some (index, reason) -> Reject { index; reason }
+        | None ->
+            let best : (int * string) option ref = ref None in
+            let candidate index reason =
+              match !best with
+              | Some (i, _) when i <= index -> ()
+              | _ -> best := Some (index, reason)
+            in
+            (* Canonical order for deterministic sweeps regardless of
+               hash-table iteration. *)
+            let recs =
+              Hashtbl.fold (fun _ r acc -> r :: acc) t.tbl []
+              |> List.sort (fun a b -> compare a.v b.v)
+              |> Array.of_list
+            in
+            (* Unmatched removes. *)
+            Array.iter
+              (fun r ->
+                if r.r_seen && not r.a_seen then
+                  candidate r.r_idx
+                    (Printf.sprintf "%s(%d) without a matching %s"
+                       (remove_name t.family) r.v (add_name t.family)))
+              recs;
+            (* Order certificate. *)
+            (match t.family with
+            | Fifo ->
+                (* enq(v1) ≺ enq(v2) ∧ deq(v2) ≺ deq(v1), scanning each
+                   candidate older value v1 (possibly never removed,
+                   remove at +∞) against the pool of removed values v2.
+                   Sweep queries v1 by remove start: the pool admitted so
+                   far is exactly { v2 | remove(v2) ≺ remove(v1) }, and a
+                   Fenwick min over add-start picks, among the admissible
+                   v2 with add(v1) ≺ add(v2), the one whose pair
+                   completed earliest in the feed. *)
+                let inserts =
+                  Array.of_list
+                    (Array.to_list recs
+                    |> List.filter (fun r -> r.a_seen && r.r_seen))
+                in
+                Array.sort
+                  (fun a b -> compare (a.r_stop, a.v) (b.r_stop, b.v))
+                  inserts;
+                let m, pos, rank_gt =
+                  coord_index (Array.map (fun r -> r.a_start) inserts)
+                in
+                let flag q w =
+                  let idx = Stdlib.max (wit_idx q) (pair_idx w) in
+                  candidate idx
+                    (Printf.sprintf
+                       "fifo violation: enq(%d) precedes enq(%d) but \
+                        deq(%d) precedes %s"
+                       q.v w.v w.v
+                       (if q.r_seen then Printf.sprintf "deq(%d)" q.v
+                        else
+                          Printf.sprintf "any deq(%d) (never dequeued)" q.v))
+                in
+                (* Matched (or pending-removed) older values: the strict
+                   deq(w) ≺ deq(q) admission. *)
+                let fen = Fen.create m in
+                let queries =
+                  Array.of_list
+                    (Array.to_list recs
+                    |> List.filter (fun r -> r.a_seen && r.r_seen))
+                in
+                Array.sort
+                  (fun a b -> compare (a.r_start, a.v) (b.r_start, b.v))
+                  queries;
+                let j = ref 0 in
+                Array.iter
+                  (fun q ->
+                    while
+                      !j < Array.length inserts
+                      && inserts.(!j).r_stop < q.r_start
+                    do
+                      let w = inserts.(!j) in
+                      Fen.update fen (pos w.a_start) (-pair_idx w) w;
+                      incr j
+                    done;
+                    match Fen.query fen (rank_gt q.a_stop) with
+                    | _, Some w -> flag q w
+                    | _, None -> ())
+                  queries;
+                (* A never-dequeued older value is overtaken by any
+                   dequeue of a later-enqueued one — even a pending
+                   dequeue, which must still linearize somewhere after
+                   its enqueue, where the older value provably sits
+                   ahead. No temporal admission at all. *)
+                let fen_any = Fen.create m in
+                Array.iter
+                  (fun w -> Fen.update fen_any (pos w.a_start) (-pair_idx w) w)
+                  inserts;
+                Array.iter
+                  (fun q ->
+                    if q.a_seen && not q.r_seen then
+                      match Fen.query fen_any (rank_gt q.a_stop) with
+                      | _, Some w -> flag q w
+                      | _, None -> ())
+                  recs
+            | Lifo ->
+                (* push(v1) ≺ push(v2) ≺ pop(v1) ∧ pop(v1) ≺ pop(v2),
+                   pop(v2) possibly at +∞. Queries are popped values v1 in
+                   pop-start order; the pool admitted so far is
+                   { v2 | push(v2) ≺ pop(v1) }. Violation iff the pool
+                   holds some v2 with push-start after push-stop(v1) and
+                   pop-start after pop-stop(v1): a 2-d dominance query,
+                   answered by a Fenwick max of pop-start over compressed
+                   push-start, suffix-queried via reversed positions. *)
+                let pool =
+                  Array.of_list
+                    (Array.to_list recs |> List.filter (fun r -> r.a_seen))
+                in
+                let m, pos, rank_gt =
+                  coord_index (Array.map (fun r -> r.a_start) pool)
+                in
+                let fen = Fen.create m in
+                (* Never-popped v2 blocks v1 even when pop(v1) is itself
+                   pending (+∞ ≺ +∞ never holds, but a value that never
+                   leaves sits on top of v1 forever) — tracked in a
+                   second Fenwick keyed the same way, min feed index. *)
+                let fen_nr = Fen.create m in
+                let by_a_stop = Array.copy pool in
+                Array.sort
+                  (fun a b -> compare (a.a_stop, a.v) (b.a_stop, b.v))
+                  by_a_stop;
+                let queries =
+                  Array.of_list
+                    (Array.to_list recs
+                    |> List.filter (fun r -> r.a_seen && r.r_seen))
+                in
+                Array.sort
+                  (fun a b -> compare (a.r_start, a.v) (b.r_start, b.v))
+                  queries;
+                let j = ref 0 in
+                Array.iter
+                  (fun q ->
+                    while
+                      !j < Array.length by_a_stop
+                      && by_a_stop.(!j).a_stop < q.r_start
+                    do
+                      let c = by_a_stop.(!j) in
+                      Fen.update fen (pos c.a_start) c.r_start c;
+                      if not c.r_seen then
+                        Fen.update fen_nr (pos c.a_start) (-wit_idx c) c;
+                      incr j
+                    done;
+                    if q.a_stop < max_int then begin
+                      let flag w =
+                        let idx = Stdlib.max (pair_idx q) (wit_idx w) in
+                        candidate idx
+                          (Printf.sprintf
+                             "lifo violation: push(%d) precedes push(%d) \
+                              which precedes pop(%d), yet pop(%d) \
+                              precedes %s"
+                             q.v w.v q.v q.v
+                             (if w.r_seen then Printf.sprintf "pop(%d)" w.v
+                              else
+                                Printf.sprintf "any pop(%d) (never popped)"
+                                  w.v))
+                      in
+                      let k, w = Fen.query fen (rank_gt q.a_stop) in
+                      (if k > q.r_stop then
+                         match w with Some w when w != q -> flag w | _ -> ());
+                      match Fen.query fen_nr (rank_gt q.a_stop) with
+                      | _, Some w when w != q -> flag w
+                      | _ -> ()
+                    end)
+                  queries);
+            (* Empty-removal coverage: d with some v, add(v) ≺ d and
+               d ≺ remove(v) (missing remove at +∞). Sweep empties by
+               start; admitted blockers are { v | add(v) ≺ d }, of which
+               only the max remove-start matters. *)
+            (match t.empties with
+            | [] -> ()
+            | es ->
+                (* d with some v: add(v) ≺ d ∧ d ≺ remove(v) (missing
+                   remove at +∞) — v occupies the structure across every
+                   admissible point of d. Sweep empties by start; the
+                   admitted blockers are { v | add(v) ≺ d }, and the
+                   Fenwick min over remove-start picks the earliest-fed
+                   one among those with remove-start > d.stop. *)
+                let empties = Array.of_list es in
+                Array.sort compare empties;
+                let blockers =
+                  Array.of_list
+                    (Array.to_list recs |> List.filter (fun r -> r.a_seen))
+                in
+                Array.sort
+                  (fun a b -> compare (a.a_stop, a.v) (b.a_stop, b.v))
+                  blockers;
+                let m, pos, rank_gt =
+                  coord_index
+                    (Array.map
+                       (fun r -> r.r_start)
+                       (Array.of_list
+                          (Array.to_list blockers
+                          |> List.filter (fun r -> r.r_seen))))
+                in
+                let fen = Fen.create m in
+                (* A never-removed value blocks unconditionally once its
+                   add precedes the empty — even an empty whose own stop
+                   is +∞ (a pending op) can never linearize past it, so
+                   the strict d.stop < r_start comparison cannot encode
+                   it. Scalar min-index over admitted never-removed
+                   blockers instead. *)
+                let nr : vrec option ref = ref None in
+                let j = ref 0 in
+                Array.iter
+                  (fun (e_start, e_stop, e_idx) ->
+                    while
+                      !j < Array.length blockers
+                      && blockers.(!j).a_stop < e_start
+                    do
+                      let b = blockers.(!j) in
+                      if b.r_seen then
+                        Fen.update fen (pos b.r_start) (-wit_idx b) b
+                      else begin
+                        match !nr with
+                        | Some w when wit_idx w <= wit_idx b -> ()
+                        | _ -> nr := Some b
+                      end;
+                      incr j
+                    done;
+                    let flag w =
+                      let idx = Stdlib.max e_idx (wit_idx w) in
+                      candidate idx
+                        (Printf.sprintf
+                           "%s-empty while value %d was provably inside \
+                            (%s completed before it, %s %s)"
+                           (remove_name t.family) w.v (add_name t.family)
+                           (remove_name t.family)
+                           (if w.r_seen then "began after it"
+                            else "never happened"))
+                    in
+                    (match !nr with Some w -> flag w | None -> ());
+                    match Fen.query fen (rank_gt e_stop) with
+                    | _, Some w -> flag w
+                    | _, None -> ())
+                  empties);
+            (match !best with
+            | Some (index, reason) -> Reject { index; reason }
+            | None -> Accept)
+      in
+      t.settled <- Some verdict;
+      verdict
+
+(* -------------------------- history front-ends -------------------------- *)
+
+module H = History
+
+let feed_order (h : 'o H.entry array) cond =
+  let n = Array.length h in
+  let key =
+    Array.init n (fun i ->
+        let start, stop = Order.interval cond h.(i) in
+        (stop, start, i))
+  in
+  Array.sort compare key;
+  Array.map (fun (_, _, i) -> i) key
+
+module Generic (S : Spec.S) = struct
+  module C = Checker.Make (S)
+
+  let check ?max_segment cond h =
+    if C.check_segmented ?max_segment cond h then Accept
+    else
+      Reject
+        {
+          index = Stdlib.max 0 (Array.length h - 1);
+          reason =
+            Printf.sprintf "history is not %s-FL (exact segmented check)"
+              (Order.condition_name cond);
+        }
+end
+
+module GQ = Generic (Spec.Queue_spec)
+module GS = Generic (Spec.Stack_spec)
+module GM = Generic (Spec.Map_spec)
+
+(* Certificates apply when precedence is the pure interval order (no
+   program-order edges: Strong, Weak) and added values are distinct per
+   object. Everything else goes to the exact fallback. *)
+let certifiable cond ~added h =
+  (match cond with Order.Strong | Order.Weak -> true | Order.Medium | Order.Fsc -> false)
+  &&
+  let seen = Hashtbl.create 64 in
+  Array.for_all
+    (fun e ->
+      match added e.H.op with
+      | None -> true
+      | Some v ->
+          let k = (e.H.obj, v) in
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.add seen k ();
+            true
+          end)
+    h
+
+let check_with ~family ~to_event ~fallback cond (h : 'o H.entry array) =
+  let added op = match to_event op with Add v -> Some v | _ -> None in
+  if not (certifiable cond ~added h) then fallback cond h
+  else begin
+    let monitors = Hashtbl.create 8 in
+    let monitor obj =
+      match Hashtbl.find_opt monitors obj with
+      | Some m -> m
+      | None ->
+          let m = create family in
+          Hashtbl.add monitors obj m;
+          m
+    in
+    let order = feed_order h cond in
+    Array.iteri
+      (fun fi i ->
+        let e = h.(i) in
+        let start, stop = Order.interval cond e in
+        feed (monitor e.H.obj) ~index:fi ~start ~stop (to_event e.H.op))
+      order;
+    let best = ref Accept in
+    Hashtbl.iter
+      (fun _ m ->
+        match (finalize m, !best) with
+        | Accept, _ -> ()
+        | (Reject _ as r), Accept -> best := r
+        | Reject { index; _ }, Reject { index = i0; _ } when index < i0 ->
+            best := finalize m
+        | Reject _, Reject _ -> ())
+      monitors;
+    !best
+  end
+
+let check_queue_history cond h =
+  check_with ~family:Fifo
+    ~to_event:(function
+      | Spec.Queue_spec.Enq v -> Add v
+      | Spec.Queue_spec.Deq (Some v) -> Remove v
+      | Spec.Queue_spec.Deq None -> Remove_empty)
+    ~fallback:GQ.check cond h
+
+let check_stack_history cond h =
+  check_with ~family:Lifo
+    ~to_event:(function
+      | Spec.Stack_spec.Push v -> Add v
+      | Spec.Stack_spec.Pop (Some v) -> Remove v
+      | Spec.Stack_spec.Pop None -> Remove_empty)
+    ~fallback:GS.check cond h
+
+let check_map_history cond h = GM.check cond h

@@ -1,0 +1,101 @@
+(** Streaming FL-conformance monitor.
+
+    The exact checker ({!Checker}) decides any history but is bounded at
+    62 ops per quiescent segment; this module checks {e millions} of
+    completed-operation events online. For FIFO (queue) and LIFO (stack)
+    families under the Strong and Weak conditions it maintains
+    order-respecting certificates in the style of Khyzha et al.
+    (arXiv 1701.05463) and the bad-pattern characterizations of
+    Bouajjani et al. (arXiv 1702.02705): a history with pairwise-distinct
+    added values violates the specification iff one of a fixed set of
+    {e bad patterns} occurs between at most two value lifetimes (plus an
+    empty-removal certificate), so conformance is decided by near-linear
+    sweeps over per-value summaries instead of a reachable-state search.
+
+    Conditions whose precedence is not an interval order (Medium adds
+    cross-interval program-order edges; Fsc is global) fall back to the
+    exact segmented checker — see {!Generic} — as does any history that
+    adds the same value twice (the certificates require distinct
+    values, which the fuzz generators and the service layer's tickets
+    guarantee).
+
+    Soundness and completeness are enforced empirically: the
+    differential battery in [test/test_stream.ml] requires the streaming
+    verdict to equal the exact checker's on every history the exact
+    checker can decide, and every seeded corruption to be rejected. *)
+
+type verdict =
+  | Accept
+  | Reject of { index : int; reason : string }
+      (** [index] is the feed index of the event that completed the
+          violation witness (the latest-fed event among the witness's
+          operations); for multiple finalize-time violations the one
+          with the smallest such index is reported. Deterministic for a
+          given event stream. *)
+
+type family = Fifo | Lifo
+
+type event =
+  | Add of int  (** enqueue / push of a value *)
+  | Remove of int  (** dequeue / pop returning a value *)
+  | Remove_empty  (** dequeue / pop observing emptiness *)
+
+type t
+(** A monitor for one structure instance (one object). *)
+
+val create : family -> t
+
+val feed : t -> ?index:int -> start:int -> stop:int -> event -> unit
+(** Feed one completed operation with effect interval [\[start, stop\]].
+    Events must arrive in nondecreasing [stop] order (completion order —
+    how both the trace exporter and {!feed_order} deliver them); raises
+    [Invalid_argument] otherwise. [stop = max_int] encodes an operation
+    that never evaluated (its interval extends to infinity); such events
+    sort last. [index] defaults to the monitor's internal event counter;
+    pass an explicit stream-global index when multiplexing several
+    monitors over one feed. Cheap: integrity patterns (duplicate add,
+    duplicate remove, remove completing before its add began) reject
+    eagerly; order and emptiness certificates are settled by
+    {!finalize}. *)
+
+val events : t -> int
+(** Events fed so far. *)
+
+val finalize : t -> verdict
+(** Settle the remaining certificates (order-respecting matching,
+    unmatched removes, empty-removal coverage) with O(n log n) sweeps
+    over per-value summaries and return the verdict. Idempotent; feeding
+    after [finalize] raises. *)
+
+(** {2 History front-ends}
+
+    Check a recorded {!History} the same way {!Checker.check_segmented}
+    would, but via the streaming certificates when they apply
+    (Strong/Weak on queue/stack with distinct added values) and via the
+    exact segmented checker otherwise. The differential battery pins
+    these to agree with the exact checker wherever it can decide. *)
+
+val feed_order : 'o History.entry array -> Order.condition -> int array
+(** Indices of [h] in feed order: sorted by interval stop (never-
+    evaluated last), then start, then index — the completion order the
+    monitor requires. Exposed for tests and witness bookkeeping. *)
+
+val check_queue_history :
+  Order.condition -> Spec.Queue_spec.op History.entry array -> verdict
+
+val check_stack_history :
+  Order.condition -> Spec.Stack_spec.op History.entry array -> verdict
+
+val check_map_history :
+  Order.condition -> Spec.Map_spec.op History.entry array -> verdict
+(** Maps have no specialized certificate; this is the {!Generic}
+    fallback, wrapped for symmetry. *)
+
+(** The windowed fallback: verdict-shaped [check_segmented]. Exact; the
+    reject index is the last event's feed index (the exact checker
+    yields no witness). Raises like [check_segmented] if some segment
+    exceeds [max_segment]. *)
+module Generic (S : Spec.S) : sig
+  val check :
+    ?max_segment:int -> Order.condition -> S.op History.entry array -> verdict
+end

@@ -51,7 +51,21 @@ let service_stage = 23
 let service_complete = 24
 let shard_degraded = 25
 
-let tag_count = 26
+(* Completed-operation events for the online conformance monitor
+   (Lin.Stream). One event per sampled completed structure operation:
+   [a] = (value lsl 6) lor obj (obj = structure id, 0..63), [b] = the
+   operation's duration in ns, so the op's interval is [ts - b, ts].
+   Empty removals carry no value ([a] = obj) and are only meaningful at
+   sampling stride 1 — an empty verdict constrains *every* value, so a
+   sampled subset cannot certify it. *)
+let op_enq = 26
+let op_deq = 27
+let op_deq_empty = 28
+let op_push = 29
+let op_pop = 30
+let op_pop_empty = 31
+
+let tag_count = 32
 
 let name = function
   | 0 -> "future.created"
@@ -80,6 +94,12 @@ let name = function
   | 23 -> "service.stage"
   | 24 -> "service.complete"
   | 25 -> "shard.degraded"
+  | 26 -> "op.enq"
+  | 27 -> "op.deq"
+  | 28 -> "op.deq.empty"
+  | 29 -> "op.push"
+  | 30 -> "op.pop"
+  | 31 -> "op.pop.empty"
   | t -> "unknown." ^ string_of_int t
 
 let is_terminal t =

@@ -218,9 +218,13 @@ let shard_grant ~bucket =
     Metrics.on_shard_grant ()
   end
 
-let shard_ship ~bucket ~n =
+(* [~ts] lets the granter stamp the ship {e before} the CAS that
+   publishes the shipped window: the requester's ack fires the instant
+   the state is visible, and an ack timestamped before its ship would
+   read as a phantom ack in the exported trace. *)
+let shard_ship ~ts ~bucket ~n =
   if Switch.enabled () then begin
-    Trace.emit Event.shard_ship bucket n;
+    Trace.emit_at ~ts Event.shard_ship bucket n;
     Metrics.on_shard_ship ()
   end
 
@@ -272,3 +276,62 @@ let service_complete ~sojourn_ns =
     Trace.emit Event.service_complete sojourn_ns 0;
     Metrics.on_service_complete sojourn_ns
   end
+
+(* ------------------------- conformance events ------------------------ *)
+
+(* Completed-operation events feeding the online FL-conformance monitor
+   (Lin.Stream, validate_trace --conformance). Sampling is by *value
+   residue* — record the op iff value mod stride = 0 — not by the
+   countdown sampler: the certificates need matched add/remove pairs to
+   survive sampling together, and two ops carrying the same value agree
+   on the residue no matter which domain records them. Empty removals
+   constrain every value, so they are emitted only at stride 1, where
+   the trace is complete. Stride 0 = conformance off (the default). *)
+
+let conformance =
+  let v =
+    match Sys.getenv_opt "FLDS_OBS_CONFORMANCE" with
+    | None | Some "" | Some "0" -> 0
+    | Some s -> (
+        (* "N" or "1/N", both meaning: record values with residue 0 mod
+           N. *)
+        let s = String.trim s in
+        let s =
+          if String.length s > 2 && String.sub s 0 2 = "1/" then
+            String.sub s 2 (String.length s - 2)
+          else s
+        in
+        match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 0)
+  in
+  Atomic.make v
+
+let conformance_stride () = Atomic.get conformance
+let set_conformance_stride n = Atomic.set conformance (if n < 0 then 0 else n)
+
+(* Stamp an operation's start; 0 means "don't record this op" and makes
+   every completion wrapper below a single-branch no-op. *)
+let op_begin () =
+  if Switch.enabled () && Atomic.get conformance > 0 then Trace.now_ns ()
+  else 0
+
+let op_completed tag ~value ~obj ~t0 =
+  if t0 <> 0 && Switch.enabled () then begin
+    let stride = Atomic.get conformance in
+    if stride > 0 && value mod stride = 0 then begin
+      let ts = Trace.now_ns () in
+      Trace.emit_at ~ts tag ((value lsl 6) lor (obj land 63)) (ts - t0)
+    end
+  end
+
+let op_completed_empty tag ~obj ~t0 =
+  if t0 <> 0 && Switch.enabled () && Atomic.get conformance = 1 then begin
+    let ts = Trace.now_ns () in
+    Trace.emit_at ~ts tag (obj land 63) (ts - t0)
+  end
+
+let op_enq ~value ~obj ~t0 = op_completed Event.op_enq ~value ~obj ~t0
+let op_deq ~value ~obj ~t0 = op_completed Event.op_deq ~value ~obj ~t0
+let op_deq_empty ~obj ~t0 = op_completed_empty Event.op_deq_empty ~obj ~t0
+let op_push ~value ~obj ~t0 = op_completed Event.op_push ~value ~obj ~t0
+let op_pop ~value ~obj ~t0 = op_completed Event.op_pop ~value ~obj ~t0
+let op_pop_empty ~obj ~t0 = op_completed_empty Event.op_pop_empty ~obj ~t0

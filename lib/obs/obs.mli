@@ -99,8 +99,11 @@ val shard_request : bucket:int -> int
 
 val shard_grant : bucket:int -> unit
 
-val shard_ship : bucket:int -> n:int -> unit
-(** [n] = ops in the sealed window being shipped. *)
+val shard_ship : ts:int -> bucket:int -> n:int -> unit
+(** [n] = ops in the sealed window being shipped. [ts] (from {!now_ns})
+    must be read before the CAS that publishes the window, so the
+    requester's ack — fired the moment the new state is visible — never
+    timestamps before its ship in the merged trace. *)
 
 val shard_ack : bucket:int -> t0:int -> unit
 (** Transfer completed; latency now − [t0] goes to the transfer
@@ -133,3 +136,42 @@ val service_complete : sojourn_ns:int -> unit
     from the request's {e intended} arrival time, so queueing delay the
     generator could not issue through is charged to the system
     (coordinated-omission-safe). Negative values are dropped. *)
+
+(** {2 Conformance events (online FL-linearizability monitoring)}
+
+    Completed-operation events feeding {!Lin.Stream} — offline via
+    [validate_trace --conformance], or sampled online. Each event's
+    trace payload is [a = (value lsl 6) lor obj] (obj = structure id,
+    0..63) and [b] = duration in ns, so the operation's interval is
+    [ts - b, ts].
+
+    Sampling is by {e value residue}: an op is recorded iff
+    [value mod stride = 0], so a matched add/remove pair is kept or
+    dropped {e together} — the property the order-respecting
+    certificates need. Empty removals constrain every value and are
+    only emitted at stride 1 (complete trace). Stride comes from
+    [FLDS_OBS_CONFORMANCE] (["N"] or ["1/N"]; unset, empty or ["0"] =
+    off). *)
+
+val conformance_stride : unit -> int
+(** Current stride; [0] = conformance recording off. *)
+
+val set_conformance_stride : int -> unit
+(** [0] turns conformance recording off; [n >= 1] records values with
+    residue [0 mod n]. *)
+
+val op_begin : unit -> int
+(** Stamp an operation's start ([0] when obs or conformance is off —
+    the completion wrappers below are single-branch no-ops then). *)
+
+val op_enq : value:int -> obj:int -> t0:int -> unit
+val op_deq : value:int -> obj:int -> t0:int -> unit
+val op_push : value:int -> obj:int -> t0:int -> unit
+val op_pop : value:int -> obj:int -> t0:int -> unit
+(** A value-carrying structure operation completed; no-ops when
+    [t0 = 0] or the value misses the sampling residue. *)
+
+val op_deq_empty : obj:int -> t0:int -> unit
+val op_pop_empty : obj:int -> t0:int -> unit
+(** An empty removal completed. Emitted only at stride 1 — a sampled
+    trace cannot certify emptiness. *)

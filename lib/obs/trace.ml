@@ -129,11 +129,21 @@ let event_args e =
     [ ("bucket", e.e_a); ("transfer_ns", e.e_b) ]
   else if t = Event.shard_recover then
     [ ("bucket", e.e_a); ("poisoned", e.e_b) ]
+  else if t = Event.op_enq || t = Event.op_deq || t = Event.op_push
+          || t = Event.op_pop then
+    [ ("obj", e.e_a land 63); ("value", e.e_a asr 6); ("dur_ns", e.e_b) ]
+  else if t = Event.op_deq_empty || t = Event.op_pop_empty then
+    [ ("obj", e.e_a land 63); ("dur_ns", e.e_b) ]
   else []
 
 let export oc =
   let evs = events () in
-  output_string oc "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n";
+  (* [fldsDropped] lets a consumer (validate_trace) distinguish a
+     complete trace from one the rings truncated — a truncated trace can
+     still be *checked* but never *certified*. *)
+  Printf.fprintf oc
+    "{\n\"displayTimeUnit\": \"ns\",\n\"fldsDropped\": %d,\n\"traceEvents\": [\n"
+    (dropped ());
   let first = ref true in
   List.iter
     (fun e ->

@@ -125,6 +125,11 @@ let session_of ctx =
 
 type op = Read of int | Write of int | Evict of int
 
+(* Job-queue tickets must be globally unique for the conformance
+   monitor's distinct-value certificates: epoch (bumped once per
+   measured repeat) over worker index over request number. *)
+let ticket_epoch = Atomic.make 0
+
 (* 60% reads / 30% writes / 10% removes over the session keyspace. *)
 let pick_op rng ~key_range =
   let k = Rng.below rng key_range in
@@ -161,6 +166,7 @@ let run ?plan ?chaos ?watchdog ?(repeats = 1) (cfg : config) =
     bump ()
   in
   let setup () =
+    Atomic.incr ticket_epoch;
     match cfg.backend with
     | Sharded ->
         {
@@ -244,6 +250,7 @@ let run ?plan ?chaos ?watchdog ?(repeats = 1) (cfg : config) =
           if Futures.Future.is_rejected f then None
           else Some (fun () -> ignore (Futures.Future.force f))
     in
+    let epoch = Atomic.get ticket_epoch in
     for req = 1 to ops do
       Runner.heartbeat ();
       let stamp = Arrival.next_arrival_ns sched in
@@ -252,18 +259,28 @@ let run ?plan ?chaos ?watchdog ?(repeats = 1) (cfg : config) =
       | Some force ->
           Atomic.incr admitted;
           (* Every admitted request also files a job; jobs are drained
-             [queue_drain] at a time so the queue stays bounded. *)
-          let jf = WQ.enqueue qh req in
+             [queue_drain] at a time so the queue stays bounded. The job
+             value is a globally-unique ticket so the conformance
+             monitor can match this enqueue with its dequeue. *)
+          let ticket = (epoch lsl 40) lor (thread lsl 32) lor req in
+          let t0 = Obs.op_begin () in
+          let jf = WQ.enqueue qh ticket in
           Fl.Slack.note sl (fun () ->
-              try ignore (Futures.Future.force jf) with _ -> ());
+              match Futures.Future.force jf with
+              | () -> Obs.op_enq ~value:ticket ~obj:0 ~t0
+              | exception _ -> ());
           note_completion ~stamp force
       | None -> Atomic.incr shed);
       bump_stage ();
       if req mod cfg.queue_drain = 0 then
         for _ = 1 to cfg.queue_drain do
+          let t0 = Obs.op_begin () in
           let df = WQ.dequeue qh in
           Fl.Slack.note sl (fun () ->
-              try ignore (Futures.Future.force df) with _ -> ())
+              match Futures.Future.force df with
+              | Some v -> Obs.op_deq ~value:v ~obj:0 ~t0
+              | None -> Obs.op_deq_empty ~obj:0 ~t0
+              | exception _ -> ())
         done
     done;
     Fl.Slack.drain sl;

@@ -422,6 +422,84 @@ let test_campaign_deterministic seed () =
   Alcotest.(check int) "same op count" o1 o2;
   Alcotest.(check string) "byte-identical repro" c1 c2
 
+(* ------------------------------ mega -------------------------------- *)
+
+module M = Fuzz.Mega
+
+let test_mega_target_syntax () =
+  let t = M.target_of_string "mega/queue/strong@0x2a" in
+  Alcotest.(check string)
+    "round-trips" "mega/queue/strong@0x2a" (M.target_to_string t);
+  Alcotest.(check bool) "corrupt seed parsed" true (t.M.corrupt = Some 0x2a);
+  let honest = M.target_of_string "mega/stack/weak-x" in
+  Alcotest.(check bool) "no corruption" true (honest.M.corrupt = None);
+  Alcotest.(check bool) "prefix predicate" true (M.is_mega_name "mega/x");
+  Alcotest.(check bool) "prefix predicate" false (M.is_mega_name "stack/weak");
+  List.iter
+    (fun bad ->
+      match M.target_of_string bad with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "parsed %S" bad)
+    [ "mega/set/fine"; "mega/queue"; "queue/strong"; "mega/queue/strong@zz" ]
+
+(* Honest mega run: a multi-thread history far beyond the exact
+   checker's reach, certified by the streaming monitor. *)
+let test_mega_certifies seed () =
+  let t = M.target_of_string "mega/queue/strong" in
+  let prog = P.generate_mega ~threads:3 P.Queue ~steps:2000 ~seed in
+  let plan = Pl.generate ~kills:false ~intensity:4 ~seed () in
+  let out = M.run t prog plan in
+  Alcotest.(check bool) "well beyond 62 ops" true (out.M.ops > 4000);
+  match out.M.verdict with
+  | Lin.Stream.Accept -> ()
+  | Lin.Stream.Reject { index; reason } ->
+      Alcotest.failf "mega history rejected at %d: %s" index reason
+
+(* S4: a corrupted mega campaign must fail, shrink through the twin
+   program/plan shrinker, and leave a .repro that replays to the same
+   violating index — single-threaded programs make the whole pipeline
+   (recorded history, corruption, index) deterministic. *)
+let test_mega_corruption_repro seed () =
+  let out_dir = Filename.concat (Filename.get_temp_dir_name ()) "flds-fuzz" in
+  let t = M.target_of_string "mega/queue/strong@0x2a" in
+  let r =
+    M.fuzz ~threads:1 ~steps:300 ~iters:3 ~out_dir
+      ~file:(Printf.sprintf "mega-%d.repro" seed)
+      ~seed t
+  in
+  (match r.M.first_failure with
+  | Some _ -> ()
+  | None -> Alcotest.fail "corrupted mega campaign found no violation");
+  let index =
+    match r.M.violating_index with
+    | Some i -> i
+    | None -> Alcotest.fail "no violating index reported"
+  in
+  (match r.M.shrunk_ops with
+  | Some n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shrunk below the original 300 ops (got %d)" n)
+        true (n < 300)
+  | None -> Alcotest.fail "no shrunk size reported");
+  match r.M.repro_path with
+  | None -> Alcotest.fail "no repro written"
+  | Some path ->
+      let replay_index () =
+        let repro, out = M.replay path in
+        Alcotest.(check string)
+          "repro round-trips the corruption seed" "mega/queue/strong@0x2a"
+          repro.R.target;
+        match out.M.verdict with
+        | Lin.Stream.Reject { index; _ } -> index
+        | Lin.Stream.Accept -> Alcotest.fail "replay did not reproduce"
+      in
+      let i1 = replay_index () in
+      let i2 = replay_index () in
+      Alcotest.(check int) "replay hits the campaign's violating index" index
+        i1;
+      Alcotest.(check int) "replay is deterministic" i1 i2;
+      Sys.remove path
+
 (* The seed lists below pick the campaigns each run exercises.
    FLDS_TEST_SEED=<n> replaces every list with just [n] so a failing
    campaign can be re-run in isolation; on failure each seeded case
@@ -449,6 +527,7 @@ let exec_seeds = seeds_from_env [ 1; 2 ]
 let kill_seeds = seeds_from_env [ 1; 2; 3; 4 ]
 let gauntlet_seeds = seeds_from_env [ 2014 ]
 let determinism_seeds = seeds_from_env [ 99 ]
+let mega_seeds = seeds_from_env [ 7 ]
 
 let seeded name seeds test =
   List.map
@@ -506,4 +585,10 @@ let () =
           test_buggy_target_shrinks_and_replays
         @ seeded "campaign deterministic" determinism_seeds
             test_campaign_deterministic );
+      ( "mega",
+        [ Alcotest.test_case "target syntax" `Quick test_mega_target_syntax ]
+        @ seeded "honest mega history certifies" mega_seeds
+            test_mega_certifies
+        @ seeded "corruption shrinks and replays to the same index"
+            mega_seeds test_mega_corruption_repro );
     ]

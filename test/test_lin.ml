@@ -292,7 +292,75 @@ let test_checker_rejects_oversized () =
     (fun () -> ignore (CQ.linearization Lin.Order.Weak h))
 
 let test_checker_empty_history () =
-  Alcotest.(check bool) "empty ok" true (CQ.check Lin.Order.Strong [||])
+  Alcotest.(check bool) "empty ok" true (CQ.check Lin.Order.Strong [||]);
+  Alcotest.(check bool)
+    "empty segmented ok" true
+    (CQ.check_segmented Lin.Order.Strong [||]);
+  Alcotest.(check
+              (list (testable (fun fmt _ -> Format.fprintf fmt "<state>") ( = ))))
+    "empty reachable = from" [ QSpec.initial ]
+    (CQ.reachable_states Lin.Order.Strong ~from:[ QSpec.initial ] [||])
+
+let test_checker_single_pending () =
+  (* One never-evaluated op is always linearizable: it may take effect at
+     any point, including after the end of the history. *)
+  let enq = [| entry (QSpec.Enq 7) ~c:(1, 2) () |] in
+  let deq = [| entry (QSpec.Deq None) ~c:(1, 2) () |] in
+  List.iter
+    (fun cond ->
+      Alcotest.(check bool) "pending enq ok" true (CQ.check cond enq);
+      Alcotest.(check bool)
+        "pending enq segmented ok" true
+        (CQ.check_segmented cond enq);
+      Alcotest.(check bool) "pending deq ok" true (CQ.check cond deq))
+    [ Lin.Order.Strong; Lin.Order.Medium; Lin.Order.Weak; Lin.Order.Fsc ]
+
+(* Chain-overlapped enq/deq alternation: op i occupies [2i, 2i+3], which
+   overlaps op i+1's [2i+2, 2i+5], so no quiescent cut exists anywhere —
+   one segment of exactly n ops. Dequeues drain as they go, so the queue
+   depth (and the reachable state set) stays tiny and the single-segment
+   search remains tractable even at the 62-op bound. *)
+let chain_history n =
+  Array.init n (fun i ->
+      let op = if i mod 2 = 0 then QSpec.Enq (i / 2) else QSpec.Deq (Some (i / 2)) in
+      entry op ~c:(2 * i, (2 * i) + 1) ~e:((2 * i) + 2, (2 * i) + 3) ())
+
+let test_checker_max_segment_boundary () =
+  Alcotest.(check bool)
+    "62-op single segment at the default bound" true
+    (CQ.check_segmented Lin.Order.Weak (chain_history 62));
+  Alcotest.check_raises "63rd chained op overflows the segment"
+    (Invalid_argument
+       "Checker.check_segmented: segment of 63 ops exceeds the 62-op search \
+        bound (no quiescent cut)")
+    (fun () ->
+      ignore (CQ.check_segmented Lin.Order.Weak (chain_history 63)));
+  Alcotest.check_raises "explicit max_segment below the segment size"
+    (Invalid_argument
+       "Checker.check_segmented: segment of 62 ops exceeds the 61-op search \
+        bound (no quiescent cut)")
+    (fun () ->
+      ignore
+        (CQ.check_segmented ~max_segment:61 Lin.Order.Weak (chain_history 62)))
+
+let test_reachable_states_all_concurrent () =
+  (* k pairwise-concurrent enqueues of distinct values reach exactly k!
+     distinct queue states — the blow-up that motivates both quiescent
+     segmentation and the streaming certificates. *)
+  let h k = Array.init k (fun i -> entry (QSpec.Enq i) ~c:(0, 1000) ()) in
+  List.iter
+    (fun (k, fact) ->
+      let states =
+        CQ.reachable_states Lin.Order.Strong ~from:[ QSpec.initial ] (h k)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%d concurrent enqs reach %d states" k fact)
+        fact (List.length states))
+    [ (1, 1); (3, 6); (5, 120) ];
+  Alcotest.(check
+              (list (testable (fun fmt _ -> Format.fprintf fmt "<state>") ( = ))))
+    "no start states, no end states" []
+    (CQ.reachable_states Lin.Order.Strong ~from:[] (h 3))
 
 (* Condition hierarchy on random single-object histories: strong-FL
    implies medium-FL implies weak-FL (the orders only shrink). *)
@@ -513,6 +581,12 @@ let () =
           Alcotest.test_case "oversized history" `Quick
             test_checker_rejects_oversized;
           Alcotest.test_case "empty history" `Quick test_checker_empty_history;
+          Alcotest.test_case "single pending op" `Quick
+            test_checker_single_pending;
+          Alcotest.test_case "max_segment boundary at 62" `Quick
+            test_checker_max_segment_boundary;
+          Alcotest.test_case "reachable states, all-concurrent" `Quick
+            test_reachable_states_all_concurrent;
           QCheck_alcotest.to_alcotest prop_hierarchy;
           QCheck_alcotest.to_alcotest prop_weak_equals_bruteforce;
           QCheck_alcotest.to_alcotest prop_medium_equals_merge_bruteforce;

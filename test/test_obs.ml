@@ -16,14 +16,17 @@ module M = Obs.Metrics
    default stride is restored afterwards. *)
 let fresh f () =
   let stride = Obs.sample_every () in
+  let conf = Obs.conformance_stride () in
   Obs.set_enabled false;
   Obs.set_sample_every 1;
+  Obs.set_conformance_stride 0;
   T.set_capacity T.default_capacity;
   T.clear ();
   M.reset ();
   Fun.protect f ~finally:(fun () ->
       Obs.set_enabled false;
       Obs.set_sample_every stride;
+      Obs.set_conformance_stride conf;
       T.set_capacity T.default_capacity;
       T.clear ();
       M.reset ())
@@ -244,6 +247,67 @@ let test_multi_domain_ordering () =
                 then found := true)
               body;
             !found)))
+
+(* ------------------------- conformance events ------------------------- *)
+
+(* Completed-operation events for the online conformance monitor:
+   [op_begin] stamps only when both the switch and a stride are armed,
+   payloads pack [(value lsl 6) lor obj] with the duration in [e_b],
+   value-residue sampling keeps matched add/remove pairs together (same
+   value, same residue), and empty-returning ops — which carry no value
+   to sample by — are recorded only at stride 1, the one stride that
+   constrains every value. *)
+let test_conformance_sampling () =
+  (* Off by default, and off while the switch is off. *)
+  Alcotest.(check int) "stride starts at 0" 0 (Obs.conformance_stride ());
+  Obs.set_conformance_stride 8;
+  Alcotest.(check int) "op stamp is 0 while the switch is off" 0
+    (Obs.op_begin ());
+  Obs.set_conformance_stride 0;
+  Obs.set_enabled true;
+  Alcotest.(check int) "op stamp is 0 when the stride is 0" 0
+    (Obs.op_begin ());
+  Obs.set_conformance_stride 8;
+  Alcotest.(check int) "stride round-trips" 8 (Obs.conformance_stride ());
+  let t0 = Obs.op_begin () in
+  Alcotest.(check bool) "op stamp armed at stride 8" true (t0 > 0);
+  (* A zero stamp (taken while the monitor was off) keeps the
+     completion silent even now that the stride is armed. *)
+  Obs.op_enq ~value:16 ~obj:3 ~t0:0;
+  (* Value 16 is on-residue (16 mod 8 = 0): both halves of its pair
+     record. Value 17 is off-residue: both halves stay silent, so the
+     surviving history never has a remove without its add. *)
+  Obs.op_enq ~value:16 ~obj:3 ~t0;
+  Obs.op_deq ~value:16 ~obj:3 ~t0:(Obs.op_begin ());
+  Obs.op_enq ~value:17 ~obj:3 ~t0:(Obs.op_begin ());
+  Obs.op_deq ~value:17 ~obj:3 ~t0:(Obs.op_begin ());
+  (* Empties can't be residue-sampled: dropped at stride 8... *)
+  Obs.op_deq_empty ~obj:3 ~t0:(Obs.op_begin ());
+  (* ...but kept at stride 1, where the full history is recorded. *)
+  Obs.set_conformance_stride 1;
+  Obs.op_pop_empty ~obj:5 ~t0:(Obs.op_begin ());
+  Obs.set_enabled false;
+  let evs = T.events () in
+  let by tag = List.filter (fun e -> e.T.e_tag = tag) evs in
+  let enqs = by E.op_enq and deqs = by E.op_deq in
+  Alcotest.(check int) "exactly one enq recorded" 1 (List.length enqs);
+  Alcotest.(check int) "exactly one deq recorded" 1 (List.length deqs);
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "payload object" 3 (e.T.e_a land 63);
+      Alcotest.(check int) "payload value" 16 (e.T.e_a asr 6);
+      Alcotest.(check bool) "duration non-negative" true (e.T.e_b >= 0))
+    (enqs @ deqs);
+  Alcotest.(check int) "no empty event at stride 8" 0
+    (List.length (by E.op_deq_empty));
+  let empties = by E.op_pop_empty in
+  Alcotest.(check int) "empty event recorded at stride 1" 1
+    (List.length empties);
+  Alcotest.(check int) "empty payload is the object" 5
+    ((List.hd empties).T.e_a land 63);
+  Obs.set_conformance_stride (-3);
+  Alcotest.(check int) "negative stride clamps to off" 0
+    (Obs.conformance_stride ())
 
 (* --------------------------- lifecycle trace --------------------------- *)
 
@@ -540,6 +604,8 @@ let () =
             (fresh test_ring_overwrite);
           Alcotest.test_case "multi-domain export sorted" `Quick
             (fresh test_multi_domain_ordering);
+          Alcotest.test_case "conformance sampling keeps pairs" `Quick
+            (fresh test_conformance_sampling);
         ] );
       ( "lifecycle",
         [

@@ -1,0 +1,540 @@
+(* Differential battery for the streaming conformance monitor: on every
+   history the exact checker can decide, the streaming verdict must
+   agree; seeded corruptions must be rejected with the documented
+   violation index. The generators simulate a legal sequential run,
+   spread each operation's stamps around its linearization point (so
+   unperturbed histories are legal by construction), then optionally
+   corrupt values, results or stamps — corrupted histories land on
+   either side of the legal/illegal line, which is exactly what a
+   differential test wants. *)
+
+module H = Lin.History
+module QS = Lin.Spec.Queue_spec
+module SS = Lin.Spec.Stack_spec
+module MS = Lin.Spec.Map_spec
+module CQ = Lin.Checker.Make (QS)
+module CS = Lin.Checker.Make (SS)
+module CM = Lin.Checker.Make (MS)
+module Stream = Lin.Stream
+
+let accepts = function Stream.Accept -> true | Stream.Reject _ -> false
+
+let entry ?(thread = 0) ?(obj = 0) op ~c:(c_inv, c_res) ?e () =
+  {
+    H.thread;
+    obj;
+    op;
+    create_inv = c_inv;
+    create_res = c_res;
+    eval_inv = Option.map fst e;
+    eval_res = Option.map snd e;
+  }
+
+(* ---------------------------- generators ---------------------------- *)
+
+type 'op fam = {
+  fam_name : string;
+  gen_ops : Random.State.t -> objs:int -> int -> (int * 'op) list;
+      (* model-legal (obj, op) sequence *)
+  get_v : 'op -> int option;
+  set_v : 'op -> int -> 'op;
+  flip : Random.State.t -> 'op -> 'op; (* corrupt the op's result shape *)
+}
+
+let queue_fam =
+  let gen_ops st ~objs n =
+    let models = Array.make objs [] in
+    let uid = ref 0 in
+    List.init n (fun _ ->
+        let o = Random.State.int st objs in
+        let roll = Random.State.int st 10 in
+        match models.(o) with
+        | [] ->
+            if roll < 7 then begin
+              incr uid;
+              models.(o) <- [ !uid ];
+              (o, QS.Enq !uid)
+            end
+            else (o, QS.Deq None)
+        | oldest :: rest ->
+            if roll < 5 then begin
+              incr uid;
+              models.(o) <- models.(o) @ [ !uid ];
+              (o, QS.Enq !uid)
+            end
+            else begin
+              models.(o) <- rest;
+              (o, QS.Deq (Some oldest))
+            end)
+  in
+  {
+    fam_name = "queue";
+    gen_ops;
+    get_v = (function QS.Enq v | QS.Deq (Some v) -> Some v | QS.Deq None -> None);
+    set_v =
+      (fun op v ->
+        match op with
+        | QS.Enq _ -> QS.Enq v
+        | QS.Deq (Some _) -> QS.Deq (Some v)
+        | QS.Deq None -> QS.Deq None);
+    flip =
+      (fun st op ->
+        match op with
+        | QS.Deq (Some _) -> QS.Deq None
+        | QS.Deq None -> QS.Deq (Some (9000 + Random.State.int st 100))
+        | QS.Enq v -> QS.Enq v);
+  }
+
+let stack_fam =
+  let gen_ops st ~objs n =
+    let models = Array.make objs [] in
+    let uid = ref 0 in
+    List.init n (fun _ ->
+        let o = Random.State.int st objs in
+        let roll = Random.State.int st 10 in
+        match models.(o) with
+        | [] ->
+            if roll < 7 then begin
+              incr uid;
+              models.(o) <- [ !uid ];
+              (o, SS.Push !uid)
+            end
+            else (o, SS.Pop None)
+        | top :: rest ->
+            if roll < 5 then begin
+              incr uid;
+              models.(o) <- !uid :: models.(o);
+              (o, SS.Push !uid)
+            end
+            else begin
+              models.(o) <- rest;
+              (o, SS.Pop (Some top))
+            end)
+  in
+  {
+    fam_name = "stack";
+    gen_ops;
+    get_v = (function SS.Push v | SS.Pop (Some v) -> Some v | SS.Pop None -> None);
+    set_v =
+      (fun op v ->
+        match op with
+        | SS.Push _ -> SS.Push v
+        | SS.Pop (Some _) -> SS.Pop (Some v)
+        | SS.Pop None -> SS.Pop None);
+    flip =
+      (fun st op ->
+        match op with
+        | SS.Pop (Some _) -> SS.Pop None
+        | SS.Pop None -> SS.Pop (Some (9000 + Random.State.int st 100))
+        | SS.Push v -> SS.Push v);
+  }
+
+let map_fam =
+  let gen_ops st ~objs n =
+    let models = Array.make objs [] in
+    let uid = ref 0 in
+    List.init n (fun _ ->
+        let o = Random.State.int st objs in
+        let k = Random.State.int st 4 in
+        let bound = List.assoc_opt k models.(o) in
+        match Random.State.int st 3 with
+        | 0 ->
+            incr uid;
+            let created = bound = None in
+            if created then models.(o) <- (k, !uid) :: models.(o);
+            (* bind-once: an existing binding survives *)
+            (o, MS.Insert (k, !uid, created))
+        | 1 -> (o, MS.Find (k, bound))
+        | _ ->
+            models.(o) <- List.remove_assoc k models.(o);
+            (o, MS.Remove (k, bound)))
+  in
+  {
+    fam_name = "map";
+    gen_ops;
+    get_v =
+      (function
+      | MS.Insert (_, v, _) -> Some v
+      | MS.Find (_, Some v) | MS.Remove (_, Some v) -> Some v
+      | MS.Find (_, None) | MS.Remove (_, None) -> None);
+    set_v =
+      (fun op v ->
+        match op with
+        | MS.Insert (k, _, c) -> MS.Insert (k, v, c)
+        | MS.Find (k, Some _) -> MS.Find (k, Some v)
+        | MS.Remove (k, Some _) -> MS.Remove (k, Some v)
+        | op -> op);
+    flip =
+      (fun st op ->
+        match op with
+        | MS.Insert (k, v, c) -> MS.Insert (k, v, not c)
+        | MS.Find (k, Some _) -> MS.Find (k, None)
+        | MS.Find (k, None) -> MS.Find (k, Some (9000 + Random.State.int st 100))
+        | MS.Remove (k, Some _) -> MS.Remove (k, None)
+        | MS.Remove (k, None) -> MS.Remove (k, Some (9000 + Random.State.int st 100)));
+  }
+
+(* Stamps around per-op linearization points, arranged in bursts: ops
+   within a burst overlap heavily (their stamps share the burst's
+   window), bursts are separated by wide quiescent gaps — so the exact
+   checker's segments stay small by construction while the monitor still
+   sees dense concurrency. Every interval covers its linearization point
+   (under both the creation and the evaluation reading), so the
+   unperturbed history is legal under every condition without program
+   order; threads are distinct so Strong/Weak see the pure interval
+   order. Pending (never-evaluated) ops are confined to the last burst:
+   an interval open to +∞ would fuse every later burst into one
+   segment. *)
+let entries_of_ops st ~burst ~window ~pending_p ops =
+  let n = List.length ops in
+  let gap = 4 in
+  let burst_span = (burst * gap) + (2 * window) + 8 in
+  Array.of_list
+    (List.mapi
+       (fun i (obj, op) ->
+         let b = i / burst and k = i mod burst in
+         let base = b * (burst_span + 1000) in
+         let lin = base + 500 + ((k + 1) * gap) in
+         let ci = lin - 1 - Random.State.int st (window + 1) in
+         let cr = lin + Random.State.int st (window + 1) in
+         let er = cr + Random.State.int st (window + 1) in
+         let last_burst = i / burst = (n - 1) / burst in
+         let pending =
+           last_burst && Random.State.float st 1.0 < pending_p
+         in
+         entry ~thread:i ~obj op ~c:(ci, cr)
+           ?e:(if pending then None else Some (cr, er))
+           ())
+       ops)
+
+let perturb st fam ~range h =
+  let h = Array.copy h in
+  let n = Array.length h in
+  if n = 0 then h
+  else begin
+    for _ = 1 to 1 + Random.State.int st 2 do
+      let i = Random.State.int st n in
+      let e = h.(i) in
+      match Random.State.int st 6 with
+      | 0 ->
+          (* swap payload values of two entries *)
+          let j = Random.State.int st n in
+          let f = h.(j) in
+          (match (fam.get_v e.H.op, fam.get_v f.H.op) with
+          | Some vi, Some vj ->
+              h.(i) <- { e with H.op = fam.set_v e.H.op vj };
+              h.(j) <- { f with H.op = fam.set_v f.H.op vi }
+          | _ -> ())
+      | 1 ->
+          (* re-stamp with four fresh sorted stamps *)
+          let s = Array.init 4 (fun _ -> Random.State.int st range) in
+          Array.sort compare s;
+          h.(i) <-
+            {
+              e with
+              H.create_inv = s.(0);
+              create_res = s.(1);
+              eval_inv = Option.map (fun _ -> s.(2)) e.H.eval_inv;
+              eval_res = Option.map (fun _ -> s.(3)) e.H.eval_res;
+            }
+      | 2 -> h.(i) <- { e with H.op = fam.flip st e.H.op }
+      | 3 ->
+          (* retarget to a fresh, unrelated value *)
+          (match fam.get_v e.H.op with
+          | Some _ ->
+              h.(i) <-
+                { e with H.op = fam.set_v e.H.op (5000 + Random.State.int st 50) }
+          | None -> ())
+      | 4 ->
+          (* duplicate another entry's value *)
+          let j = Random.State.int st n in
+          (match (fam.get_v e.H.op, fam.get_v h.(j).H.op) with
+          | Some _, Some vj -> h.(i) <- { e with H.op = fam.set_v e.H.op vj }
+          | _ -> ())
+      | _ ->
+          (* toggle pendingness *)
+          h.(i) <-
+            (match e.H.eval_res with
+            | Some _ -> { e with H.eval_inv = None; eval_res = None }
+            | None ->
+                let stop = e.H.create_res + Random.State.int st range in
+                { e with H.eval_inv = Some e.H.create_res; eval_res = Some stop })
+    done;
+    if Random.State.int st 10 < 3 then begin
+      (* drop one entry *)
+      let i = Random.State.int st n in
+      Array.of_list
+        (List.filteri (fun j _ -> j <> i) (Array.to_list h))
+    end
+    else h
+  end
+
+(* (nops, burst, window): nops total, burst = max ops per quiescent
+   segment, window = stamp jitter inside a burst. The jitter controls
+   the width of concurrent antichains — it must stay small, because the
+   exact checker's state sets grow factorially in the number of
+   simultaneously-applicable enqueues. The last entry is one small
+   all-concurrent burst; cheap configurations are repeated to weight the
+   mix toward them. *)
+let sizes =
+  [|
+    (12, 6, 8); (12, 6, 8); (12, 6, 8); (24, 8, 6); (24, 8, 6); (40, 10, 6);
+    (60, 12, 4); (7, 7, 200); (7, 7, 200);
+  |]
+
+(* The exact checker is exponential; a perturbed history can be
+   adversarial even within the segment-size guard. Budget it with a real
+   alarm and skip what it cannot decide in time. *)
+let with_alarm secs f =
+  let old =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise_notrace Exit))
+  in
+  ignore (Unix.alarm secs);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.alarm 0);
+      Sys.set_signal Sys.sigalrm old)
+    (fun () -> try Some (f ()) with Exit -> None)
+
+let battery ~count ~seed ~conds ~objs fam ~stream_check ~exact_check ~pp () =
+  let st = Random.State.make [| seed |] in
+  let decided = ref 0 in
+  for iter = 1 to count do
+    let nops, burst, window = sizes.(Random.State.int st (Array.length sizes)) in
+    let ops = fam.gen_ops st ~objs nops in
+    let h = entries_of_ops st ~burst ~window ~pending_p:0.2 ops in
+    let range = 1000 * ((nops / burst) + 1) in
+    let h = if Random.State.int st 10 < 7 then perturb st fam ~range h else h in
+    let cond = conds.(Random.State.int st (Array.length conds)) in
+    (* A perturbation can fuse segments past what the exact checker can
+       decide cheaply, or craft a narrow-but-deep segment the search
+       still chokes on; those histories are skipped (and counted — the
+       skip rate must stay marginal or the battery loses its teeth). *)
+    match
+      with_alarm 1 (fun () ->
+          try
+            let e = exact_check ~max_segment:16 cond h in
+            Some (e, accepts (stream_check cond h))
+          with Invalid_argument _ -> None)
+    with
+    | None | Some None -> ()
+    | Some (Some (e, s)) ->
+        incr decided;
+        if s <> e then
+          Alcotest.failf
+            "%s differential mismatch (iter %d, seed %d, %s): stream=%b \
+             exact=%b@\n\
+             %a"
+            fam.fam_name iter seed
+            (Lin.Order.condition_name cond)
+            s e pp h
+  done;
+  Printf.printf "%s battery: %d/%d histories decided and agreed\n" fam.fam_name
+    !decided count;
+  if !decided * 10 < count * 8 then
+    Alcotest.failf "%s battery: only %d/%d histories decided by the exact checker"
+      fam.fam_name !decided count
+
+let sw = [| Lin.Order.Strong; Lin.Order.Weak |]
+let all_conds = [| Lin.Order.Strong; Lin.Order.Medium; Lin.Order.Weak |]
+let exq ~max_segment cond h = CQ.check_segmented ~max_segment cond h
+let exs ~max_segment cond h = CS.check_segmented ~max_segment cond h
+let exm ~max_segment cond h = CM.check_segmented ~max_segment cond h
+
+let test_battery_queue () =
+  battery ~count:1300 ~seed:0xbeef ~conds:sw ~objs:1 queue_fam
+    ~stream_check:Stream.check_queue_history ~exact_check:exq
+    ~pp:CQ.pp_history ();
+  battery ~count:700 ~seed:0xbee2 ~conds:sw ~objs:2 queue_fam
+    ~stream_check:Stream.check_queue_history ~exact_check:exq
+    ~pp:CQ.pp_history ()
+
+let test_battery_queue_medium () =
+  (* Medium routes to the exact fallback on the streaming side; agreement
+     is then by construction, but the plumbing (condition dispatch,
+     per-object split suppression) is what this exercises. *)
+  battery ~count:500 ~seed:0xfeed ~conds:all_conds ~objs:1 queue_fam
+    ~stream_check:Stream.check_queue_history ~exact_check:exq
+    ~pp:CQ.pp_history ()
+
+let test_battery_stack () =
+  battery ~count:1300 ~seed:0xcafe ~conds:sw ~objs:1 stack_fam
+    ~stream_check:Stream.check_stack_history ~exact_check:exs
+    ~pp:CS.pp_history ();
+  battery ~count:700 ~seed:0xcaf2 ~conds:sw ~objs:2 stack_fam
+    ~stream_check:Stream.check_stack_history ~exact_check:exs
+    ~pp:CS.pp_history ()
+
+let test_battery_stack_medium () =
+  battery ~count:450 ~seed:0xdead ~conds:all_conds ~objs:1 stack_fam
+    ~stream_check:Stream.check_stack_history ~exact_check:exs
+    ~pp:CS.pp_history ()
+
+let test_battery_map () =
+  battery ~count:550 ~seed:0x3a91 ~conds:sw ~objs:2 map_fam
+    ~stream_check:Stream.check_map_history ~exact_check:exm
+    ~pp:CM.pp_history ()
+
+(* --------------------------- mutation tests --------------------------- *)
+
+(* Sequential full-drain queue base: enq 1..4 then deq 1..4, disjoint
+   stamp blocks — feed order is entry order, so expected indices are easy
+   to read off. *)
+let seq_queue_base () =
+  let e k op = entry op ~c:((10 * k) + 10, (10 * k) + 15) ~e:((10 * k) + 16, (10 * k) + 18) () in
+  [|
+    e 0 (QS.Enq 1); e 1 (QS.Enq 2); e 2 (QS.Enq 3); e 3 (QS.Enq 4);
+    e 4 (QS.Deq (Some 1)); e 5 (QS.Deq (Some 2)); e 6 (QS.Deq (Some 3));
+    e 7 (QS.Deq (Some 4));
+  |]
+
+let contains s frag =
+  let n = String.length s and m = String.length frag in
+  let rec go i = i + m <= n && (String.sub s i m = frag || go (i + 1)) in
+  go 0
+
+let reject_at name cond check h ~index ~reason_frag =
+  match check cond h with
+  | Stream.Accept -> Alcotest.failf "%s: expected rejection" name
+  | Stream.Reject { index = i; reason } ->
+      Alcotest.(check int) (name ^ " index") index i;
+      if not (contains reason reason_frag) then
+        Alcotest.failf "%s: reason %S lacks %S" name reason reason_frag
+
+let test_mutation_swap () =
+  (* swap the values of deq(1) and deq(2): fifo crossing, completed when
+     deq(1)'s pair completes at feed index 5 *)
+  let h = seq_queue_base () in
+  let swap i j =
+    let vi = h.(i).H.op and vj = h.(j).H.op in
+    h.(i) <- { (h.(i)) with H.op = vj };
+    h.(j) <- { (h.(j)) with H.op = vi }
+  in
+  swap 4 5;
+  Alcotest.(check bool) "exact rejects too" false (CQ.check_segmented Lin.Order.Weak h);
+  reject_at "swap deqs" Lin.Order.Weak Stream.check_queue_history h ~index:5
+    ~reason_frag:"fifo";
+  reject_at "swap deqs (strong)" Lin.Order.Strong Stream.check_queue_history h
+    ~index:5 ~reason_frag:"fifo"
+
+let test_mutation_reorder () =
+  (* move enq(3) after its own deq: the pair completes, eagerly, when the
+     displaced enq arrives last in the feed (index 7) *)
+  let h = seq_queue_base () in
+  h.(2) <-
+    { (h.(2)) with H.create_inv = 100; create_res = 105; eval_inv = Some 106; eval_res = Some 108 };
+  Alcotest.(check bool) "exact rejects too" false (CQ.check_segmented Lin.Order.Weak h);
+  reject_at "reorder pair" Lin.Order.Weak Stream.check_queue_history h ~index:7
+    ~reason_frag:"completed before"
+
+let test_mutation_drop () =
+  (* drop deq(2): value 2 is stuck behind value 3's dequeue; the earliest
+     complete witness is (2,3), final event deq(3) at feed index 5 *)
+  let h0 = seq_queue_base () in
+  let h = Array.of_list (List.filteri (fun i _ -> i <> 5) (Array.to_list h0)) in
+  Alcotest.(check bool) "exact rejects too" false (CQ.check_segmented Lin.Order.Weak h);
+  reject_at "drop deq" Lin.Order.Weak Stream.check_queue_history h ~index:5
+    ~reason_frag:"never dequeued"
+
+let test_mutation_empty () =
+  let e k op = entry op ~c:((10 * k) + 10, (10 * k) + 15) ~e:((10 * k) + 16, (10 * k) + 18) () in
+  let h = [| e 0 (QS.Enq 1); e 1 (QS.Deq None); e 2 (QS.Deq (Some 1)) |] in
+  Alcotest.(check bool) "exact rejects too" false (CQ.check_segmented Lin.Order.Weak h);
+  reject_at "empty deq" Lin.Order.Weak Stream.check_queue_history h ~index:2
+    ~reason_frag:"empty"
+
+let test_mutation_stack_swap () =
+  (* nested push1 push2 pop2 pop1; swapping the pop values makes a lifo
+     crossing completed at pop(2)'s new slot, feed index 3 *)
+  let e k op = entry op ~c:((10 * k) + 10, (10 * k) + 15) ~e:((10 * k) + 16, (10 * k) + 18) () in
+  let h =
+    [| e 0 (SS.Push 1); e 1 (SS.Push 2); e 2 (SS.Pop (Some 1)); e 3 (SS.Pop (Some 2)) |]
+  in
+  Alcotest.(check bool) "exact rejects too" false (CS.check_segmented Lin.Order.Weak h);
+  reject_at "swap pops" Lin.Order.Weak Stream.check_stack_history h ~index:3
+    ~reason_frag:"lifo"
+
+let test_mutation_double_deq () =
+  let h = seq_queue_base () in
+  h.(5) <- { (h.(5)) with H.op = QS.Deq (Some 1) };
+  Alcotest.(check bool) "exact rejects too" false (CQ.check_segmented Lin.Order.Weak h);
+  reject_at "double deq" Lin.Order.Weak Stream.check_queue_history h ~index:5
+    ~reason_frag:"twice"
+
+(* ------------------------- monitor API edges ------------------------- *)
+
+let test_monitor_api () =
+  let m = Stream.create Stream.Fifo in
+  Alcotest.(check bool) "empty monitor accepts" true (accepts (Stream.finalize m));
+  Alcotest.(check bool) "finalize idempotent" true (accepts (Stream.finalize m));
+  (try
+     Stream.feed m ~start:0 ~stop:1 (Stream.Add 1);
+     Alcotest.fail "feed after finalize should raise"
+   with Invalid_argument _ -> ());
+  let m = Stream.create Stream.Fifo in
+  Stream.feed m ~start:0 ~stop:10 (Stream.Add 1);
+  (try
+     Stream.feed m ~start:0 ~stop:5 (Stream.Add 2);
+     Alcotest.fail "out-of-order feed should raise"
+   with Invalid_argument _ -> ());
+  Alcotest.(check int) "events counted" 1 (Stream.events m)
+
+let test_medium_needs_fallback () =
+  (* legal under weak (the enq intervals overlap), illegal under medium
+     (program order restores enq(1) ≺ enq(2)): documents why Medium
+     cannot use the interval-order certificates *)
+  let h =
+    [|
+      entry ~thread:0 (QS.Enq 1) ~c:(0, 1) ~e:(50, 60) ();
+      entry ~thread:0 (QS.Enq 2) ~c:(2, 3) ~e:(4, 5) ();
+      entry ~thread:1 (QS.Deq (Some 2)) ~c:(6, 7) ~e:(8, 9) ();
+      entry ~thread:1 (QS.Deq (Some 1)) ~c:(10, 11) ~e:(12, 13) ();
+    |]
+  in
+  Alcotest.(check bool) "weak exact accepts" true (CQ.check_segmented Lin.Order.Weak h);
+  Alcotest.(check bool) "weak stream accepts" true
+    (accepts (Stream.check_queue_history Lin.Order.Weak h));
+  Alcotest.(check bool) "medium exact rejects" false
+    (CQ.check_segmented Lin.Order.Medium h);
+  Alcotest.(check bool) "medium stream rejects" false
+    (accepts (Stream.check_queue_history Lin.Order.Medium h))
+
+let test_duplicate_values_fall_back () =
+  (* two enq(5) both dequeued — illegal for the certificate, legal for
+     the structure; the front-end must route to the exact checker *)
+  let e k op = entry op ~c:((10 * k) + 10, (10 * k) + 15) ~e:((10 * k) + 16, (10 * k) + 18) () in
+  let h =
+    [| e 0 (QS.Enq 5); e 1 (QS.Enq 5); e 2 (QS.Deq (Some 5)); e 3 (QS.Deq (Some 5)) |]
+  in
+  Alcotest.(check bool) "exact accepts" true (CQ.check_segmented Lin.Order.Weak h);
+  Alcotest.(check bool) "stream accepts via fallback" true
+    (accepts (Stream.check_queue_history Lin.Order.Weak h))
+
+let () =
+  Alcotest.run "stream"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "queue strong/weak" `Quick test_battery_queue;
+          Alcotest.test_case "queue medium fallback" `Quick test_battery_queue_medium;
+          Alcotest.test_case "stack strong/weak" `Quick test_battery_stack;
+          Alcotest.test_case "stack medium fallback" `Quick test_battery_stack_medium;
+          Alcotest.test_case "map fallback" `Quick test_battery_map;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "swap matched deqs" `Quick test_mutation_swap;
+          Alcotest.test_case "reorder matched pair" `Quick test_mutation_reorder;
+          Alcotest.test_case "drop a dequeue" `Quick test_mutation_drop;
+          Alcotest.test_case "illegal empty deq" `Quick test_mutation_empty;
+          Alcotest.test_case "stack pop swap" `Quick test_mutation_stack_swap;
+          Alcotest.test_case "double dequeue" `Quick test_mutation_double_deq;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "monitor edges" `Quick test_monitor_api;
+          Alcotest.test_case "medium needs fallback" `Quick test_medium_needs_fallback;
+          Alcotest.test_case "duplicate values fall back" `Quick
+            test_duplicate_values_fall_back;
+        ] );
+    ]
